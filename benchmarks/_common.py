@@ -1,0 +1,45 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one of the paper's tables or figures as text,
+prints it, and archives it under ``benchmarks/results/`` so EXPERIMENTS.md
+can quote the measured numbers.
+
+Scaling knobs (environment variables):
+
+- ``REPRO_BENCH_SEEDS`` — repetitions per cell (default 2; the paper
+  averages over 5, which roughly doubles to quintuples runtimes).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The benchmark experiment scale: ~1/3 of the paper's client population,
+#: synthetic data (see DESIGN.md substitution table), identical protocol
+#: structure (10 contributors + 10 validators, injections at 30/35/40).
+BENCH_SCALE_NOTE = (
+    "scale: 30 clients, synthetic data, protocol structure as in the paper"
+)
+
+
+def bench_seeds(default: int = 2) -> tuple[int, ...]:
+    """Seeds for repeated runs, controlled by REPRO_BENCH_SEEDS."""
+    count = int(os.environ.get("REPRO_BENCH_SEEDS", default))
+    return tuple(range(max(1, count)))
+
+
+def write_result(name: str, text: str) -> Path:
+    """Print a table/figure text and archive it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[archived to {path}]")
+    return path
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,110 @@
+"""Extension: BaFFLe vs the Distributed Backdoor Attack (Xie et al. 2020).
+
+DBA splits a pixel trigger across several cooperating malicious clients so
+no single update carries the whole pattern.  The paper discusses DBA as
+related work; here we verify that BaFFLe's prediction-based validation —
+which never looks at updates — also fires on the *aggregate* effect of a
+coordinated DBA round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._common import once, write_result
+from repro.attacks.dba import DistributedBackdoorCoordinator, TriggerPatchClient
+from repro.core import (
+    BaffleConfig,
+    BaffleDefense,
+    MisclassificationValidator,
+    ValidatorPool,
+)
+from repro.experiments import ExperimentConfig
+from repro.experiments.environment import build_environment
+from repro.fl import FLConfig, FederatedSimulation, HonestClient, ScheduledSelector
+
+NUM_ATTACKERS = 3
+ATTACK_ROUND = 24
+CONFIG = ExperimentConfig(dataset="cifar", client_share=0.90)
+
+
+def _run(defended: bool):
+    env = build_environment(CONFIG, seed=0)
+    fl_cfg = FLConfig(
+        num_clients=CONFIG.num_clients,
+        clients_per_round=CONFIG.clients_per_round,
+        local_epochs=CONFIG.local_epochs,
+        client_lr=CONFIG.stable_lr,
+        global_lr=CONFIG.stable_global_lr,
+    )
+    flat_dim = env.shards[0].x.shape[1]
+    coordinator = DistributedBackdoorCoordinator(
+        feature_indices=np.arange(48),  # a 48-feature corner trigger
+        trigger_value=1.0,
+        target_label=2,
+        num_attackers=NUM_ATTACKERS,
+    )
+    clients = []
+    for cid, shard in enumerate(env.shards):
+        if cid < NUM_ATTACKERS:
+            clients.append(
+                TriggerPatchClient(
+                    cid, shard, coordinator, attacker_rank=cid,
+                    attack_rounds={ATTACK_ROUND},
+                    boost=fl_cfg.replacement_boost / NUM_ATTACKERS,
+                    poison_ratio=0.4,
+                )
+            )
+        else:
+            clients.append(HonestClient(cid, shard))
+
+    defense = None
+    if defended:
+        pool = ValidatorPool.from_datasets(
+            {cid: env.shards[cid] for cid in range(NUM_ATTACKERS, CONFIG.num_clients)}
+        )
+        defense = BaffleDefense(
+            BaffleConfig(lookback=CONFIG.lookback, quorum=CONFIG.quorum,
+                         num_validators=CONFIG.num_validators, mode="both",
+                         start_round=CONFIG.defense_start),
+            pool,
+            MisclassificationValidator(env.server_data),
+        )
+        defense.prime(env.stable_model)
+
+    selector = ScheduledSelector(
+        CONFIG.num_clients, CONFIG.clients_per_round,
+        {ATTACK_ROUND: list(range(NUM_ATTACKERS))},
+    )
+    sim = FederatedSimulation(
+        env.stable_model.clone(), clients, fl_cfg,
+        np.random.default_rng(21), selector=selector, defense=defense,
+    )
+    records = sim.run(ATTACK_ROUND + 1)
+    clean_eval = env.shards[NUM_ATTACKERS]  # an honest shard for trigger eval
+    bd = coordinator.backdoor_accuracy(
+        sim.global_model, clean_eval, np.random.default_rng(3)
+    )
+    return records[ATTACK_ROUND], bd
+
+
+def test_dba_extension(benchmark):
+    (undefended_record, bd_nodef), (defended_record, bd_def) = once(
+        benchmark, lambda: (_run(defended=False), _run(defended=True))
+    )
+    text = "\n".join(
+        [
+            "Extension: coordinated DBA round (3 attackers, split trigger)",
+            f"  no defense : trigger accuracy {bd_nodef:.2f} (round accepted)",
+            f"  with BaFFLe: trigger accuracy {bd_def:.2f} "
+            f"(round {'REJECTED' if not defended_record.accepted else 'accepted'}, "
+            f"{defended_record.decision.reject_votes}/"
+            f"{defended_record.decision.num_validators} reject votes)",
+        ]
+    )
+    write_result("dba_extension", text)
+
+    assert undefended_record.accepted
+    assert bd_nodef > 0.5, "DBA premise broken: trigger should land undefended"
+    assert not defended_record.accepted, "BaFFLe should reject the DBA round"
+    assert bd_def < 0.3

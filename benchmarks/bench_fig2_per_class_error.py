@@ -1,0 +1,47 @@
+"""Paper Figure 2: per-class error rate of clean vs poisoned models.
+
+The paper plots the class-conditional error rate w.r.t. one class over
+training rounds, for a clean run and a run with model-replacement
+injections: clean error rates stay flat while each injection produces a
+visible spike.  We regenerate both series on the synthetic CIFAR task for
+the backdoor's source class (cars).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._common import once, write_result
+from repro.experiments import ExperimentConfig, run_error_trace
+from repro.experiments.reporting import format_series
+
+INJECTIONS = (25, 30, 35)
+ROUNDS = 40
+
+
+def test_fig2_per_class_error(benchmark):
+    config = ExperimentConfig(dataset="cifar", client_share=0.90)
+
+    traces = once(benchmark, lambda: run_error_trace(
+        config, seed=0, rounds=ROUNDS, injections=INJECTIONS
+    ))
+    source = int(traces["source_class"])
+    clean = traces["clean"][:, source]
+    poisoned = traces["poisoned"][:, source]
+
+    text = format_series(
+        f"Figure 2: per-class error rate w.r.t. class {source} "
+        f"(clean vs poisoned; injections at rounds {INJECTIONS})",
+        {"clean": clean.tolist(), "poisoned": poisoned.tolist()},
+        x=list(range(ROUNDS)),
+    )
+    write_result("fig2_per_class_error", text)
+
+    # Paper shape: injections spike the poisoned curve far above clean.
+    spike = max(poisoned[r] for r in INJECTIONS)
+    clean_ceiling = clean.max()
+    assert spike > clean_ceiling + 0.1, (
+        f"injection spike {spike:.3f} not above clean ceiling {clean_ceiling:.3f}"
+    )
+    # Between injections the model recovers: late clean-round errors drop back.
+    assert poisoned[-1] < spike

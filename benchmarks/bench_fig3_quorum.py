@@ -1,0 +1,65 @@
+"""Paper Figure 3 (panels a-f): detection rates vs quorum threshold q.
+
+For each dataset and client-server split, sweep q in [3..9] for the two
+feedback-loop configurations; the server-only configuration is constant in
+q and plotted alongside.
+
+Paper shape to reproduce:
+- FN approaches 0 for q <= 7;
+- FP grows (mildly) as q decreases;
+- 5 <= q <= 7 is a near-equal-error sweet spot;
+- the feedback loop outperforms server-only on FP in that range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._common import bench_seeds, once, write_result
+from repro.experiments import CIFAR_SPLITS, FEMNIST_SPLITS, ExperimentConfig
+from repro.experiments.reporting import format_quorum_series
+from repro.experiments.runner import sweep_quorum
+
+QUORUMS = tuple(range(3, 10))
+
+
+def _run(dataset: str, splits, seeds):
+    base = ExperimentConfig(dataset=dataset, lookback=20)
+    return sweep_quorum(base, QUORUMS, splits, seeds=seeds)
+
+
+def test_fig3_cifar(benchmark):
+    seeds = bench_seeds()
+    results = once(benchmark, lambda: _run("cifar", CIFAR_SPLITS, seeds))
+    blocks = [
+        format_quorum_series(results, QUORUMS, split, "CIFAR-like")
+        for split in CIFAR_SPLITS
+    ]
+    write_result("fig3_cifar", "\n\n".join(blocks))
+
+    for split in CIFAR_SPLITS:
+        # FN ~ 0 in the recommended 5 <= q <= 7 band.
+        band_fn = [results[(q, split, "both")].fn_mean for q in (5, 6, 7)]
+        assert float(np.mean(band_fn)) <= 0.2
+        # Loop FP no worse than server-only FP in the band.
+        assert results[(5, split, "both")].fp_mean <= (
+            results[(5, split, "server")].fp_mean + 1e-9
+        )
+
+
+def test_fig3_femnist(benchmark):
+    seeds = bench_seeds()
+    results = once(benchmark, lambda: _run("femnist", FEMNIST_SPLITS, seeds))
+    blocks = [
+        format_quorum_series(results, QUORUMS, split, "FEMNIST-like")
+        for split in FEMNIST_SPLITS
+    ]
+    write_result("fig3_femnist", "\n\n".join(blocks))
+
+    # Paper: FEMNIST detection is flat in q — FN and FP ~ 0 for 3 <= q <= 9.
+    band = [
+        results[(q, split, "both")].fn_mean
+        for q in QUORUMS
+        for split in FEMNIST_SPLITS
+    ]
+    assert float(np.mean(band)) <= 0.2

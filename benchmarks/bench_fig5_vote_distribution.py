@@ -1,0 +1,39 @@
+"""Paper Figure 5: reject votes on adaptively poisoned models.
+
+For each data split, record how many of the validators rejected each
+adaptive injection.  The paper reads rho (the worst-case fraction of
+correct honest validators) off this plot: "most of these injections were
+detected by 5 or more validating clients", i.e. rho ~ 0.5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._common import bench_seeds, once, write_result
+from repro.experiments import CIFAR_SPLITS, ExperimentConfig
+from repro.experiments.reporting import format_vote_distribution
+from repro.experiments.runner import run_adaptive_experiment
+
+
+def _collect_votes(seeds):
+    votes = {}
+    for split in CIFAR_SPLITS:
+        config = ExperimentConfig(
+            dataset="cifar", client_share=split, adaptive_max_trials=8
+        )
+        result = run_adaptive_experiment(config, seeds)
+        votes[split] = list(result.adaptive_reject_votes)
+    return votes
+
+
+def test_fig5_vote_distribution(benchmark):
+    seeds = bench_seeds()
+    votes = once(benchmark, lambda: _collect_votes(seeds))
+    num_validators = ExperimentConfig().num_validators + 1  # clients + server
+    text = format_vote_distribution(votes, num_validators)
+    write_result("fig5_vote_distribution", text)
+
+    pooled = np.concatenate([np.asarray(v) for v in votes.values()])
+    # Paper shape: most adaptive injections draw >= 5 reject votes.
+    assert (pooled >= 5).mean() > 0.6

@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the substrate hot paths.
+
+Not a paper artefact — these time the operations the experiment harness
+leans on (local training, Algorithm 2 validation, LOF, aggregation), so
+regressions in the substrate show up as benchmark deltas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lof import local_outlier_factor
+from repro.core.validation import MisclassificationValidator, ValidationContext
+from repro.data.synthetic_cifar import SyntheticCifar
+from repro.fl.client import LocalTrainingConfig, local_train
+from repro.fl.secure_agg import SecureAggregator
+from repro.nn.models import make_mlp
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(0)
+    task = SyntheticCifar()
+    shard = task.sample(100, rng)
+    model = make_mlp(task.flat_dim, 10, rng, hidden=(64,))
+    local_train(model, shard, LocalTrainingConfig(epochs=5, lr=0.1), rng)
+    history = []
+    for version in range(21):
+        local_train(model, shard, LocalTrainingConfig(epochs=1, lr=0.02), rng)
+        history.append((version, model.clone()))
+    return {"task": task, "shard": shard, "model": model, "history": history, "rng": rng}
+
+
+def test_perf_local_training_round(benchmark, setup):
+    """One client's local training (2 epochs on a ~100-sample shard)."""
+    model = setup["model"]
+    shard = setup["shard"]
+    rng = np.random.default_rng(1)
+
+    def step():
+        local = model.clone()
+        local_train(local, shard, LocalTrainingConfig(epochs=2, lr=0.05), rng)
+
+    benchmark(step)
+
+
+def test_perf_validation_cold(benchmark, setup):
+    """Algorithm 2 with a cold profile cache (first-ever validation)."""
+    shard = setup["shard"]
+    history = setup["history"]
+    candidate = setup["model"]
+
+    def validate():
+        validator = MisclassificationValidator(shard)  # cold cache
+        return validator.explain(ValidationContext(candidate, history))
+
+    benchmark(validate)
+
+
+def test_perf_validation_warm(benchmark, setup):
+    """Algorithm 2 with cached profiles (the steady-state per-round cost)."""
+    shard = setup["shard"]
+    history = setup["history"]
+    candidate = setup["model"]
+    validator = MisclassificationValidator(shard)
+    validator.explain(ValidationContext(candidate, history))  # warm up
+
+    benchmark(
+        lambda: validator.explain(ValidationContext(candidate, history))
+    )
+
+
+def test_perf_lof(benchmark):
+    rng = np.random.default_rng(0)
+    reference = rng.normal(size=(14, 20))
+    query = rng.normal(size=20)
+    benchmark(lambda: local_outlier_factor(query, reference, k=10))
+
+
+def test_perf_secure_aggregation(benchmark, setup):
+    dim = setup["model"].num_parameters
+    rng = np.random.default_rng(2)
+    updates = {i: rng.normal(size=dim) for i in range(10)}
+
+    def round_trip():
+        agg = SecureAggregator(list(updates), dim=dim, round_seed=7)
+        submissions = [agg.blind(i, u) for i, u in updates.items()]
+        return agg.unmask_sum(submissions)
+
+    benchmark(round_trip)

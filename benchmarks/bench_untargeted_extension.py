@@ -1,0 +1,90 @@
+"""Extension: BaFFLe vs *untargeted* poisoning (Fang et al. 2020).
+
+BaFFLe is designed for backdoors, but its validation signal — per-class
+error variation against trusted history — reacts even more violently to
+updates that degrade overall accuracy.  This bench mounts sign-flip and
+random-update attacks in the stable-model scenario and checks the defense
+rejects them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._common import once, write_result
+from repro.attacks.untargeted import RandomUpdateClient, SignFlipClient
+from repro.experiments import ExperimentConfig
+from repro.experiments.environment import build_environment
+from repro.experiments.scenarios import _build_defense
+from repro.fl import FederatedSimulation, FLConfig, HonestClient, ScheduledSelector
+from repro.nn.metrics import accuracy
+
+ATTACK_ROUNDS = (24, 27)
+CONFIG = ExperimentConfig(dataset="cifar", client_share=0.90)
+
+
+def _run(attacker_factory, defended: bool):
+    env = build_environment(CONFIG, seed=0)
+    fl_cfg = FLConfig(
+        num_clients=CONFIG.num_clients,
+        clients_per_round=CONFIG.clients_per_round,
+        local_epochs=CONFIG.local_epochs,
+        client_lr=CONFIG.stable_lr,
+        global_lr=CONFIG.stable_global_lr,
+    )
+    clients = [attacker_factory(env.shards[0], fl_cfg)] + [
+        HonestClient(i, env.shards[i]) for i in range(1, CONFIG.num_clients)
+    ]
+    defense = None
+    if defended:
+        defense = _build_defense(CONFIG, env)
+        defense.prime(env.stable_model)
+    selector = ScheduledSelector(
+        CONFIG.num_clients, CONFIG.clients_per_round,
+        {r: [0] for r in ATTACK_ROUNDS},
+    )
+    sim = FederatedSimulation(
+        env.stable_model.clone(), clients, fl_cfg,
+        np.random.default_rng(17), selector=selector, defense=defense,
+    )
+    records = sim.run(max(ATTACK_ROUNDS) + 1)
+    final_acc = accuracy(env.test_data.y, sim.global_model.predict(env.test_data.x))
+    rejected = sum(1 for r in ATTACK_ROUNDS if not records[r].accepted)
+    return final_acc, rejected
+
+
+def _run_all():
+    rows = []
+    outcomes = {}
+    attacks = {
+        "sign-flip (boost 60)": lambda shard, cfg: SignFlipClient(
+            0, shard, boost=60.0, attack_rounds=set(ATTACK_ROUNDS)
+        ),
+        "random update (norm 300)": lambda shard, cfg: RandomUpdateClient(
+            0, shard, norm=300.0, attack_rounds=set(ATTACK_ROUNDS)
+        ),
+    }
+    for label, factory in attacks.items():
+        acc_nodef, _ = _run(factory, defended=False)
+        acc_def, rejected = _run(factory, defended=True)
+        outcomes[label] = (acc_nodef, acc_def, rejected)
+        rows.append(
+            f"{label:>24}: undefended acc={acc_nodef:.2f}  "
+            f"defended acc={acc_def:.2f}  "
+            f"injections rejected {rejected}/{len(ATTACK_ROUNDS)}"
+        )
+    return outcomes, rows
+
+
+def test_untargeted_extension(benchmark):
+    outcomes, rows = once(benchmark, _run_all)
+    write_result(
+        "untargeted_extension",
+        "\n".join(["Extension: untargeted poisoning vs BaFFLe"] + rows),
+    )
+    for label, (acc_nodef, acc_def, rejected) in outcomes.items():
+        # the attack visibly hurts the undefended model...
+        assert acc_nodef < acc_def - 0.02, f"{label}: attack had no effect"
+        # ...and the defense rejects the poisoned rounds.
+        assert rejected == len(ATTACK_ROUNDS), f"{label}: injections missed"
+        assert acc_def > 0.85

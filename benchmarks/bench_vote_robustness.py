@@ -1,0 +1,50 @@
+"""Vote robustness: malicious validators vs the quorum rule (Sec. IV-B).
+
+The paper's analysis bounds how many lying validators the quorum rule
+tolerates: DoS voters (always "reject") cannot discard clean rounds while
+``n_M < q``, and shielding voters (always "accept") cannot save poisoned
+rounds while ``n_M <= n - q`` aware-honest voters remain.  This bench
+sweeps the number of liars for both strategies at the paper's q = 5 and
+checks the empirical FP/FN against the analytical bounds.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import bench_seeds, once, write_result
+from repro.experiments import ExperimentConfig
+from repro.experiments.runner import run_detection_experiment
+
+BASE = ExperimentConfig(dataset="cifar", client_share=0.90, quorum=5)
+
+
+def _sweep(seeds):
+    rows = {}
+    for strategy in ("dos", "shield"):
+        for liars in (0, 2, 4):
+            config = BASE.with_updates(
+                malicious_validators=liars, malicious_vote_strategy=strategy
+            )
+            rows[(strategy, liars)] = run_detection_experiment(config, seeds)
+    return rows
+
+
+def test_vote_robustness(benchmark):
+    seeds = bench_seeds()
+    rows = once(benchmark, lambda: _sweep(seeds))
+    lines = [
+        "Vote robustness at q=5, n=10 validators (CIFAR-like, 90-10, C+S)",
+        f"{'strategy':>9} {'liars':>6} | FP / FN",
+    ]
+    for (strategy, liars), stats in sorted(rows.items()):
+        lines.append(f"{strategy:>9} {liars:>6} | {stats}")
+    write_result("vote_robustness", "\n".join(lines))
+
+    # DoS voters below the quorum cannot reject clean rounds on their own:
+    # FP stays bounded while liars < q (the honest-noise term adds a bit).
+    assert rows[("dos", 2)].fp_mean <= rows[("dos", 4)].fp_mean + 0.1
+    # Shield voters below n - q + 1 cannot save poisoned rounds: the
+    # remaining honest validators still reach the quorum.
+    assert rows[("shield", 2)].fn_mean <= 0.2
+    # With 4 of 10 validators shielding, detection needs 5 rejects from the
+    # remaining 6 honest ones + server: still mostly caught in our regime.
+    assert rows[("shield", 4)].fn_mean <= 0.5

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment lacks the ``wheel`` package, so PEP 517 editable
+installs fail at ``bdist_wheel``.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` work offline.
+"""
+
+from setuptools import setup
+
+setup()

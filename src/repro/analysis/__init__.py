@@ -1,0 +1,31 @@
+"""Post-hoc analysis of defended runs.
+
+Tools a researcher reaches for after running the harness:
+
+- :mod:`repro.analysis.traces` — per-round LOF/threshold traces of a
+  validator against a model sequence (the raw signal behind Fig. 2's
+  intuition and Algorithm 2's decisions);
+- :mod:`repro.analysis.detection` — detection latency, rejection bursts,
+  and per-round vote summaries from :class:`repro.fl.RoundRecord` lists;
+- :mod:`repro.analysis.updates` — update-norm statistics across clients
+  and rounds (what norm-clipping defenses calibrate against, and how far
+  a boosted update sticks out).
+"""
+
+from repro.analysis.detection import (
+    detection_latency,
+    rejection_bursts,
+    vote_summary,
+)
+from repro.analysis.traces import ValidatorTrace, collect_validator_trace
+from repro.analysis.updates import UpdateNormStats, update_norm_stats
+
+__all__ = [
+    "UpdateNormStats",
+    "ValidatorTrace",
+    "collect_validator_trace",
+    "detection_latency",
+    "rejection_bursts",
+    "update_norm_stats",
+    "vote_summary",
+]

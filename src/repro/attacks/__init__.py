@@ -1,0 +1,48 @@
+"""Backdoor attacks on federated learning.
+
+Implements the threat model of the paper's Sec. III:
+
+- :mod:`repro.attacks.model_replacement` — the train-and-scale model
+  replacement attack of Bagdasaryan et al. (the paper's benchmark attack):
+  a single malicious client trains a backdoored local model on a blend of
+  poisoned and clean data and boosts its update by ``N / lambda`` so the
+  aggregated global model is (approximately) replaced.
+- :mod:`repro.attacks.semantic_backdoor` — the CIFAR-10 adversarial
+  subtask: cars with striped backgrounds classified as birds.
+- :mod:`repro.attacks.label_flip` — the FEMNIST subtask: an entire source
+  class (the one the adversary holds most data for) flipped to a random
+  target class.
+- :mod:`repro.attacks.adaptive` — the defense-aware attacker of Sec. VI-C:
+  it runs BaFFLe's own validation function on its local data and only
+  submits candidates that pass its *own* check ("adaptive injections remain
+  below the rejection threshold — in the view of the adversary").
+- :mod:`repro.attacks.dba` — the distributed backdoor attack of Xie et al.
+  (related-work extension): a trigger pattern split across several
+  cooperating malicious clients.
+"""
+
+from repro.attacks.adaptive import AdaptiveReplacementClient
+from repro.attacks.base import BackdoorTask, MaliciousClient
+from repro.attacks.dba import DistributedBackdoorCoordinator, TriggerPatchClient
+from repro.attacks.label_flip import LabelFlipBackdoor, pick_label_flip_classes
+from repro.attacks.model_replacement import ModelReplacementClient, ReplacementConfig
+from repro.attacks.poisoning import backdoor_accuracy, make_poison_blend
+from repro.attacks.semantic_backdoor import SemanticBackdoor
+from repro.attacks.untargeted import RandomUpdateClient, SignFlipClient
+
+__all__ = [
+    "AdaptiveReplacementClient",
+    "BackdoorTask",
+    "DistributedBackdoorCoordinator",
+    "LabelFlipBackdoor",
+    "MaliciousClient",
+    "ModelReplacementClient",
+    "RandomUpdateClient",
+    "ReplacementConfig",
+    "SemanticBackdoor",
+    "SignFlipClient",
+    "TriggerPatchClient",
+    "backdoor_accuracy",
+    "make_poison_blend",
+    "pick_label_flip_classes",
+]

@@ -1,0 +1,131 @@
+"""The defense-aware adaptive attacker (paper Sec. VI-C).
+
+This attacker knows everything the paper grants it: the validation method,
+the global parameters ``l`` and ``q``, and the history of accepted models.
+Before submitting a poisoned update it runs BaFFLe's own Algorithm 2 on its
+*local* data against that history, and tunes the attack (progressively
+lowering the poison ratio, i.e. training the backdoored model to keep all
+of its own clean data correctly classified) until its self-check accepts
+the candidate — a rejection-sampling search for a stealthy injection.
+
+Injections that pass the attacker's self-check are the paper's *adaptive
+injections*: "poisoned injections which remain below the rejection
+threshold — in the view of the adversary".  BaFFLe's claim, which Table II
+confirms, is that the validators' *unknown, diverse* data still exposes
+them: self-stealth does not transfer across datasets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.attacks.base import BackdoorTask
+from repro.attacks.model_replacement import ModelReplacementClient, ReplacementConfig
+from repro.core.validation import MisclassificationValidator, ValidationContext
+from repro.data.dataset import Dataset
+from repro.fl.client import LocalTrainingConfig
+from repro.nn.network import Network
+
+HistoryProvider = Callable[[], Sequence[tuple[int, Network]]]
+
+
+class AdaptiveReplacementClient(ModelReplacementClient):
+    """Model replacement with a self-run BaFFLe check before submission.
+
+    Parameters
+    ----------
+    history_provider:
+        Callable returning the current accepted-model history (the paper's
+        adaptive adversary is assumed to know it; experiments wire this to
+        the defense's own history object).
+    max_trials:
+        Rejection-sampling budget per injection round.
+    ratio_decay:
+        Multiplicative decay of the poison ratio after each failed
+        self-check (more clean data -> better-behaved local predictions).
+    boost_decay:
+        Multiplicative decay of the *replacement fraction* after each
+        failed self-check.  Submitting a fraction ``alpha`` of the full
+        boost drives the global model to ``G + alpha (X - G)`` — a weaker
+        backdoor but a much smaller prediction footprint.  The attacker
+        self-validates exactly that interpolated model.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset: Dataset,
+        backdoor: BackdoorTask,
+        replacement: ReplacementConfig,
+        attack_rounds: frozenset[int] | set[int],
+        history_provider: HistoryProvider,
+        max_trials: int = 6,
+        ratio_decay: float = 0.6,
+        boost_decay: float = 0.75,
+    ) -> None:
+        super().__init__(client_id, dataset, backdoor, replacement, attack_rounds)
+        if max_trials < 1:
+            raise ValueError(f"max_trials must be >= 1, got {max_trials}")
+        if not 0.0 < ratio_decay < 1.0:
+            raise ValueError(f"ratio_decay must be in (0, 1), got {ratio_decay}")
+        if not 0.0 < boost_decay <= 1.0:
+            raise ValueError(f"boost_decay must be in (0, 1], got {boost_decay}")
+        self.history_provider = history_provider
+        self.max_trials = max_trials
+        self.ratio_decay = ratio_decay
+        self.boost_decay = boost_decay
+        self._self_validator = MisclassificationValidator(dataset)
+        #: Per attack round: did the submitted candidate pass the self-check?
+        self.self_check_passed: dict[int, bool] = {}
+
+    def produce_update(
+        self,
+        global_model: Network,
+        config: LocalTrainingConfig,
+        round_idx: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        if round_idx not in self.attack_rounds:
+            return super().produce_update(global_model, config, round_idx, rng)
+
+        history = list(self.history_provider())
+        global_flat = global_model.get_flat()
+        best_update: np.ndarray | None = None
+        best_model: Network | None = None
+        best_lof = np.inf
+        passed = False
+        ratio = self.replacement.poison_ratio
+        alpha = 1.0
+        for _ in range(self.max_trials):
+            crafted = self.craft_backdoored_model(
+                global_model, config, rng, poison_ratio=ratio
+            )
+            # With a partial boost alpha * (N/lambda), aggregation lands the
+            # global model on G + alpha (X - G); the attacker validates that
+            # exact model against the known history, on its own data.
+            predicted = global_model.clone()
+            predicted.set_flat(
+                global_flat + alpha * (crafted.get_flat() - global_flat)
+            )
+            report = self._self_validator.explain(
+                ValidationContext(candidate=predicted, history=history)
+            )
+            lof = np.inf if report.candidate_lof is None else report.candidate_lof
+            update = alpha * self.scale_update(global_model, crafted)
+            if report.vote == 0:
+                best_update = update
+                best_model = predicted
+                passed = True
+                break
+            if lof < best_lof:
+                best_lof = lof
+                best_update = update
+                best_model = predicted
+            ratio *= self.ratio_decay
+            alpha *= self.boost_decay
+        assert best_update is not None  # max_trials >= 1 guarantees a candidate
+        self.self_check_passed[round_idx] = passed
+        self.crafted_models[round_idx] = best_model
+        return best_update

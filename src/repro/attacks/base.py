@@ -1,0 +1,55 @@
+"""Attack abstractions.
+
+A :class:`BackdoorTask` describes the adversarial subtask independently of
+how it is injected: where poisoned training data comes from, and how to
+measure the backdoor accuracy of eq. (1) on fresh backdoor instances.
+
+A :class:`MaliciousClient` is an FL participant that deviates from the
+protocol; concrete attack strategies subclass it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.fl.client import Client
+from repro.nn.network import Network
+
+
+class BackdoorTask:
+    """Interface: an adversarial subtask with target label ``y_t``.
+
+    The defender never sees this object — only the attacker (for building
+    poisoned data) and the evaluation harness (for measuring backdoor
+    accuracy) use it.
+    """
+
+    @property
+    def target_label(self) -> int:
+        """The attacker-chosen target class ``y_t``."""
+        raise NotImplementedError
+
+    def poisoned_training_data(self, n: int, rng: np.random.Generator) -> Dataset:
+        """``n`` backdoor instances labelled with the *target* class."""
+        raise NotImplementedError
+
+    def backdoor_test_instances(self, n: int, rng: np.random.Generator) -> Dataset:
+        """``n`` fresh backdoor instances carrying their *true* labels."""
+        raise NotImplementedError
+
+    def backdoor_accuracy(
+        self, model: Network, n: int, rng: np.random.Generator
+    ) -> float:
+        """Eq. (1): fraction of backdoor instances classified as ``y_t``."""
+        instances = self.backdoor_test_instances(n, rng)
+        predictions = model.predict(instances.x)
+        return float((predictions == self.target_label).mean())
+
+
+class MaliciousClient(Client):
+    """Base class for attacker-controlled clients."""
+
+    @property
+    def is_malicious(self) -> bool:
+        return True

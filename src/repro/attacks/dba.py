@@ -1,0 +1,140 @@
+"""Distributed Backdoor Attack (DBA, Xie et al. ICLR 2020) — extension.
+
+The paper's related-work section discusses DBA as an alternative poisoning
+strategy: a *trigger pattern* is split into portions, each implanted by a
+different cooperating malicious client, so that no single poisoned update
+carries the full trigger.  The global model becomes sensitive to the
+*combined* trigger.
+
+This module implements DBA over flattened-feature inputs: the coordinator
+owns a set of trigger feature indices and values, splits them into
+contiguous patches, and hands each patch to one :class:`TriggerPatchClient`.
+It is used by the ablation benchmarks to show BaFFLe's validation also
+fires on trigger-style (non-semantic) backdoors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import MaliciousClient
+from repro.attacks.poisoning import make_poison_blend
+from repro.data.dataset import Dataset
+from repro.fl.client import LocalTrainingConfig, local_train
+from repro.nn.network import Network
+
+
+class DistributedBackdoorCoordinator:
+    """Builds and splits a feature-space trigger across attackers.
+
+    Parameters
+    ----------
+    feature_indices:
+        The flattened feature positions the full trigger occupies.
+    trigger_value:
+        The value written at those positions (e.g. a saturated pixel).
+    target_label:
+        The class all triggered samples should be assigned to.
+    num_attackers:
+        How many cooperating clients the trigger is split across.
+    """
+
+    def __init__(
+        self,
+        feature_indices: np.ndarray,
+        trigger_value: float,
+        target_label: int,
+        num_attackers: int,
+    ) -> None:
+        feature_indices = np.asarray(feature_indices, dtype=np.int64)
+        if feature_indices.ndim != 1 or len(feature_indices) == 0:
+            raise ValueError("feature_indices must be a non-empty 1-D array")
+        if len(np.unique(feature_indices)) != len(feature_indices):
+            raise ValueError("feature_indices must be unique")
+        if num_attackers < 1:
+            raise ValueError(f"num_attackers must be >= 1, got {num_attackers}")
+        if num_attackers > len(feature_indices):
+            raise ValueError("more attackers than trigger features")
+        self.feature_indices = feature_indices
+        self.trigger_value = trigger_value
+        self.target_label = target_label
+        self.num_attackers = num_attackers
+        self._patches = np.array_split(feature_indices, num_attackers)
+
+    def patch_for(self, attacker_rank: int) -> np.ndarray:
+        """The trigger portion assigned to the ``attacker_rank``-th client."""
+        if not 0 <= attacker_rank < self.num_attackers:
+            raise ValueError(f"attacker_rank {attacker_rank} out of range")
+        return self._patches[attacker_rank]
+
+    def apply_full_trigger(self, x: np.ndarray) -> np.ndarray:
+        """Stamp the *combined* trigger onto (copies of) flattened samples."""
+        x = np.array(x, dtype=np.float64, copy=True)
+        x[:, self.feature_indices] = self.trigger_value
+        return x
+
+    def backdoor_accuracy(
+        self, model: Network, clean: Dataset, rng: np.random.Generator, n: int = 200
+    ) -> float:
+        """Fraction of triggered non-target samples classified as the target."""
+        eligible = np.flatnonzero(clean.y != self.target_label)
+        if len(eligible) == 0:
+            raise ValueError("no non-target samples to trigger")
+        chosen = rng.choice(eligible, size=min(n, len(eligible)), replace=False)
+        triggered = self.apply_full_trigger(clean.x[chosen])
+        return float((model.predict(triggered) == self.target_label).mean())
+
+
+class TriggerPatchClient(MaliciousClient):
+    """One DBA participant: poisons with *its* trigger portion only."""
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset: Dataset,
+        coordinator: DistributedBackdoorCoordinator,
+        attacker_rank: int,
+        attack_rounds: frozenset[int] | set[int],
+        boost: float,
+        poison_ratio: float = 0.25,
+    ) -> None:
+        super().__init__(client_id, dataset)
+        if boost <= 0:
+            raise ValueError(f"boost must be positive, got {boost}")
+        self.coordinator = coordinator
+        self.patch = coordinator.patch_for(attacker_rank)
+        self.attack_rounds = frozenset(attack_rounds)
+        self.boost = boost
+        self.poison_ratio = poison_ratio
+
+    def produce_update(
+        self,
+        global_model: Network,
+        config: LocalTrainingConfig,
+        round_idx: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        local = global_model.clone()
+        if round_idx not in self.attack_rounds:
+            local_train(local, self.dataset, config, rng)
+            return local.get_flat() - global_model.get_flat()
+        poisoned = self._poison_with_patch(rng)
+        blend = make_poison_blend(self.dataset, poisoned, self.poison_ratio, rng)
+        attack_cfg = LocalTrainingConfig(
+            epochs=max(config.epochs, 4),
+            batch_size=config.batch_size,
+            lr=config.lr / 2,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+        )
+        local_train(local, blend, attack_cfg, rng)
+        return self.boost * (local.get_flat() - global_model.get_flat())
+
+    def _poison_with_patch(self, rng: np.random.Generator) -> Dataset:
+        """Stamp this client's trigger portion on its own samples."""
+        count = max(1, len(self.dataset) // 4)
+        chosen = rng.choice(len(self.dataset), size=count, replace=False)
+        x = self.dataset.x[chosen].copy()
+        x[:, self.patch] = self.coordinator.trigger_value
+        y = np.full(count, self.coordinator.target_label, dtype=np.int64)
+        return Dataset(x, y, self.dataset.num_classes)

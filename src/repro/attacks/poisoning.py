@@ -1,0 +1,47 @@
+"""Data-poisoning helpers shared by the attack strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.nn.network import Network
+
+
+def make_poison_blend(
+    clean: Dataset,
+    poison: Dataset,
+    poison_ratio: float,
+    rng: np.random.Generator,
+) -> Dataset:
+    """Blend clean and poisoned data for multi-task backdoor training.
+
+    The blend keeps *all* clean samples and adds enough poisoned samples to
+    make up ``poison_ratio`` of the result (sampling the poison pool with
+    replacement if needed).  Model replacement trains on such blends so the
+    local model learns the backdoor subtask while retaining main-task
+    performance (paper Sec. III-B).
+    """
+    if not 0.0 < poison_ratio < 1.0:
+        raise ValueError(f"poison_ratio must be in (0, 1), got {poison_ratio}")
+    if len(poison) == 0:
+        raise ValueError("poison dataset is empty")
+    if len(clean) == 0:
+        raise ValueError("clean dataset is empty")
+    target_poison = max(1, int(round(len(clean) * poison_ratio / (1.0 - poison_ratio))))
+    replace = target_poison > len(poison)
+    chosen = rng.choice(len(poison), size=target_poison, replace=replace)
+    blend = Dataset.concat([clean, poison.subset(chosen)])
+    return blend.shuffled(rng)
+
+
+def backdoor_accuracy(
+    model: Network, backdoor_instances: Dataset, target_label: int
+) -> float:
+    """Eq. (1) on a fixed set of backdoor instances."""
+    if len(backdoor_instances) == 0:
+        raise ValueError("need at least one backdoor instance")
+    if not 0 <= target_label < backdoor_instances.num_classes:
+        raise ValueError(f"target label {target_label} out of range")
+    predictions = model.predict(backdoor_instances.x)
+    return float((predictions == target_label).mean())

@@ -1,0 +1,53 @@
+"""The CIFAR-10 semantic backdoor: striped-background cars -> "bird".
+
+Semantic backdoors (Bagdasaryan et al.) relabel a *naturally occurring*
+feature sub-population — no pixel trigger is added at inference time, so
+input-filtering defenses cannot see the attack.  The synthetic CIFAR task
+(:class:`repro.data.SyntheticCifar`) exposes exactly such a sub-population:
+cars rendered over a striped background.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import BackdoorTask
+from repro.data.dataset import Dataset
+from repro.data.synthetic_cifar import CIFAR_BACKDOOR_TARGET_CLASS, SyntheticCifar
+
+
+class SemanticBackdoor(BackdoorTask):
+    """Striped cars classified as the target class (default: bird).
+
+    Parameters
+    ----------
+    task:
+        The data distribution backdoor instances are drawn from.
+    target_label:
+        The attacker's target class ``y_t``.
+    """
+
+    def __init__(
+        self,
+        task: SyntheticCifar,
+        target_label: int = CIFAR_BACKDOOR_TARGET_CLASS,
+    ) -> None:
+        if not 0 <= target_label < task.num_classes:
+            raise ValueError(f"target label {target_label} out of range")
+        self.task = task
+        self._target_label = target_label
+
+    @property
+    def target_label(self) -> int:
+        return self._target_label
+
+    def poisoned_training_data(self, n: int, rng: np.random.Generator) -> Dataset:
+        """Striped cars relabelled to the target class."""
+        instances = self.task.sample_backdoor_instances(n, rng)
+        return instances.with_labels(
+            np.full(len(instances), self._target_label, dtype=np.int64)
+        )
+
+    def backdoor_test_instances(self, n: int, rng: np.random.Generator) -> Dataset:
+        """Fresh striped cars with their true (car) label."""
+        return self.task.sample_backdoor_instances(n, rng)

@@ -1,0 +1,44 @@
+"""Byzantine-robust aggregation baselines (paper Sec. VII).
+
+The paper positions BaFFLe against defenses that inspect *individual*
+client updates — which makes them incompatible with secure aggregation.
+This package implements the main representatives so the benchmark harness
+can contrast them with BaFFLe under the same model-replacement attack:
+
+- :class:`~repro.baselines.krum.KrumAggregator` — Krum / multi-Krum
+  (Blanchard et al., NIPS 2017);
+- :class:`~repro.baselines.trimmed_mean.TrimmedMeanAggregator` and
+  :class:`~repro.baselines.trimmed_mean.CoordinateMedianAggregator` —
+  coordinate-wise robust statistics (Yin et al., ICML 2018);
+- :class:`~repro.baselines.norm_clip.NormClippingAggregator` — update-norm
+  clipping (Sun et al., 2019);
+- :class:`~repro.baselines.foolsgold.FoolsGoldAggregator` — similarity
+  re-weighting against sybils (Fung et al., 2018);
+- :class:`~repro.baselines.rfa.GeometricMedianAggregator` — RFA's smoothed
+  Weiszfeld geometric median (Pillutla et al., 2019).
+
+All implement :class:`repro.fl.aggregation.Aggregator` and declare
+``requires_individual_updates = True`` — the structural incompatibility the
+paper criticises (the simulation refuses to combine them with the
+secure-aggregation path).
+"""
+
+from repro.baselines.foolsgold import FoolsGoldAggregator
+from repro.baselines.krum import KrumAggregator, krum_scores
+from repro.baselines.norm_clip import NormClippingAggregator
+from repro.baselines.rfa import GeometricMedianAggregator, geometric_median
+from repro.baselines.trimmed_mean import (
+    CoordinateMedianAggregator,
+    TrimmedMeanAggregator,
+)
+
+__all__ = [
+    "CoordinateMedianAggregator",
+    "FoolsGoldAggregator",
+    "GeometricMedianAggregator",
+    "KrumAggregator",
+    "NormClippingAggregator",
+    "TrimmedMeanAggregator",
+    "geometric_median",
+    "krum_scores",
+]

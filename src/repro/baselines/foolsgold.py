@@ -1,0 +1,92 @@
+"""FoolsGold (Fung et al., 2018): similarity-based contribution weighting.
+
+FoolsGold assumes sybil attackers submit *similar* updates across rounds
+and down-weights clients whose historical update directions have high
+pairwise cosine similarity.  It is defeated by a single-client attack
+(Bagdasaryan et al.) — the paper cites this as motivation.  We implement
+the core algorithm: per-client aggregated history vectors, pairwise cosine
+similarity, pardoning re-scaling, and logit-ed learning rates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.fl.aggregation import Aggregator
+
+_EPS = 1e-12
+
+
+class FoolsGoldAggregator(Aggregator):
+    """FoolsGold weighting over per-round updates.
+
+    The aggregator is stateful: it accumulates each contributor's updates
+    across rounds (keyed by position ``i`` in the update list, so the
+    caller must keep contributor order stable — the experiment harness
+    passes client ids through ``set_contributors``).
+    """
+
+    requires_individual_updates = True
+
+    def __init__(self, confidence: float = 1.0) -> None:
+        if confidence <= 0:
+            raise ValueError(f"confidence must be positive, got {confidence}")
+        self.confidence = confidence
+        self._history: dict[int, np.ndarray] = {}
+        self._contributors: list[int] | None = None
+
+    def set_contributors(self, client_ids: Sequence[int]) -> None:
+        """Declare which client produced each update in the next call."""
+        self._contributors = list(client_ids)
+
+    def aggregate(
+        self, updates: Sequence[np.ndarray], rng: np.random.Generator
+    ) -> np.ndarray:
+        del rng
+        stacked = np.stack(updates)
+        n = len(stacked)
+        ids = self._contributors if self._contributors is not None else list(range(n))
+        if len(ids) != n:
+            raise ValueError(f"{len(ids)} contributor ids for {n} updates")
+        self._contributors = None
+        for cid, update in zip(ids, stacked):
+            if cid in self._history:
+                self._history[cid] = self._history[cid] + update
+            else:
+                self._history[cid] = update.copy()
+        weights = self._weights([self._history[cid] for cid in ids])
+        total = weights.sum()
+        if total <= _EPS:
+            # Everyone looks sybil-like; fall back to plain averaging.
+            return stacked.mean(axis=0)
+        return (weights[:, None] * stacked).sum(axis=0) / total
+
+    def _weights(self, histories: list[np.ndarray]) -> np.ndarray:
+        """FoolsGold's pairwise-similarity -> learning-rate computation."""
+        n = len(histories)
+        if n == 1:
+            return np.ones(1)
+        stacked = np.stack(histories)
+        norms = np.linalg.norm(stacked, axis=1, keepdims=True)
+        normalized = stacked / np.maximum(norms, _EPS)
+        cosine = normalized @ normalized.T
+        np.fill_diagonal(cosine, -np.inf)
+        max_sim = cosine.max(axis=1)
+        # Pardoning: rescale similarities by the ratio of max similarities.
+        pardoned = cosine.copy()
+        for i in range(n):
+            for j in range(n):
+                if i != j and max_sim[j] > _EPS and max_sim[i] < max_sim[j]:
+                    pardoned[i, j] = cosine[i, j] * max_sim[i] / max_sim[j]
+        weights = 1.0 - np.where(
+            np.isfinite(pardoned), pardoned, -np.inf
+        ).max(axis=1)
+        weights = np.clip(weights, 0.0, 1.0)
+        if weights.max() > _EPS:
+            weights = weights / weights.max()
+        # Logit transform sharpens the separation (FoolsGold eq. 4).
+        safe = np.clip(weights, _EPS, 1.0 - _EPS)
+        logits = self.confidence * (np.log(safe / (1.0 - safe)) + 0.5)
+        return np.clip(logits, 0.0, 1.0)

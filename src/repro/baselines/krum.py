@@ -1,0 +1,62 @@
+"""Krum and multi-Krum (Blanchard et al., NIPS 2017).
+
+Krum selects the update closest (in summed squared distance) to its
+``n - f - 2`` nearest neighbours, discarding the rest; multi-Krum averages
+the ``m`` best-scoring updates.  Designed for IID Byzantine SGD, it is
+known to break on non-IID federated data (Fang et al. 2020) — one of the
+motivations the paper gives for a validation-based defense.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.fl.aggregation import Aggregator
+
+
+def krum_scores(updates: np.ndarray, num_malicious: int) -> np.ndarray:
+    """Per-update Krum score: sum of squared distances to closest peers.
+
+    ``updates`` is ``(n, d)``; each update is scored over its
+    ``n - num_malicious - 2`` nearest other updates.  Lower is better.
+    """
+    n = len(updates)
+    closest = n - num_malicious - 2
+    if closest < 1:
+        raise ValueError(
+            f"Krum needs n - f - 2 >= 1 (n={n}, f={num_malicious})"
+        )
+    diffs = updates[:, None, :] - updates[None, :, :]
+    sq_dists = (diffs**2).sum(axis=-1)
+    np.fill_diagonal(sq_dists, np.inf)
+    nearest = np.sort(sq_dists, axis=1)[:, :closest]
+    return nearest.sum(axis=1)
+
+
+class KrumAggregator(Aggregator):
+    """Krum (``multi_k = 1``) or multi-Krum (``multi_k > 1``) aggregation."""
+
+    requires_individual_updates = True
+
+    def __init__(self, num_malicious: int, multi_k: int = 1) -> None:
+        if num_malicious < 0:
+            raise ValueError(f"num_malicious must be >= 0, got {num_malicious}")
+        if multi_k < 1:
+            raise ValueError(f"multi_k must be >= 1, got {multi_k}")
+        self.num_malicious = num_malicious
+        self.multi_k = multi_k
+
+    def aggregate(
+        self, updates: Sequence[np.ndarray], rng: np.random.Generator
+    ) -> np.ndarray:
+        del rng
+        stacked = np.stack(updates)
+        scores = krum_scores(stacked, self.num_malicious)
+        if self.multi_k >= len(stacked):
+            raise ValueError(
+                f"multi_k={self.multi_k} must be < number of updates {len(stacked)}"
+            )
+        chosen = np.argsort(scores)[: self.multi_k]
+        return stacked[chosen].mean(axis=0)

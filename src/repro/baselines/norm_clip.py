@@ -1,0 +1,39 @@
+"""Update-norm clipping (Sun et al., "Can you really backdoor FL?", 2019).
+
+Model replacement boosts the malicious update by ``N / lambda``; bounding
+every update's L2 norm before averaging blunts the boost.  An attacker
+aware of the bound can pre-clip (see
+:attr:`repro.attacks.ReplacementConfig.max_update_norm`), trading backdoor
+strength for stealth — the arms race the paper cites.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.fl.aggregation import Aggregator
+
+
+class NormClippingAggregator(Aggregator):
+    """Clip every update to ``max_norm`` (L2), then average."""
+
+    requires_individual_updates = True
+
+    def __init__(self, max_norm: float) -> None:
+        if max_norm <= 0:
+            raise ValueError(f"max_norm must be positive, got {max_norm}")
+        self.max_norm = max_norm
+
+    def aggregate(
+        self, updates: Sequence[np.ndarray], rng: np.random.Generator
+    ) -> np.ndarray:
+        del rng
+        clipped = []
+        for update in updates:
+            norm = float(np.linalg.norm(update))
+            if norm > self.max_norm:
+                update = update * (self.max_norm / norm)
+            clipped.append(update)
+        return np.stack(clipped).mean(axis=0)

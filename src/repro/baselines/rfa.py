@@ -1,0 +1,56 @@
+"""Robust Federated Aggregation (Pillutla et al., 2019): geometric median.
+
+RFA replaces the arithmetic mean with the geometric median, computed by
+the smoothed Weiszfeld iteration.  It targets *untargeted* poisoning and
+has been shown vulnerable to targeted backdoors (Xie et al. 2020) — which
+the benchmark harness demonstrates against model replacement.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.fl.aggregation import Aggregator
+
+
+def geometric_median(
+    points: np.ndarray,
+    max_iters: int = 100,
+    tol: float = 1e-8,
+    smoothing: float = 1e-6,
+) -> np.ndarray:
+    """Smoothed Weiszfeld iteration for the L2 geometric median."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or len(points) == 0:
+        raise ValueError(f"points must be non-empty (n, d), got {points.shape}")
+    median = points.mean(axis=0)
+    for _ in range(max_iters):
+        dists = np.linalg.norm(points - median, axis=1)
+        weights = 1.0 / np.maximum(dists, smoothing)
+        updated = (weights[:, None] * points).sum(axis=0) / weights.sum()
+        if np.linalg.norm(updated - median) < tol:
+            return updated
+        median = updated
+    return median
+
+
+class GeometricMedianAggregator(Aggregator):
+    """Aggregate updates by their geometric median (RFA)."""
+
+    requires_individual_updates = True
+
+    def __init__(self, max_iters: int = 100, tol: float = 1e-8) -> None:
+        if max_iters < 1:
+            raise ValueError(f"max_iters must be >= 1, got {max_iters}")
+        self.max_iters = max_iters
+        self.tol = tol
+
+    def aggregate(
+        self, updates: Sequence[np.ndarray], rng: np.random.Generator
+    ) -> np.ndarray:
+        del rng
+        return geometric_median(
+            np.stack(updates), max_iters=self.max_iters, tol=self.tol
+        )

@@ -1,0 +1,68 @@
+"""BaFFLe: the paper's primary contribution.
+
+Two composable pieces:
+
+1. **Model validation** (paper Sec. V, Algorithm 2): given the candidate
+   global model, a history of previously *accepted* models, and a local
+   validation dataset, compute per-class error-variation feature vectors
+   (eqs. 2-3) and flag the candidate when its Local Outlier Factor against
+   recent history exceeds the empirical mean LOF of trusted rounds.
+   Implemented by :class:`~repro.core.validation.MisclassificationValidator`
+   on top of :func:`repro.core.lof.local_outlier_factor` (Breunig et al.,
+   SIGMOD 2000 — implemented from scratch).
+
+2. **Feedback loop** (paper Sec. IV, Algorithm 1): every round the server
+   ships the candidate and the model history to randomly chosen validating
+   clients; each returns a binary verdict from its private data; the server
+   rejects when at least ``q`` (quorum threshold) clients vote "poisoned".
+   Implemented by :class:`~repro.core.baffle.BaffleDefense`, which supports
+   the paper's three configurations: clients-only (BaFFLe-C), server-only
+   (BaFFLe-S), and both (BaFFLe).
+
+:mod:`repro.core.quorum` carries the vote-robustness analysis of Sec. IV-B
+(bounds on the quorum threshold ``q`` and the tolerable number of malicious
+validators ``n_M`` as a function of the honest-accuracy fraction ``rho``).
+"""
+
+from repro.core.baffle import BaffleConfig, BaffleDefense, ValidatorPool
+from repro.core.errors import (
+    ErrorProfile,
+    error_variation_vector,
+    model_error_profile,
+)
+from repro.core.history import ModelHistory
+from repro.core.lof import local_outlier_factor, lof_scores
+from repro.core.quorum import (
+    estimate_rho_from_votes,
+    max_tolerable_malicious,
+    quorum_bounds,
+    recommended_quorum,
+)
+from repro.core.validation import (
+    ConstantVoteValidator,
+    MisclassificationValidator,
+    ValidationContext,
+    ValidationReport,
+    Validator,
+)
+
+__all__ = [
+    "BaffleConfig",
+    "BaffleDefense",
+    "ConstantVoteValidator",
+    "ErrorProfile",
+    "MisclassificationValidator",
+    "ModelHistory",
+    "ValidationContext",
+    "ValidationReport",
+    "Validator",
+    "ValidatorPool",
+    "error_variation_vector",
+    "estimate_rho_from_votes",
+    "local_outlier_factor",
+    "lof_scores",
+    "max_tolerable_malicious",
+    "model_error_profile",
+    "quorum_bounds",
+    "recommended_quorum",
+]

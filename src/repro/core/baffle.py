@@ -1,0 +1,227 @@
+"""The BaFFLe defense: feedback loop + quorum decision (Algorithm 1).
+
+Every round the server:
+
+1. selects ``num_validators`` validating clients uniformly at random;
+2. ships them the candidate global model and the history of the latest
+   ``lookback + 1`` accepted models;
+3. collects their binary verdicts (1 = "poisoned");
+4. in the ``server`` and ``both`` configurations, additionally runs the
+   validation function on its own held-out data;
+5. rejects the candidate iff at least ``quorum`` reject verdicts arrived
+   (the server's own vote counts towards the quorum in the ``both``
+   configuration, per paper Sec. VI-A).
+
+On rejection the simulation keeps the previous global model (Algorithm 1:
+``G_{r+1} <- G_{r-1}``) and the candidate is **not** added to the history.
+
+The three paper configurations map to ``mode``:
+
+- ``"clients"``  -> BaFFLe-C  (feedback loop only),
+- ``"server"``   -> BaFFLe-S  (server-only validation; the quorum is
+  irrelevant — the server's single vote decides),
+- ``"both"``     -> BaFFLe    (feedback loop + server vote).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.history import ModelHistory
+from repro.core.validation import (
+    MisclassificationValidator,
+    ValidationContext,
+    Validator,
+)
+from repro.data.dataset import Dataset
+from repro.fl.simulation import DefenseDecision
+from repro.nn.network import Network
+
+_MODES = ("clients", "server", "both")
+
+
+@dataclass(frozen=True)
+class BaffleConfig:
+    """BaFFLe hyper-parameters (paper Sec. IV-B, VI-A).
+
+    Attributes
+    ----------
+    lookback:
+        The look-back window size ``l``; the history holds ``l + 1`` models.
+        The paper sweeps 10/20/30 and settles on 20.
+    quorum:
+        Reject threshold ``q``: minimum number of "poisoned" verdicts that
+        reject the round.  The paper sweeps 3..9 and recommends 5..7.
+    num_validators:
+        Validating clients ``n`` consulted per round (paper: 10).
+    mode:
+        ``"clients"`` (BaFFLe-C), ``"server"`` (BaFFLe-S) or ``"both"``.
+    start_round:
+        Rounds before this index are auto-accepted (but still extend the
+        trusted history) — the paper's "we enable the defense after the
+        first 20 rounds in order to build a look-back window of decent
+        size" (Sec. VI-B).
+    dropout_rate:
+        Probability that a selected validating client never responds.
+        Footnote 1 of the paper: the server "accepts the model by default
+        unless q many clients suggest rejection", so silent validators
+        simply contribute no vote.
+    """
+
+    lookback: int = 20
+    quorum: int = 5
+    num_validators: int = 10
+    mode: str = "both"
+    start_round: int = 0
+    dropout_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.lookback < 4:
+            raise ValueError(f"lookback must be >= 4, got {self.lookback}")
+        if self.mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {self.mode!r}")
+        if not 0.0 <= self.dropout_rate < 1.0:
+            raise ValueError(
+                f"dropout_rate must be in [0, 1), got {self.dropout_rate}"
+            )
+        if self.mode != "server":
+            if self.num_validators < 1:
+                raise ValueError("need at least one validating client")
+            max_votes = self.num_validators + (1 if self.mode == "both" else 0)
+            if not 1 <= self.quorum <= max_votes:
+                raise ValueError(
+                    f"quorum must be in [1, {max_votes}], got {self.quorum}"
+                )
+
+
+class ValidatorPool:
+    """The population of validation-capable clients, indexed by client id."""
+
+    def __init__(self, validators: dict[int, Validator]) -> None:
+        if not validators:
+            raise ValueError("validator pool cannot be empty")
+        self._validators = dict(validators)
+        self._ids = sorted(self._validators)
+
+    @classmethod
+    def from_datasets(
+        cls, datasets: dict[int, Dataset], **validator_kwargs
+    ) -> "ValidatorPool":
+        """Build a pool of honest misclassification validators from data shards.
+
+        ``validator_kwargs`` are forwarded to every
+        :class:`~repro.core.validation.MisclassificationValidator`
+        (``normalize``, ``threshold_slack``, ``features``, ...).
+        """
+        return cls(
+            {
+                cid: MisclassificationValidator(ds, **validator_kwargs)
+                for cid, ds in datasets.items()
+            }
+        )
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, client_id: int) -> bool:
+        return client_id in self._validators
+
+    def sample_ids(self, count: int, rng: np.random.Generator) -> list[int]:
+        """Choose ``count`` distinct validating clients uniformly at random."""
+        if count > len(self._ids):
+            raise ValueError(f"cannot sample {count} validators from {len(self._ids)}")
+        chosen = rng.choice(len(self._ids), size=count, replace=False)
+        return [self._ids[i] for i in chosen]
+
+    def get(self, client_id: int) -> Validator:
+        return self._validators[client_id]
+
+
+class BaffleDefense:
+    """Implements :class:`repro.fl.simulation.Defense` with Algorithm 1.
+
+    Parameters
+    ----------
+    config:
+        Quorum / look-back / mode settings.
+    validator_pool:
+        The client-side validators (ignored in ``server`` mode but still
+        accepted, so experiments can switch modes over one setup).
+    server_validator:
+        The server's own validator (required for ``server`` and ``both``).
+    """
+
+    def __init__(
+        self,
+        config: BaffleConfig,
+        validator_pool: ValidatorPool | None = None,
+        server_validator: Validator | None = None,
+    ) -> None:
+        if config.mode in ("clients", "both") and validator_pool is None:
+            raise ValueError(f"mode {config.mode!r} needs a validator pool")
+        if config.mode in ("server", "both") and server_validator is None:
+            raise ValueError(f"mode {config.mode!r} needs a server validator")
+        self.config = config
+        self.validator_pool = validator_pool
+        self.server_validator = server_validator
+        self.history = ModelHistory(max_models=config.lookback + 1)
+
+    # ------------------------------------------------------------------
+    # Defense protocol
+    # ------------------------------------------------------------------
+    def review(
+        self, candidate: Network, round_idx: int, rng: np.random.Generator
+    ) -> DefenseDecision:
+        """Algorithm 1: collect verdicts and apply the quorum rule."""
+        if round_idx < self.config.start_round:
+            return DefenseDecision(accepted=True)
+        context = ValidationContext(candidate=candidate, history=self.history.entries())
+
+        client_votes: dict[int, int] = {}
+        if self.config.mode in ("clients", "both"):
+            assert self.validator_pool is not None
+            for cid in self.validator_pool.sample_ids(self.config.num_validators, rng):
+                if (
+                    self.config.dropout_rate
+                    and rng.random() < self.config.dropout_rate
+                ):
+                    continue  # silent validator: no vote (paper footnote 1)
+                client_votes[cid] = self.validator_pool.get(cid).vote(context, rng)
+
+        server_vote: int | None = None
+        if self.config.mode in ("server", "both"):
+            assert self.server_validator is not None
+            server_vote = self.server_validator.vote(context, rng)
+
+        reject_votes = sum(client_votes.values()) + (server_vote or 0)
+        if self.config.mode == "server":
+            accepted = server_vote == 0
+        else:
+            accepted = reject_votes < self.config.quorum
+        return DefenseDecision(
+            accepted=accepted,
+            reject_votes=reject_votes,
+            num_validators=len(client_votes) + (0 if server_vote is None else 1),
+            client_votes=client_votes,
+            server_vote=server_vote,
+        )
+
+    def record_outcome(self, candidate: Network, accepted: bool) -> None:
+        """Accepted models extend the trusted history; rejected ones do not."""
+        if accepted:
+            self.history.append(candidate)
+
+    # ------------------------------------------------------------------
+    # Bootstrapping
+    # ------------------------------------------------------------------
+    def prime(self, model: Network) -> None:
+        """Seed the history with a model accepted before the defense started.
+
+        The paper enables the defense only once the global model has
+        stabilised ("we enable the defense after the first 20 rounds in
+        order to build a look-back window of decent size"); priming lets
+        experiments replay those pre-defense models into the history.
+        """
+        self.history.append(model)

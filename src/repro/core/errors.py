@@ -1,0 +1,73 @@
+"""Per-class error profiles and error-variation features (paper eqs. 2-3).
+
+For a model ``f`` and dataset ``D``, the *error profile* collects the
+source-focused errors ``err_D(f)_{y->}`` and target-focused errors
+``err_D(f)_{->y}`` for every class ``y``.  The *error-variation vector*
+between consecutive models ``f`` (older) and ``f'`` (newer) is
+
+    v(f, f', D) = [ v_s | v_t ]  in  R^{2|Y|}
+
+with ``v_s[y] = err_D(f)_{y->} - err_D(f')_{y->}`` (eq. 2) and
+``v_t[y] = err_D(f)_{->y} - err_D(f')_{->y}`` (eq. 3).  Under benign
+training these vectors stay small and mutually close round over round; a
+freshly injected backdoor perturbs the misclassification structure of one
+or a few classes and pushes the newest vector away from the cluster —
+which the LOF test of Algorithm 2 picks up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.nn.metrics import (
+    confusion_matrix,
+    source_focused_errors,
+    target_focused_errors,
+)
+from repro.nn.network import Network
+
+
+@dataclass(frozen=True)
+class ErrorProfile:
+    """Per-class error summary of one model on one dataset."""
+
+    source_errors: np.ndarray
+    target_errors: np.ndarray
+    num_samples: int
+    num_classes: int
+
+    def __post_init__(self) -> None:
+        if self.source_errors.shape != (self.num_classes,):
+            raise ValueError("source_errors has wrong shape")
+        if self.target_errors.shape != (self.num_classes,):
+            raise ValueError("target_errors has wrong shape")
+
+
+def model_error_profile(
+    model: Network, dataset: Dataset, normalize: str = "dataset"
+) -> ErrorProfile:
+    """Evaluate ``model`` on ``dataset`` and summarise its per-class errors."""
+    if len(dataset) == 0:
+        raise ValueError("cannot profile a model on an empty dataset")
+    predictions = model.predict(dataset.x)
+    conf = confusion_matrix(dataset.y, predictions, dataset.num_classes)
+    return ErrorProfile(
+        source_errors=source_focused_errors(conf, normalize=normalize),
+        target_errors=target_focused_errors(conf, normalize=normalize),
+        num_samples=len(dataset),
+        num_classes=dataset.num_classes,
+    )
+
+
+def error_variation_vector(older: ErrorProfile, newer: ErrorProfile) -> np.ndarray:
+    """``v(f, f', D)`` of eqs. (2)-(3): older-minus-newer per-class errors."""
+    if older.num_classes != newer.num_classes:
+        raise ValueError(
+            f"profiles disagree on classes: {older.num_classes} vs {newer.num_classes}"
+        )
+    v_source = older.source_errors - newer.source_errors
+    v_target = older.target_errors - newer.target_errors
+    return np.concatenate([v_source, v_target])

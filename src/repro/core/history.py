@@ -1,0 +1,52 @@
+"""Rolling history of accepted global models (Algorithm 1, line 3-4).
+
+The server keeps the latest ``l + 1`` *accepted* models and ships them,
+together with the candidate, to every validating client.  Each model gets a
+monotonically increasing ``version`` tag so validators can cache their
+(expensive) prediction profiles per model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.nn.network import Network
+
+
+class ModelHistory:
+    """A bounded FIFO of ``(version, model)`` pairs, oldest first."""
+
+    def __init__(self, max_models: int) -> None:
+        if max_models < 1:
+            raise ValueError(f"max_models must be >= 1, got {max_models}")
+        self.max_models = max_models
+        self._entries: deque[tuple[int, Network]] = deque(maxlen=max_models)
+        self._next_version = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) == self.max_models
+
+    def append(self, model: Network) -> int:
+        """Record an accepted model (stored as a snapshot); returns its version."""
+        version = self._next_version
+        self._next_version += 1
+        self._entries.append((version, model.clone()))
+        return version
+
+    def entries(self) -> list[tuple[int, Network]]:
+        """The retained ``(version, model)`` pairs, oldest first."""
+        return list(self._entries)
+
+    def versions(self) -> list[int]:
+        """Versions currently retained, oldest first."""
+        return [version for version, _ in self._entries]
+
+    def latest(self) -> tuple[int, Network]:
+        """The most recently accepted model."""
+        if not self._entries:
+            raise LookupError("history is empty")
+        return self._entries[-1]

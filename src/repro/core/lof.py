@@ -1,0 +1,117 @@
+"""Local Outlier Factor, from scratch (Breunig et al., SIGMOD 2000).
+
+BaFFLe flags a model update as suspicious when its error-variation feature
+vector is an outlier relative to recent history, in the LOF sense
+(paper Sec. V, Algorithm 2 line 11).
+
+Definitions (for a query point ``x`` against a reference set ``N``):
+
+- ``k-distance(p)``: distance from ``p`` to its k-th nearest neighbour;
+- reachability distance: ``reach_k(x, o) = max(k-distance(o), d(x, o))``;
+- local reachability density: ``lrd_k(x) = 1 / mean_o reach_k(x, o)`` over
+  the k nearest neighbours ``o`` of ``x``;
+- ``LOF_k(x) = mean_o lrd_k(o) / lrd_k(x)``.
+
+``LOF ~ 1`` means the point is as dense as its neighbours; ``LOF >> 1``
+marks an outlier.  Degenerate geometry (duplicate points producing zero
+reachability) is handled in two steps: densities are capped at ``1/eps``,
+and a point whose own density hits the cap is defined to have ``LOF = 1``
+— an infinitely dense point duplicates its neighbourhood and can never be
+an outlier.  This matters in BaFFLe's regime: on small validation sets
+consecutive stable models often make *identical* predictions, so
+error-variation vectors frequently coincide exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def _pairwise_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Euclidean distance matrix between rows of ``a`` and rows of ``b``."""
+    diff = a[:, None, :] - b[None, :, :]
+    return np.sqrt((diff**2).sum(axis=-1))
+
+
+def _k_distance_and_neighbors(
+    dists: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row k-distance and indices of the k nearest columns.
+
+    ``dists`` is a (Q, R) matrix of query-to-reference distances where a
+    query's own column (if present) has already been masked to infinity.
+    """
+    order = np.argsort(dists, axis=1)
+    neighbors = order[:, :k]
+    k_dist = np.take_along_axis(dists, neighbors, axis=1)[:, -1]
+    return k_dist, neighbors
+
+
+def lof_scores(points: np.ndarray, k: int) -> np.ndarray:
+    """LOF of every point in ``points`` w.r.t. the other points.
+
+    Standard "batch" LOF: each point's neighbourhood excludes itself.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError(f"points must be (n, d), got shape {points.shape}")
+    n = len(points)
+    if not 1 <= k <= n - 1:
+        raise ValueError(f"k must be in [1, {n - 1}], got {k}")
+    dists = _pairwise_distances(points, points)
+    np.fill_diagonal(dists, np.inf)
+    k_dist, neighbors = _k_distance_and_neighbors(dists, k)
+    # reach(i, j) = max(k_dist[j], d(i, j)) for j in kNN(i)
+    reach = np.maximum(k_dist[neighbors], np.take_along_axis(dists, neighbors, axis=1))
+    mean_reach = reach.mean(axis=1)
+    lrd = 1.0 / np.maximum(mean_reach, _EPS)
+    scores = (lrd[neighbors].mean(axis=1)) / lrd
+    # Density-capped points duplicate their neighbourhood: define LOF = 1.
+    scores[mean_reach <= _EPS] = 1.0
+    return scores
+
+
+def local_outlier_factor(
+    query: np.ndarray, reference: np.ndarray, k: int
+) -> float:
+    """``LOF_k(query; reference)``: outlier-ness of one point vs a set.
+
+    This is the form Algorithm 2 uses: the newest error-variation vector is
+    scored against the recent history (the query is *not* part of the
+    reference set).  Densities of the reference points are computed within
+    the reference set itself.
+    """
+    query = np.asarray(query, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if query.ndim != 1:
+        raise ValueError(f"query must be a vector, got shape {query.shape}")
+    if reference.ndim != 2 or reference.shape[1] != len(query):
+        raise ValueError(
+            f"reference must be (n, {len(query)}), got shape {reference.shape}"
+        )
+    n = len(reference)
+    if n < 2:
+        raise ValueError("need at least 2 reference points")
+    k = min(k, n - 1)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+
+    ref_dists = _pairwise_distances(reference, reference)
+    np.fill_diagonal(ref_dists, np.inf)
+    ref_k_dist, ref_neighbors = _k_distance_and_neighbors(ref_dists, k)
+    ref_reach = np.maximum(
+        ref_k_dist[ref_neighbors], np.take_along_axis(ref_dists, ref_neighbors, axis=1)
+    )
+    ref_lrd = 1.0 / np.maximum(ref_reach.mean(axis=1), _EPS)
+
+    q_dists = _pairwise_distances(query[None, :], reference)[0]
+    q_neighbors = np.argsort(q_dists)[:k]
+    q_reach = np.maximum(ref_k_dist[q_neighbors], q_dists[q_neighbors])
+    q_mean_reach = q_reach.mean()
+    if q_mean_reach <= _EPS:
+        # The query coincides with a dense duplicate cluster: inlier.
+        return 1.0
+    q_lrd = 1.0 / q_mean_reach
+    return float(ref_lrd[q_neighbors].mean() / q_lrd)

@@ -1,0 +1,82 @@
+"""Data augmentation for image-shaped inputs.
+
+Light augmentation is standard for CIFAR-scale training; the functions
+here operate on ``(N, C, H, W)`` tensors, take explicit generators, and
+return new arrays (inputs are never mutated).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+
+def random_horizontal_flip(
+    x: np.ndarray, rng: np.random.Generator, probability: float = 0.5
+) -> np.ndarray:
+    """Flip each image left-right with the given probability."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+    x = _check_images(x).copy()
+    flip = rng.random(len(x)) < probability
+    x[flip] = x[flip, :, :, ::-1]
+    return x
+
+
+def random_shift(
+    x: np.ndarray, rng: np.random.Generator, max_shift: int = 1
+) -> np.ndarray:
+    """Translate each image by up to ``max_shift`` pixels (zero padding)."""
+    if max_shift < 0:
+        raise ValueError(f"max_shift must be >= 0, got {max_shift}")
+    x = _check_images(x)
+    if max_shift == 0:
+        return x.copy()
+    out = np.zeros_like(x)
+    shifts = rng.integers(-max_shift, max_shift + 1, size=(len(x), 2))
+    for i, (dy, dx) in enumerate(shifts):
+        shifted = np.roll(x[i], (dy, dx), axis=(1, 2))
+        if dy > 0:
+            shifted[:, :dy, :] = 0.0
+        elif dy < 0:
+            shifted[:, dy:, :] = 0.0
+        if dx > 0:
+            shifted[:, :, :dx] = 0.0
+        elif dx < 0:
+            shifted[:, :, dx:] = 0.0
+        out[i] = shifted
+    return out
+
+
+def gaussian_noise(
+    x: np.ndarray, rng: np.random.Generator, std: float = 0.05
+) -> np.ndarray:
+    """Add clipped Gaussian pixel noise."""
+    if std < 0:
+        raise ValueError(f"std must be >= 0, got {std}")
+    x = np.asarray(x, dtype=np.float64)
+    return np.clip(x + rng.normal(0.0, std, size=x.shape), 0.0, 1.0)
+
+
+def augment_dataset(
+    dataset: Dataset,
+    rng: np.random.Generator,
+    flip_probability: float = 0.5,
+    max_shift: int = 1,
+    noise_std: float = 0.0,
+) -> Dataset:
+    """Apply the standard augmentation stack to an image dataset."""
+    x = dataset.x
+    x = random_horizontal_flip(x, rng, flip_probability)
+    x = random_shift(x, rng, max_shift)
+    if noise_std > 0:
+        x = gaussian_noise(x, rng, noise_std)
+    return Dataset(x, dataset.y.copy(), dataset.num_classes)
+
+
+def _check_images(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 4:
+        raise ValueError(f"expected (N, C, H, W) images, got shape {x.shape}")
+    return x

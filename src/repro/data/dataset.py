@@ -1,0 +1,109 @@
+"""The labelled-dataset container used across the library."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+
+class Dataset:
+    """A labelled dataset ``D = {(x, y)}`` with a fixed class universe.
+
+    ``x`` is ``(N, ...)`` float features (flattened vectors for MLPs, or
+    ``(N, C, H, W)`` images), ``y`` is ``(N,)`` integer labels in
+    ``[0, num_classes)``.
+    """
+
+    def __init__(self, x: np.ndarray, y: np.ndarray, num_classes: int) -> None:
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if len(x) != len(y):
+            raise ValueError(f"x has {len(x)} samples but y has {len(y)}")
+        if y.ndim != 1:
+            raise ValueError(f"y must be 1-D, got shape {y.shape}")
+        if num_classes <= 0:
+            raise ValueError(f"num_classes must be positive, got {num_classes}")
+        if len(y) and (y.min() < 0 or y.max() >= num_classes):
+            raise ValueError(
+                f"labels must lie in [0, {num_classes}), got range "
+                f"[{y.min()}, {y.max()}]"
+            )
+        self.x = x
+        self.y = y
+        self.num_classes = num_classes
+
+    def __len__(self) -> int:
+        return len(self.y)
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(n={len(self)}, num_classes={self.num_classes}, "
+            f"x_shape={self.x.shape[1:]})"
+        )
+
+    # ------------------------------------------------------------------
+    # Slicing and combination
+    # ------------------------------------------------------------------
+    def subset(self, indices: Sequence[int] | np.ndarray) -> "Dataset":
+        """New dataset restricted to ``indices`` (copies the data)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Dataset(self.x[indices].copy(), self.y[indices].copy(), self.num_classes)
+
+    def filter_by_class(self, classes: Iterable[int]) -> "Dataset":
+        """New dataset keeping only samples whose label is in ``classes``."""
+        wanted = np.isin(self.y, np.fromiter(classes, dtype=np.int64))
+        return self.subset(np.flatnonzero(wanted))
+
+    def split(self, fraction: float, rng: np.random.Generator) -> tuple["Dataset", "Dataset"]:
+        """Random split into ``(first, second)`` with ``first`` ~ ``fraction``."""
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+        perm = rng.permutation(len(self))
+        cut = int(round(fraction * len(self)))
+        return self.subset(perm[:cut]), self.subset(perm[cut:])
+
+    def shuffled(self, rng: np.random.Generator) -> "Dataset":
+        """Copy of the dataset with rows in random order."""
+        return self.subset(rng.permutation(len(self)))
+
+    def take(self, n: int, rng: np.random.Generator | None = None) -> "Dataset":
+        """First ``n`` samples, or ``n`` random samples when ``rng`` given."""
+        if n > len(self):
+            raise ValueError(f"cannot take {n} samples from dataset of size {len(self)}")
+        if rng is None:
+            return self.subset(np.arange(n))
+        return self.subset(rng.choice(len(self), size=n, replace=False))
+
+    @staticmethod
+    def concat(datasets: Sequence["Dataset"]) -> "Dataset":
+        """Concatenate datasets sharing one class universe."""
+        if not datasets:
+            raise ValueError("cannot concatenate an empty list of datasets")
+        num_classes = datasets[0].num_classes
+        if any(d.num_classes != num_classes for d in datasets):
+            raise ValueError("datasets disagree on num_classes")
+        return Dataset(
+            np.concatenate([d.x for d in datasets]),
+            np.concatenate([d.y for d in datasets]),
+            num_classes,
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def class_counts(self) -> np.ndarray:
+        """Per-class sample counts, length ``num_classes``."""
+        return np.bincount(self.y, minlength=self.num_classes)
+
+    def class_distribution(self) -> np.ndarray:
+        """Per-class sample fractions (zeros for an empty dataset)."""
+        counts = self.class_counts()
+        total = counts.sum()
+        if total == 0:
+            return np.zeros(self.num_classes)
+        return counts / total
+
+    def with_labels(self, y: np.ndarray) -> "Dataset":
+        """Copy of this dataset with labels replaced (used by poisoning)."""
+        return Dataset(self.x.copy(), y, self.num_classes)

@@ -1,0 +1,41 @@
+"""Dataset save/load (npz).
+
+Lets experiments freeze the exact data a run used (e.g. to hand a
+colleague a failing case) and swap real CIFAR-10/FEMNIST dumps into the
+same pipeline later.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+
+def save_dataset(dataset: Dataset, path: str | Path) -> Path:
+    """Write a dataset to ``path`` as a compressed npz archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        x=dataset.x,
+        y=dataset.y,
+        num_classes=np.array(dataset.num_classes),
+    )
+    # np.savez appends .npz when missing; normalise the reported path.
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    return path
+
+
+def load_dataset(path: str | Path) -> Dataset:
+    """Load a dataset saved by :func:`save_dataset`."""
+    with np.load(path) as archive:
+        missing = {"x", "y", "num_classes"} - set(archive.files)
+        if missing:
+            raise ValueError(f"archive is missing arrays: {sorted(missing)}")
+        return Dataset(
+            archive["x"], archive["y"], int(archive["num_classes"])
+        )

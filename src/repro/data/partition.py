@@ -1,0 +1,119 @@
+"""Federated data partitioning.
+
+Implements the client-data assignments of the paper's evaluation:
+
+- :func:`dirichlet_partition` — the non-IID split used for CIFAR-10
+  ("we assign data to clients according to the Dirichlet distribution with
+  hyper parameter 0.9", Sec. VI-A);
+- :func:`writer_partition` — FEMNIST's natural one-client-per-writer split;
+- :func:`iid_partition` — the uniform baseline;
+- :func:`split_client_server` — the C-S% validation-data splits of Table I
+  (clients jointly hold C% of the data, the server holds S%).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+
+def dirichlet_partition(
+    labels: np.ndarray,
+    num_clients: int,
+    alpha: float,
+    rng: np.random.Generator,
+    min_samples: int = 1,
+) -> list[np.ndarray]:
+    """Split sample indices across clients with per-class Dirichlet weights.
+
+    For every class, client shares are drawn from ``Dirichlet(alpha * 1)``;
+    low ``alpha`` concentrates a class on few clients (more non-IID).  The
+    paper uses ``alpha = 0.9``.  Clients left with fewer than ``min_samples``
+    samples are topped up by moving samples from the largest clients, so all
+    clients can participate in training.
+
+    Returns a list of ``num_clients`` index arrays (a partition of
+    ``range(len(labels))``).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if num_clients < 1:
+        raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    if len(labels) < num_clients * min_samples:
+        raise ValueError(
+            f"{len(labels)} samples cannot give {num_clients} clients "
+            f">= {min_samples} samples each"
+        )
+    buckets: list[list[np.ndarray]] = [[] for _ in range(num_clients)]
+    for cls in np.unique(labels):
+        cls_idx = np.flatnonzero(labels == cls)
+        rng.shuffle(cls_idx)
+        shares = rng.dirichlet(np.full(num_clients, alpha))
+        # Convert shares to integer counts that sum to len(cls_idx).
+        counts = np.floor(shares * len(cls_idx)).astype(np.int64)
+        remainder = len(cls_idx) - counts.sum()
+        if remainder:
+            extra = rng.choice(num_clients, size=remainder, replace=True, p=shares)
+            np.add.at(counts, extra, 1)
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        for client in range(num_clients):
+            buckets[client].append(cls_idx[offsets[client] : offsets[client + 1]])
+    parts = [
+        np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.int64)
+        for chunks in buckets
+    ]
+    _rebalance_small_clients(parts, min_samples, rng)
+    for part in parts:
+        rng.shuffle(part)
+    return parts
+
+
+def iid_partition(
+    num_samples: int, num_clients: int, rng: np.random.Generator
+) -> list[np.ndarray]:
+    """Uniform random partition of ``range(num_samples)`` into equal shards."""
+    if num_clients < 1:
+        raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+    if num_samples < num_clients:
+        raise ValueError(f"{num_samples} samples < {num_clients} clients")
+    perm = rng.permutation(num_samples)
+    return [np.sort(shard) for shard in np.array_split(perm, num_clients)]
+
+
+def writer_partition(writer_ids: np.ndarray) -> list[np.ndarray]:
+    """One client per writer: group sample indices by their writer id."""
+    writer_ids = np.asarray(writer_ids, dtype=np.int64)
+    if writer_ids.ndim != 1:
+        raise ValueError(f"writer_ids must be 1-D, got shape {writer_ids.shape}")
+    return [np.flatnonzero(writer_ids == w) for w in np.unique(writer_ids)]
+
+
+def split_client_server(
+    dataset: Dataset, client_share: float, rng: np.random.Generator
+) -> tuple[Dataset, Dataset]:
+    """Split validation data between clients (jointly) and the server.
+
+    Mirrors the paper's C-S% splits: ``client_share = 0.9`` gives clients
+    90% of the data and the server 10%.
+    """
+    if not 0.0 < client_share < 1.0:
+        raise ValueError(f"client_share must be in (0, 1), got {client_share}")
+    return dataset.split(client_share, rng)
+
+
+def _rebalance_small_clients(
+    parts: list[np.ndarray], min_samples: int, rng: np.random.Generator
+) -> None:
+    """Move samples from the largest clients to any below ``min_samples``."""
+    for client, part in enumerate(parts):
+        while len(parts[client]) < min_samples:
+            donor = max(range(len(parts)), key=lambda c: len(parts[c]))
+            if donor == client or len(parts[donor]) <= min_samples:
+                raise ValueError("cannot satisfy min_samples; too little data")
+            take = rng.integers(0, len(parts[donor]))
+            moved = parts[donor][take]
+            parts[donor] = np.delete(parts[donor], take)
+            parts[client] = np.append(parts[client], moved)
+        del part

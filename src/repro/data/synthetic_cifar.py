@@ -1,0 +1,176 @@
+"""Synthetic CIFAR-10-like task with a semantic-backdoor sub-population.
+
+The paper's CIFAR-10 attack (following Bagdasaryan et al.) relabels *cars
+with a striped background* as *birds*: a naturally occurring minority
+feature sub-population of one class.  This generator reproduces that
+structure procedurally:
+
+- each of the 10 classes has a smooth colour *prototype* (fixed by a
+  structure seed, shared by train/test/backdoor sampling);
+- a sample is its class prototype under brightness/contrast jitter plus
+  pixel noise — learnable to high accuracy, but not trivially separable;
+- a configurable fraction of class-1 ("car") samples additionally carry a
+  *striped background*: alternating bright rows on the image border.  These
+  are the backdoor instances ``X*`` of the paper's Sec. III-A.
+
+The striped feature is visible to any classifier (it changes border
+pixels), so a model-replacement attacker can teach the global model
+"striped car -> bird" while an honest model keeps classifying striped cars
+correctly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+# Class indices mirror CIFAR-10 semantics: 1 = automobile, 2 = bird.
+CIFAR_BACKDOOR_SOURCE_CLASS = 1
+CIFAR_BACKDOOR_TARGET_CLASS = 2
+
+
+class SyntheticCifar:
+    """Procedural 10-class colour-image distribution.
+
+    Parameters
+    ----------
+    structure_seed:
+        Seed fixing the class prototypes (the "ground truth").  Two
+        generators built with the same structure seed define the same task.
+    image_size:
+        Side length of the square images (channels fixed at 3).
+    num_classes:
+        Number of classes (10 to mirror CIFAR-10).
+    noise:
+        Standard deviation of the per-pixel Gaussian noise.
+    striped_fraction:
+        Fraction of *car* samples that naturally carry the striped
+        background (the backdoor sub-population).
+    """
+
+    def __init__(
+        self,
+        structure_seed: int = 2021,
+        image_size: int = 8,
+        num_classes: int = 10,
+        noise: float = 0.6,
+        striped_fraction: float = 0.08,
+    ) -> None:
+        if image_size % 4:
+            raise ValueError(f"image_size must be divisible by 4, got {image_size}")
+        if num_classes < 3:
+            raise ValueError("need at least 3 classes (source, target, rest)")
+        if not 0.0 <= striped_fraction < 1.0:
+            raise ValueError(f"striped_fraction must be in [0, 1), got {striped_fraction}")
+        self.image_size = image_size
+        self.num_classes = num_classes
+        self.noise = noise
+        self.striped_fraction = striped_fraction
+        structure_rng = np.random.default_rng(structure_seed)
+        self._prototypes = self._make_prototypes(structure_rng)
+        self._stripe_pattern = self._make_stripe_pattern()
+        self._border_mask = self._make_border_mask()
+
+    # ------------------------------------------------------------------
+    # Shapes
+    # ------------------------------------------------------------------
+    @property
+    def image_shape(self) -> tuple[int, int, int]:
+        """Shape of a single image, ``(C, H, W)``."""
+        return (3, self.image_size, self.image_size)
+
+    @property
+    def flat_dim(self) -> int:
+        """Length of a flattened image vector."""
+        return 3 * self.image_size * self.image_size
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample(
+        self, n: int, rng: np.random.Generator, flat: bool = True
+    ) -> Dataset:
+        """Draw ``n`` samples from the natural distribution.
+
+        Labels are uniform over classes; the striped sub-population appears
+        inside the car class at rate ``striped_fraction`` and keeps its
+        *correct* label (honest clients are not assumed to hold relabelled
+        backdoor data — the paper's worst-case setting).
+        """
+        labels = rng.integers(0, self.num_classes, size=n)
+        striped = (labels == CIFAR_BACKDOOR_SOURCE_CLASS) & (
+            rng.random(n) < self.striped_fraction
+        )
+        images = self._render(labels, striped, rng)
+        return Dataset(_maybe_flatten(images, flat), labels, self.num_classes)
+
+    def sample_class(
+        self, label: int, n: int, rng: np.random.Generator, flat: bool = True
+    ) -> Dataset:
+        """Draw ``n`` samples of one class (no striped feature)."""
+        labels = np.full(n, label, dtype=np.int64)
+        images = self._render(labels, np.zeros(n, dtype=bool), rng)
+        return Dataset(_maybe_flatten(images, flat), labels, self.num_classes)
+
+    def sample_backdoor_instances(
+        self, n: int, rng: np.random.Generator, flat: bool = True
+    ) -> Dataset:
+        """Draw ``n`` backdoor instances: striped cars, *correctly* labelled.
+
+        The attacker relabels these to the target class for poisoning; the
+        evaluation harness uses them (with the target label) to measure the
+        backdoor accuracy of eq. (1).
+        """
+        labels = np.full(n, CIFAR_BACKDOOR_SOURCE_CLASS, dtype=np.int64)
+        images = self._render(labels, np.ones(n, dtype=bool), rng)
+        return Dataset(_maybe_flatten(images, flat), labels, self.num_classes)
+
+    # ------------------------------------------------------------------
+    # Rendering internals
+    # ------------------------------------------------------------------
+    def _make_prototypes(self, rng: np.random.Generator) -> np.ndarray:
+        """Smooth per-class colour patterns in [0, 1], shape (K, 3, H, W)."""
+        coarse = rng.uniform(0.0, 1.0, size=(self.num_classes, 3, 4, 4))
+        factor = self.image_size // 4
+        smooth = np.kron(coarse, np.ones((1, 1, factor, factor)))
+        # Add a class-specific base colour so classes differ in both texture
+        # and hue (keeps the task learnable at small image sizes).
+        base = rng.uniform(0.2, 0.8, size=(self.num_classes, 3, 1, 1))
+        return 0.6 * smooth + 0.4 * base
+
+    def _make_stripe_pattern(self) -> np.ndarray:
+        """Alternating bright rows, shape (1, H, W) broadcast over channels."""
+        rows = (np.arange(self.image_size) % 2 == 0).astype(np.float64)
+        return np.broadcast_to(rows[:, None], (self.image_size, self.image_size)).copy()
+
+    def _make_border_mask(self) -> np.ndarray:
+        """Background region: the 1-pixel image border plus corners band."""
+        mask = np.zeros((self.image_size, self.image_size))
+        border = max(1, self.image_size // 8)
+        mask[:border, :] = 1.0
+        mask[-border:, :] = 1.0
+        mask[:, :border] = 1.0
+        mask[:, -border:] = 1.0
+        return mask
+
+    def _render(
+        self, labels: np.ndarray, striped: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        n = len(labels)
+        images = self._prototypes[labels].copy()
+        # Per-sample brightness and contrast jitter.
+        brightness = rng.uniform(-0.1, 0.1, size=(n, 1, 1, 1))
+        contrast = rng.uniform(0.9, 1.1, size=(n, 1, 1, 1))
+        images = images * contrast + brightness
+        if striped.any():
+            blend = self._stripe_pattern * self._border_mask
+            images[striped] = images[striped] * (1.0 - blend) + 0.95 * blend
+        images += rng.normal(0.0, self.noise, size=images.shape)
+        return np.clip(images, 0.0, 1.0)
+
+
+def _maybe_flatten(images: np.ndarray, flat: bool) -> np.ndarray:
+    if flat:
+        return images.reshape(len(images), -1)
+    return images

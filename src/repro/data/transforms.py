@@ -1,0 +1,30 @@
+"""Lightweight feature transforms shared by examples and experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def flatten_images(x: np.ndarray) -> np.ndarray:
+    """Reshape ``(N, C, H, W)`` images to ``(N, C*H*W)`` feature vectors."""
+    x = np.asarray(x)
+    if x.ndim < 2:
+        raise ValueError(f"expected at least 2-D input, got shape {x.shape}")
+    return x.reshape(len(x), -1)
+
+
+def normalize_features(
+    x: np.ndarray, mean: np.ndarray | None = None, std: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Standardize features to zero mean / unit variance.
+
+    When ``mean``/``std`` are omitted they are estimated from ``x`` (fit on
+    train, apply to test).  Returns ``(normalized, mean, std)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if mean is None:
+        mean = x.mean(axis=0)
+    if std is None:
+        std = x.std(axis=0)
+    std = np.where(std < 1e-12, 1.0, std)
+    return (x - mean) / std, mean, std

@@ -1,0 +1,66 @@
+"""Experiment harness reproducing the paper's evaluation (Sec. VI).
+
+The harness is organised around three scenarios:
+
+- **stable-model** (:func:`repro.experiments.scenarios.run_stable_scenario`):
+  the paper's main protocol — a stabilised global model, 20 defended
+  warm-up rounds, model-replacement injections at rounds 30/35/40, 50
+  rounds total.  Powers Table I (look-back sweep), Figure 3 (quorum
+  sweep), Table II and Figure 5 (adaptive attacks).
+- **early-round** (:func:`repro.experiments.scenarios.run_early_scenario`):
+  training from scratch with pre-defense injections, defense enabled once
+  the model starts stabilising.  Powers Figure 4.
+- **trace** (:func:`repro.experiments.scenarios.run_error_trace`):
+  per-class error-rate trajectories of clean vs poisoned models.  Powers
+  Figure 2.
+
+:mod:`repro.experiments.runner` repeats scenarios over seeds and averages
+detection statistics; :mod:`repro.experiments.reporting` renders the
+paper-style tables and figure series as text.
+"""
+
+from repro.experiments.configs import (
+    CIFAR_SPLITS,
+    FEMNIST_SPLITS,
+    PAPER_ATTACK_ROUNDS,
+    ExperimentConfig,
+)
+from repro.experiments.environment import Environment, build_environment
+from repro.experiments.metrics import DetectionStats, aggregate_stats, detection_stats
+from repro.experiments.persistence import load_results, save_results
+from repro.experiments.runner import (
+    run_adaptive_experiment,
+    run_detection_experiment,
+    sweep_lookback,
+    sweep_quorum,
+)
+from repro.experiments.scenarios import (
+    EarlyRoundResult,
+    StableRunResult,
+    run_early_scenario,
+    run_error_trace,
+    run_stable_scenario,
+)
+
+__all__ = [
+    "CIFAR_SPLITS",
+    "DetectionStats",
+    "EarlyRoundResult",
+    "Environment",
+    "ExperimentConfig",
+    "FEMNIST_SPLITS",
+    "PAPER_ATTACK_ROUNDS",
+    "StableRunResult",
+    "aggregate_stats",
+    "build_environment",
+    "detection_stats",
+    "load_results",
+    "run_adaptive_experiment",
+    "run_detection_experiment",
+    "run_early_scenario",
+    "run_error_trace",
+    "run_stable_scenario",
+    "save_results",
+    "sweep_lookback",
+    "sweep_quorum",
+]

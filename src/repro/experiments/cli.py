@@ -1,0 +1,173 @@
+"""Command-line interface for the experiment harness.
+
+Usage::
+
+    python -m repro detect  --dataset cifar --split 0.9 --seeds 3
+    python -m repro table1  --dataset cifar --seeds 2
+    python -m repro fig3    --dataset femnist
+    python -m repro fig4    --dataset cifar
+    python -m repro table2
+    python -m repro fig2
+
+Each subcommand prints the corresponding paper artefact as text (the same
+renderers the benchmark suite uses).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.experiments.configs import (
+    CIFAR_SPLITS,
+    FEMNIST_SPLITS,
+    ExperimentConfig,
+)
+from repro.experiments.reporting import (
+    format_quorum_series,
+    format_series,
+    format_table1,
+    format_table2,
+    format_vote_distribution,
+)
+from repro.experiments.runner import (
+    run_adaptive_experiment,
+    run_detection_experiment,
+    sweep_lookback,
+    sweep_quorum,
+)
+from repro.experiments.scenarios import run_early_scenario, run_error_trace
+
+
+def _seeds(args: argparse.Namespace) -> tuple[int, ...]:
+    return tuple(range(args.seeds))
+
+
+def _splits(dataset: str) -> tuple[float, ...]:
+    return CIFAR_SPLITS if dataset == "cifar" else FEMNIST_SPLITS
+
+
+def cmd_detect(args: argparse.Namespace) -> None:
+    config = ExperimentConfig(
+        dataset=args.dataset,
+        client_share=args.split,
+        lookback=args.lookback,
+        quorum=args.quorum,
+        mode=args.mode,
+    )
+    stats = run_detection_experiment(config, _seeds(args))
+    print(
+        f"{args.dataset} split={args.split} l={args.lookback} q={args.quorum} "
+        f"mode={args.mode}: {stats}"
+    )
+
+
+def cmd_table1(args: argparse.Namespace) -> None:
+    splits = _splits(args.dataset)
+    base = ExperimentConfig(dataset=args.dataset)
+    results = sweep_lookback(base, (10, 20, 30), splits, seeds=_seeds(args))
+    print(format_table1(results, (10, 20, 30), splits, args.dataset))
+
+
+def cmd_fig3(args: argparse.Namespace) -> None:
+    splits = _splits(args.dataset)
+    quorums = tuple(range(3, 10))
+    base = ExperimentConfig(dataset=args.dataset, lookback=20)
+    results = sweep_quorum(base, quorums, splits, seeds=_seeds(args))
+    for split in splits:
+        print(format_quorum_series(results, quorums, split, args.dataset))
+        print()
+
+
+def cmd_table2(args: argparse.Namespace) -> None:
+    results = {}
+    for split in CIFAR_SPLITS:
+        config = ExperimentConfig(
+            dataset="cifar", client_share=split, adaptive_max_trials=8
+        )
+        results[split] = run_adaptive_experiment(config, _seeds(args))
+    print(format_table2(results))
+    votes = {s: list(r.adaptive_reject_votes) for s, r in results.items()}
+    print()
+    print(format_vote_distribution(votes, ExperimentConfig().num_validators + 1))
+
+
+def cmd_fig2(args: argparse.Namespace) -> None:
+    config = ExperimentConfig(dataset=args.dataset)
+    traces = run_error_trace(config, seed=args.seeds, rounds=40, injections=(25, 30, 35))
+    source = int(traces["source_class"])
+    print(
+        format_series(
+            f"Figure 2: per-class error rate w.r.t. class {source}",
+            {
+                "clean": traces["clean"][:, source].tolist(),
+                "poisoned": traces["poisoned"][:, source].tolist(),
+            },
+            x=list(range(40)),
+        )
+    )
+
+
+def cmd_fig4(args: argparse.Namespace) -> None:
+    config = ExperimentConfig(dataset=args.dataset)
+    undefended = run_early_scenario(config, seed=0, defense_start=None)
+    defended = run_early_scenario(config, seed=0, defense_start=106)
+    print(
+        format_series(
+            f"Figure 4 ({args.dataset}): main/backdoor accuracy, "
+            f"injections at {undefended.injection_rounds}",
+            {
+                "main_nodef": undefended.main_accuracy,
+                "bd_nodef": undefended.backdoor_accuracy,
+                "main_def": defended.main_accuracy,
+                "bd_def": defended.backdoor_accuracy,
+            },
+            x=list(range(len(undefended.main_accuracy))),
+        )
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BaFFLe reproduction: regenerate the paper's evaluation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name: str, fn, **extra_args):
+        p = sub.add_parser(name)
+        p.add_argument("--dataset", choices=("cifar", "femnist"), default="cifar")
+        p.add_argument("--seeds", type=int, default=2,
+                       help="repetitions per cell (paper uses 5)")
+        for flag, kwargs in extra_args.items():
+            p.add_argument(flag, **kwargs)
+        p.set_defaults(fn=fn)
+        return p
+
+    add(
+        "detect",
+        cmd_detect,
+        **{
+            "--split": {"type": float, "default": 0.9},
+            "--lookback": {"type": int, "default": 20},
+            "--quorum": {"type": int, "default": 5},
+            "--mode": {"choices": ("clients", "server", "both"), "default": "both"},
+        },
+    )
+    add("table1", cmd_table1)
+    add("fig3", cmd_fig3)
+    add("table2", cmd_table2)
+    add("fig2", cmd_fig2)
+    add("fig4", cmd_fig4)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

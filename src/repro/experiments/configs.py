@@ -1,0 +1,135 @@
+"""Experiment configuration.
+
+Scaled-down counterparts of the paper's setups (Sec. VI-A/VI-B).  The
+paper's shape-defining structure is preserved exactly — 10 contributors and
+10 validators per round, 2 local epochs, Dirichlet(0.9) non-IID splits,
+20 defended warm-up rounds, injections at rounds 30/35/40 of a 50-round
+defended window — while population and dataset sizes are scaled to CPU
+budgets (see DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Client-server validation-data splits evaluated in Table I / Fig. 3.
+CIFAR_SPLITS = (0.90, 0.95, 0.99)
+FEMNIST_SPLITS = (0.99, 0.995, 0.999)
+
+#: Injection rounds of the stable-model scenario (0-indexed; the paper's
+#: "rounds 30, 35 and 40" with round 1 = the stable model).
+PAPER_ATTACK_ROUNDS = (29, 34, 39)
+
+_DATASETS = ("cifar", "femnist")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything a detection experiment needs.
+
+    Attributes mirror the paper's knobs:
+
+    - ``dataset``: ``"cifar"`` (semantic backdoor: striped cars -> bird) or
+      ``"femnist"`` (label-flip backdoor, writer-partitioned clients);
+    - ``client_share``: the C of the C-S% validation-data split;
+    - ``lookback`` (l), ``quorum`` (q), ``mode``: BaFFLe parameters;
+    - ``attack_rounds``: injection rounds within the defended window;
+    - ``adaptive``: use the defense-aware attacker of Sec. VI-C.
+    """
+
+    dataset: str = "cifar"
+    client_share: float = 0.90
+    # Population / data scale (paper: 100 clients & 50k samples for CIFAR).
+    num_clients: int = 30
+    pool_size: int = 3000
+    test_size: int = 600
+    dirichlet_alpha: float = 0.9
+    # Federated process (paper Sec. VI-A).
+    clients_per_round: int = 10
+    local_epochs: int = 2
+    batch_size: int = 32
+    pretrain_rounds: int = 40
+    pretrain_lr: float = 0.05
+    stable_lr: float = 0.05
+    stable_global_lr: float | None = 1.0
+    # Defense (paper Sec. VI-B).
+    lookback: int = 20
+    quorum: int = 5
+    num_validators: int = 10
+    mode: str = "both"
+    defense_start: int = 20
+    total_rounds: int = 50
+    attack_rounds: tuple[int, ...] = PAPER_ATTACK_ROUNDS
+    # Attack strength.
+    poison_ratio: float = 0.25
+    poison_samples: int = 80
+    attack_epochs: int = 6
+    attack_lr: float = 0.05
+    adaptive: bool = False
+    adaptive_max_trials: int = 6
+    # Validator variants (ablations; paper defaults otherwise).
+    validator_normalize: str = "dataset"
+    validator_slack: float = 1.15
+    validator_features: str = "both"
+    validator_dropout: float = 0.0
+    # Malicious voters (Sec. IV-B robustness): replace this many honest
+    # client validators with liars.  "dos" liars always vote reject
+    # (denial of service); "shield" liars always vote accept (covering the
+    # attacker).
+    malicious_validators: int = 0
+    malicious_vote_strategy: str = "dos"
+    # Model.
+    hidden: tuple[int, ...] = (64,)
+
+    def __post_init__(self) -> None:
+        if self.dataset not in _DATASETS:
+            raise ValueError(f"dataset must be one of {_DATASETS}, got {self.dataset!r}")
+        if not 0.0 < self.client_share < 1.0:
+            raise ValueError(f"client_share must be in (0, 1), got {self.client_share}")
+        if self.defense_start >= self.total_rounds:
+            raise ValueError("defense_start must precede total_rounds")
+        for r in self.attack_rounds:
+            if not 0 <= r < self.total_rounds:
+                raise ValueError(f"attack round {r} outside [0, {self.total_rounds})")
+        if self.malicious_validators < 0:
+            raise ValueError("malicious_validators must be >= 0")
+        if self.malicious_vote_strategy not in ("dos", "shield"):
+            raise ValueError(
+                "malicious_vote_strategy must be 'dos' or 'shield', got "
+                f"{self.malicious_vote_strategy!r}"
+            )
+
+    def environment_key(self, seed: int) -> tuple:
+        """Cache key for the (expensive) pretrained environment.
+
+        Everything that influences the stable model and data layout — but
+        *not* the defense parameters, which only affect the cheap defended
+        phase.  Experiments sweeping l / q / mode over one environment reuse
+        the pretraining.
+        """
+        return (
+            self.dataset,
+            self.client_share,
+            self.num_clients,
+            self.pool_size,
+            self.test_size,
+            self.dirichlet_alpha,
+            self.clients_per_round,
+            self.local_epochs,
+            self.batch_size,
+            self.pretrain_rounds,
+            self.pretrain_lr,
+            self.hidden,
+            seed,
+        )
+
+    def with_updates(self, **changes) -> "ExperimentConfig":
+        """A copy with some fields replaced (dataclasses.replace wrapper)."""
+        from dataclasses import replace
+
+        return replace(self, **changes)
+
+
+def paper_config(dataset: str, client_share: float, **overrides) -> ExperimentConfig:
+    """Convenience constructor for the paper's named setups."""
+    return ExperimentConfig(dataset=dataset, client_share=client_share, **overrides)

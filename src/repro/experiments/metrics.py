@@ -1,0 +1,109 @@
+"""Detection bookkeeping: FP/FN rates over defended rounds.
+
+The paper's convention (Sec. VI-C):
+
+- a **false positive** is a *clean* round whose (genuine) update the
+  defense rejected;
+- a **false negative** is an *injection* round whose (poisoned) update the
+  defense accepted;
+
+rates are computed over the rounds in which the defense is active and
+averaged over repeated experiments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fl.simulation import RoundRecord
+
+
+@dataclass(frozen=True)
+class DetectionStats:
+    """Confusion counts and rates of one defended run."""
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def fp_rate(self) -> float:
+        """Rejected clean rounds / clean rounds (0 when no clean rounds)."""
+        clean = self.false_positives + self.true_negatives
+        return self.false_positives / clean if clean else 0.0
+
+    @property
+    def fn_rate(self) -> float:
+        """Accepted injections / injections (0 when no injections)."""
+        poisoned = self.false_negatives + self.true_positives
+        return self.false_negatives / poisoned if poisoned else 0.0
+
+    @property
+    def detection_accuracy(self) -> float:
+        """Correct verdicts / all verdicts."""
+        total = (
+            self.true_positives
+            + self.false_positives
+            + self.true_negatives
+            + self.false_negatives
+        )
+        return (self.true_positives + self.true_negatives) / total if total else 0.0
+
+
+def detection_stats(
+    records: Sequence[RoundRecord],
+    injection_rounds: Iterable[int],
+    defense_start: int,
+) -> DetectionStats:
+    """Classify each defended round's verdict against ground truth."""
+    injections = set(injection_rounds)
+    tp = fp = tn = fn = 0
+    for record in records:
+        if record.round_idx < defense_start:
+            continue
+        poisoned = record.round_idx in injections
+        if poisoned and not record.accepted:
+            tp += 1
+        elif poisoned and record.accepted:
+            fn += 1
+        elif not poisoned and record.accepted:
+            tn += 1
+        else:
+            fp += 1
+    return DetectionStats(tp, fp, tn, fn)
+
+
+@dataclass(frozen=True)
+class AggregateStats:
+    """Mean and standard deviation of rates over repeated runs."""
+
+    fp_mean: float
+    fp_std: float
+    fn_mean: float
+    fn_std: float
+    num_runs: int
+
+    def __str__(self) -> str:
+        return (
+            f"FP {self.fp_mean:.3f}±{self.fp_std:.3f}  "
+            f"FN {self.fn_mean:.3f}±{self.fn_std:.3f}  (n={self.num_runs})"
+        )
+
+
+def aggregate_stats(runs: Sequence[DetectionStats]) -> AggregateStats:
+    """Average per-run FP/FN rates, as the paper does over 5 repetitions."""
+    if not runs:
+        raise ValueError("need at least one run to aggregate")
+    fps = np.array([r.fp_rate for r in runs])
+    fns = np.array([r.fn_rate for r in runs])
+    return AggregateStats(
+        fp_mean=float(fps.mean()),
+        fp_std=float(fps.std()),
+        fn_mean=float(fns.mean()),
+        fn_std=float(fns.std()),
+        num_runs=len(runs),
+    )

@@ -1,0 +1,80 @@
+"""JSON persistence for experiment results.
+
+Lets the CLI and long sweeps checkpoint their outputs:
+``save_results``/``load_results`` round-trip the aggregate statistics of
+arbitrary sweep grids (keys become strings; values keep full precision).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+from pathlib import Path
+
+from repro.experiments.metrics import AggregateStats
+
+_FORMAT_VERSION = 1
+
+
+def _key_to_str(key) -> str:
+    if isinstance(key, tuple):
+        return "|".join(str(part) for part in key)
+    return str(key)
+
+
+def _str_to_key(text: str):
+    if "|" not in text:
+        return _parse_scalar(text)
+    return tuple(_parse_scalar(part) for part in text.split("|"))
+
+
+def _parse_scalar(text: str):
+    for parser in (int, float):
+        try:
+            return parser(text)
+        except ValueError:
+            continue
+    return text
+
+
+def save_results(
+    results: Mapping[object, AggregateStats], path: str | Path, metadata: dict | None = None
+) -> Path:
+    """Serialise a sweep-result mapping to JSON."""
+    path = Path(path)
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "metadata": metadata or {},
+        "results": {
+            _key_to_str(key): {
+                "fp_mean": stats.fp_mean,
+                "fp_std": stats.fp_std,
+                "fn_mean": stats.fn_mean,
+                "fn_std": stats.fn_std,
+                "num_runs": stats.num_runs,
+            }
+            for key, stats in results.items()
+        },
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_results(path: str | Path) -> tuple[dict, dict]:
+    """Load ``(results, metadata)`` saved by :func:`save_results`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported result-file version: {version!r}")
+    results = {
+        _str_to_key(key): AggregateStats(
+            fp_mean=value["fp_mean"],
+            fp_std=value["fp_std"],
+            fn_mean=value["fn_mean"],
+            fn_std=value["fn_std"],
+            num_runs=value["num_runs"],
+        )
+        for key, value in payload["results"].items()
+    }
+    return results, payload.get("metadata", {})

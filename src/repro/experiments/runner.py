@@ -1,0 +1,129 @@
+"""Repeat scenarios over seeds and aggregate the paper's statistics."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.metrics import (
+    AggregateStats,
+    DetectionStats,
+    aggregate_stats,
+    detection_stats,
+)
+from repro.experiments.scenarios import StableRunResult, run_stable_scenario
+
+#: The paper averages each cell over 5 repeated experiments.
+DEFAULT_SEEDS = (0, 1, 2, 3, 4)
+
+
+def run_detection_experiment(
+    config: ExperimentConfig, seeds: Sequence[int] = DEFAULT_SEEDS
+) -> AggregateStats:
+    """One table/figure cell: FP/FN rates averaged over repeated runs."""
+    runs = [
+        detection_stats(
+            result.records, result.injection_rounds, result.defense_start
+        )
+        for result in (run_stable_scenario(config, seed) for seed in seeds)
+    ]
+    return aggregate_stats(runs)
+
+
+def sweep_lookback(
+    base: ExperimentConfig,
+    lookbacks: Sequence[int],
+    splits: Sequence[float],
+    modes: Sequence[str] = ("clients", "server", "both"),
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+) -> dict[tuple[int, float, str], AggregateStats]:
+    """Paper Table I: FP/FN over look-back window sizes and data splits."""
+    results: dict[tuple[int, float, str], AggregateStats] = {}
+    for split in splits:
+        for lookback in lookbacks:
+            for mode in modes:
+                config = base.with_updates(
+                    lookback=lookback, client_share=split, mode=mode
+                )
+                results[(lookback, split, mode)] = run_detection_experiment(
+                    config, seeds
+                )
+    return results
+
+
+def sweep_quorum(
+    base: ExperimentConfig,
+    quorums: Sequence[int],
+    splits: Sequence[float],
+    modes: Sequence[str] = ("clients", "server", "both"),
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+) -> dict[tuple[int, float, str], AggregateStats]:
+    """Paper Fig. 3: FP/FN as a function of the quorum threshold ``q``.
+
+    The server-only configuration does not depend on ``q``; it is evaluated
+    once per split and replicated across the quorum axis.
+    """
+    results: dict[tuple[int, float, str], AggregateStats] = {}
+    for split in splits:
+        server_stats: AggregateStats | None = None
+        for mode in modes:
+            if mode == "server":
+                server_stats = run_detection_experiment(
+                    base.with_updates(client_share=split, mode="server"), seeds
+                )
+                continue
+            for quorum in quorums:
+                config = base.with_updates(
+                    quorum=quorum, client_share=split, mode=mode
+                )
+                results[(quorum, split, mode)] = run_detection_experiment(
+                    config, seeds
+                )
+        if server_stats is not None:
+            for quorum in quorums:
+                results[(quorum, split, "server")] = server_stats
+    return results
+
+
+@dataclass(frozen=True)
+class AdaptiveExperimentResult:
+    """Paper Table II + Fig. 5 data for one configuration."""
+
+    non_adaptive: AggregateStats
+    adaptive: AggregateStats
+    #: Reject-vote counts observed on adaptive injection rounds (Fig. 5).
+    adaptive_reject_votes: tuple[int, ...]
+    #: How many injections passed the attacker's own validation.
+    self_check_pass_rate: float
+
+
+def run_adaptive_experiment(
+    config: ExperimentConfig, seeds: Sequence[int] = DEFAULT_SEEDS
+) -> AdaptiveExperimentResult:
+    """Compare the defense against non-adaptive vs adaptive injections."""
+    non_adaptive_runs: list[DetectionStats] = []
+    adaptive_runs: list[DetectionStats] = []
+    votes: list[int] = []
+    self_checks: list[bool] = []
+    for seed in seeds:
+        plain = run_stable_scenario(config.with_updates(adaptive=False), seed)
+        non_adaptive_runs.append(
+            detection_stats(plain.records, plain.injection_rounds, plain.defense_start)
+        )
+        adaptive = run_stable_scenario(config.with_updates(adaptive=True), seed)
+        adaptive_runs.append(
+            detection_stats(
+                adaptive.records, adaptive.injection_rounds, adaptive.defense_start
+            )
+        )
+        votes.extend(adaptive.reject_votes_on_injections())
+        self_checks.extend(adaptive.self_check_passed.values())
+    return AdaptiveExperimentResult(
+        non_adaptive=aggregate_stats(non_adaptive_runs),
+        adaptive=aggregate_stats(adaptive_runs),
+        adaptive_reject_votes=tuple(votes),
+        self_check_pass_rate=(
+            sum(self_checks) / len(self_checks) if self_checks else 0.0
+        ),
+    )

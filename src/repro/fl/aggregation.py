@@ -1,0 +1,69 @@
+"""Update aggregation.
+
+The server integrates client updates as ``G' = G + (lambda/N) sum_i U_i``
+(paper Sec. II-B).  :class:`FedAvgAggregator` implements exactly that;
+robust baselines in :mod:`repro.baselines` implement the same
+:class:`Aggregator` interface so experiments can swap them in.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+class Aggregator:
+    """Interface: combine per-client updates into one aggregate update.
+
+    ``aggregate`` receives the updates ``U_i = L_i - G`` and returns the
+    combined update ``U`` such that the server sets ``G' = G + scale * U``
+    (the ``scale`` is applied by :func:`apply_global_update`).
+    """
+
+    #: Whether the rule needs access to *individual* updates.  Rules with
+    #: ``requires_individual_updates = True`` (Krum, trimmed mean, ...) are
+    #: structurally incompatible with secure aggregation — the property the
+    #: paper's related-work section criticises.
+    requires_individual_updates: bool = True
+
+    def aggregate(self, updates: Sequence[np.ndarray], rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+
+class FedAvgAggregator(Aggregator):
+    """Plain federated averaging: the mean of the updates.
+
+    Only the sum of updates is needed, so FedAvg composes with secure
+    aggregation (``requires_individual_updates = False``).
+    """
+
+    requires_individual_updates = False
+
+    def aggregate(self, updates: Sequence[np.ndarray], rng: np.random.Generator) -> np.ndarray:
+        del rng
+        if not updates:
+            raise ValueError("cannot aggregate zero updates")
+        stacked = np.stack(updates)
+        return stacked.mean(axis=0)
+
+
+def apply_global_update(
+    global_flat: np.ndarray,
+    mean_update: np.ndarray,
+    num_selected: int,
+    global_lr: float,
+    num_clients: int,
+) -> np.ndarray:
+    """Compute ``G' = G + (lambda/N) * sum_i U_i`` from the *mean* update.
+
+    Taking the mean (what aggregators return) and rescaling by
+    ``n * lambda / N`` reproduces the paper's formula; with the default
+    ``lambda = N/n`` this reduces to ``G + mean(U)``.
+    """
+    if num_selected < 1:
+        raise ValueError(f"num_selected must be >= 1, got {num_selected}")
+    if global_lr <= 0:
+        raise ValueError(f"global_lr must be positive, got {global_lr}")
+    scale = num_selected * global_lr / num_clients
+    return global_flat + scale * mean_update

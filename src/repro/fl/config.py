@@ -1,0 +1,75 @@
+"""Federated-learning configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FLConfig:
+    """Hyper-parameters of the federated process (paper Sec. II-B, VI-A).
+
+    Attributes
+    ----------
+    num_clients:
+        Total client population ``N`` (100 for CIFAR-10, 3550 for FEMNIST in
+        the paper; scaled down by the experiment configs here).
+    clients_per_round:
+        Contributors ``n`` selected each round (paper: 10).
+    local_epochs:
+        Local training epochs per client per round (paper: 2).
+    batch_size:
+        Local mini-batch size.
+    client_lr:
+        Local SGD learning rate (paper: 0.1).
+    client_momentum:
+        Local SGD momentum.
+    weight_decay:
+        Local L2 regularisation.
+    global_lr:
+        Global learning rate ``lambda``; ``None`` means ``N/n`` (the global
+        model is fully replaced by the average of local models).
+    """
+
+    num_clients: int = 100
+    clients_per_round: int = 10
+    local_epochs: int = 2
+    batch_size: int = 32
+    client_lr: float = 0.1
+    client_momentum: float = 0.9
+    weight_decay: float = 0.0
+    global_lr: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_clients < 1:
+            raise ValueError(f"num_clients must be >= 1, got {self.num_clients}")
+        if not 1 <= self.clients_per_round <= self.num_clients:
+            raise ValueError(
+                f"clients_per_round must be in [1, {self.num_clients}], "
+                f"got {self.clients_per_round}"
+            )
+        if self.local_epochs < 1:
+            raise ValueError(f"local_epochs must be >= 1, got {self.local_epochs}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.client_lr <= 0:
+            raise ValueError(f"client_lr must be positive, got {self.client_lr}")
+        if self.global_lr is not None and self.global_lr <= 0:
+            raise ValueError(f"global_lr must be positive, got {self.global_lr}")
+
+    @property
+    def effective_global_lr(self) -> float:
+        """``lambda``, defaulting to full replacement ``N/n``."""
+        if self.global_lr is not None:
+            return self.global_lr
+        return self.num_clients / self.clients_per_round
+
+    @property
+    def replacement_boost(self) -> float:
+        """The scaling ``N / lambda`` a model-replacement attacker applies.
+
+        With ``G' = G + (lambda/N) sum_i U_i``, submitting
+        ``U = (N/lambda) (X - G)`` drives ``G'`` to ``X`` (plus the honest
+        updates' perturbation) — eq. (3) of Bagdasaryan et al.
+        """
+        return self.num_clients / self.effective_global_lr

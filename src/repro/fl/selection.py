@@ -1,0 +1,75 @@
+"""Client-selection policies.
+
+The paper samples ``n`` contributors uniformly at random each round.  For
+reproducing the evaluation we also need :class:`ScheduledSelector`, which
+forces designated (attacker) clients into designated injection rounds —
+matching the paper's protocol of injecting "at rounds 30, 35 and 40".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+
+class Selector:
+    """Interface: pick the contributor ids for a round."""
+
+    def select(self, round_idx: int, rng: np.random.Generator) -> list[int]:
+        raise NotImplementedError
+
+
+class UniformSelector(Selector):
+    """Choose ``n`` distinct clients uniformly at random (paper default)."""
+
+    def __init__(self, num_clients: int, clients_per_round: int) -> None:
+        if not 1 <= clients_per_round <= num_clients:
+            raise ValueError(
+                f"clients_per_round must be in [1, {num_clients}], got {clients_per_round}"
+            )
+        self.num_clients = num_clients
+        self.clients_per_round = clients_per_round
+
+    def select(self, round_idx: int, rng: np.random.Generator) -> list[int]:
+        del round_idx
+        chosen = rng.choice(self.num_clients, size=self.clients_per_round, replace=False)
+        return [int(c) for c in chosen]
+
+
+class ScheduledSelector(Selector):
+    """Uniform selection with forced participants in scheduled rounds.
+
+    ``schedule`` maps round index to client ids that *must* participate in
+    that round; the remaining slots are filled uniformly from the other
+    clients.
+    """
+
+    def __init__(
+        self,
+        num_clients: int,
+        clients_per_round: int,
+        schedule: Mapping[int, Sequence[int]],
+    ) -> None:
+        self._uniform = UniformSelector(num_clients, clients_per_round)
+        for round_idx, forced in schedule.items():
+            if len(set(forced)) != len(forced):
+                raise ValueError(f"duplicate forced clients in round {round_idx}")
+            if len(forced) > clients_per_round:
+                raise ValueError(
+                    f"round {round_idx} forces {len(forced)} clients but only "
+                    f"{clients_per_round} participate"
+                )
+            for cid in forced:
+                if not 0 <= cid < num_clients:
+                    raise ValueError(f"forced client {cid} out of range")
+        self.schedule = {r: list(c) for r, c in schedule.items()}
+
+    def select(self, round_idx: int, rng: np.random.Generator) -> list[int]:
+        forced = self.schedule.get(round_idx, [])
+        if not forced:
+            return self._uniform.select(round_idx, rng)
+        pool = [c for c in range(self._uniform.num_clients) if c not in forced]
+        fill = self._uniform.clients_per_round - len(forced)
+        extra = rng.choice(len(pool), size=fill, replace=False) if fill else []
+        return list(forced) + [pool[i] for i in extra]

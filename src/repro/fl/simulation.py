@@ -1,0 +1,219 @@
+"""The federated round loop with attack and defense hooks.
+
+:class:`FederatedSimulation` drives the process of the paper's Sec. II-B
+and Fig. 1: select contributors, collect updates (optionally through the
+secure-aggregation simulation), derive the candidate global model, let the
+defense accept or reject it, and commit or roll back.
+
+Rejection semantics follow Algorithm 1: a rejected round leaves the global
+model unchanged (``G_r <- G_{r-1}``) and the rejected candidate is *not*
+added to any history of accepted models.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.fl.aggregation import Aggregator, FedAvgAggregator, apply_global_update
+from repro.fl.client import Client, LocalTrainingConfig
+from repro.fl.config import FLConfig
+from repro.fl.secure_agg import SecureAggregator
+from repro.fl.selection import Selector, UniformSelector
+from repro.nn.network import Network
+
+
+@dataclass(frozen=True)
+class DefenseDecision:
+    """Outcome of a defense's review of one candidate global model.
+
+    ``reject_votes``/``votes`` carry the feedback-loop detail needed by the
+    vote-distribution analysis (paper Fig. 5); a trivial always-accept
+    decision uses the defaults.
+    """
+
+    accepted: bool
+    reject_votes: int = 0
+    num_validators: int = 0
+    client_votes: Mapping[int, int] = field(default_factory=dict)
+    server_vote: int | None = None
+
+
+@runtime_checkable
+class Defense(Protocol):
+    """Interface the simulation uses to consult a defense.
+
+    ``review`` judges a candidate global model; ``record_outcome`` tells the
+    defense whether the server committed it (so history-based defenses can
+    update their trusted-model history).
+    """
+
+    def review(
+        self, candidate: Network, round_idx: int, rng: np.random.Generator
+    ) -> DefenseDecision: ...
+
+    def record_outcome(self, candidate: Network, accepted: bool) -> None: ...
+
+
+@dataclass
+class RoundRecord:
+    """Everything the experiments need to know about one round."""
+
+    round_idx: int
+    contributor_ids: list[int]
+    malicious_present: bool
+    accepted: bool
+    decision: DefenseDecision
+    metrics: dict[str, float] = field(default_factory=dict)
+
+
+class FederatedSimulation:
+    """Server-side orchestration of federated training.
+
+    Parameters
+    ----------
+    global_model:
+        The initial global model ``G_0`` (mutated in place across rounds).
+    clients:
+        The full client population, indexed by ``client_id``.
+    config:
+        FL hyper-parameters.
+    rng:
+        Source of all randomness (selection, local training, defense).
+    selector:
+        Client-selection policy; defaults to uniform sampling.
+    aggregator:
+        Update-combination rule; defaults to FedAvg.
+    use_secure_agg:
+        Route updates through the secure-aggregation simulation.  Only
+        sum-based aggregators are compatible (``FedAvgAggregator`` is).
+    defense:
+        Optional :class:`Defense`; when absent every round is accepted.
+    metric_hooks:
+        ``{name: fn(model) -> float}`` evaluated on the committed global
+        model after every round (used for paper Fig. 4 time series).
+    """
+
+    def __init__(
+        self,
+        global_model: Network,
+        clients: Sequence[Client],
+        config: FLConfig,
+        rng: np.random.Generator,
+        selector: Selector | None = None,
+        aggregator: Aggregator | None = None,
+        use_secure_agg: bool = False,
+        defense: Defense | None = None,
+        metric_hooks: Mapping[str, Callable[[Network], float]] | None = None,
+    ) -> None:
+        if len(clients) != config.num_clients:
+            raise ValueError(
+                f"config says {config.num_clients} clients, got {len(clients)}"
+            )
+        ids = [c.client_id for c in clients]
+        if ids != list(range(len(clients))):
+            raise ValueError("clients must be ordered with client_id == index")
+        self.global_model = global_model
+        self.clients = list(clients)
+        self.config = config
+        self.rng = rng
+        self.selector = selector or UniformSelector(
+            config.num_clients, config.clients_per_round
+        )
+        self.aggregator = aggregator or FedAvgAggregator()
+        self.use_secure_agg = use_secure_agg
+        if use_secure_agg and self.aggregator.requires_individual_updates:
+            raise ValueError(
+                f"{type(self.aggregator).__name__} inspects individual updates "
+                "and cannot run under secure aggregation"
+            )
+        self.defense = defense
+        self.metric_hooks = dict(metric_hooks or {})
+        self.round_idx = 0
+        self.history: list[RoundRecord] = []
+
+    # ------------------------------------------------------------------
+    # Round loop
+    # ------------------------------------------------------------------
+    def run_round(self) -> RoundRecord:
+        """Execute one full round and return its record."""
+        round_idx = self.round_idx
+        contributor_ids = self.selector.select(round_idx, self.rng)
+        local_cfg = LocalTrainingConfig(
+            epochs=self.config.local_epochs,
+            batch_size=self.config.batch_size,
+            lr=self.config.client_lr,
+            momentum=self.config.client_momentum,
+            weight_decay=self.config.weight_decay,
+        )
+        updates = [
+            self.clients[cid].produce_update(self.global_model, local_cfg, round_idx, self.rng)
+            for cid in contributor_ids
+        ]
+        mean_update = self._combine(contributor_ids, updates, round_idx)
+        candidate_flat = apply_global_update(
+            self.global_model.get_flat(),
+            mean_update,
+            num_selected=len(contributor_ids),
+            global_lr=self.config.effective_global_lr,
+            num_clients=self.config.num_clients,
+        )
+        candidate = self.global_model.clone()
+        candidate.set_flat(candidate_flat)
+
+        if not np.isfinite(candidate_flat).all():
+            # A client produced a non-finite update (diverged training or a
+            # crash-faulty participant).  Under secure aggregation the
+            # server cannot identify or drop the culprit — the whole round
+            # is poisoned by NaN/inf — so the only safe reaction is to
+            # discard the round, exactly like a defense rejection.
+            decision = DefenseDecision(accepted=False)
+        elif self.defense is None:
+            decision = DefenseDecision(accepted=True)
+        else:
+            decision = self.defense.review(candidate, round_idx, self.rng)
+        if decision.accepted:
+            self.global_model = candidate
+        if self.defense is not None:
+            self.defense.record_outcome(candidate, decision.accepted)
+
+        record = RoundRecord(
+            round_idx=round_idx,
+            contributor_ids=contributor_ids,
+            malicious_present=any(
+                self.clients[cid].is_malicious for cid in contributor_ids
+            ),
+            accepted=decision.accepted,
+            decision=decision,
+            metrics={
+                name: hook(self.global_model) for name, hook in self.metric_hooks.items()
+            },
+        )
+        self.history.append(record)
+        self.round_idx += 1
+        return record
+
+    def run(self, num_rounds: int) -> list[RoundRecord]:
+        """Run ``num_rounds`` rounds and return their records."""
+        return [self.run_round() for _ in range(num_rounds)]
+
+    # ------------------------------------------------------------------
+    # Aggregation paths
+    # ------------------------------------------------------------------
+    def _combine(
+        self, contributor_ids: list[int], updates: list[np.ndarray], round_idx: int
+    ) -> np.ndarray:
+        if self.use_secure_agg:
+            protocol = SecureAggregator(
+                contributor_ids, dim=len(updates[0]), round_seed=round_idx
+            )
+            submissions = [
+                protocol.blind(cid, update)
+                for cid, update in zip(contributor_ids, updates)
+            ]
+            # The server-side view: only the unmasked *sum* exists here.
+            return protocol.unmask_sum(submissions) / len(submissions)
+        return self.aggregator.aggregate(updates, self.rng)

@@ -1,0 +1,58 @@
+"""Sample-count-weighted federated averaging.
+
+McMahan et al.'s original FedAvg weights each client's update by its local
+dataset size; the BaFFLe paper's formulation (Sec. II-B) averages
+uniformly.  Both are provided — weighted averaging only needs per-update
+weights, which a secure-aggregation protocol can incorporate by having
+clients pre-scale their submissions, so it remains secure-agg compatible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.fl.aggregation import Aggregator
+
+
+class WeightedFedAvgAggregator(Aggregator):
+    """Weighted mean of updates with fixed per-client weights.
+
+    ``set_weights`` must be called before each round (the harness passes
+    the selected clients' dataset sizes); weights are normalised to sum
+    to one.
+    """
+
+    requires_individual_updates = False
+
+    def __init__(self) -> None:
+        self._weights: np.ndarray | None = None
+
+    def set_weights(self, weights: Sequence[float]) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1 or len(weights) == 0:
+            raise ValueError("weights must be a non-empty 1-D sequence")
+        if (weights < 0).any():
+            raise ValueError("weights must be non-negative")
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("weights must not all be zero")
+        self._weights = weights / total
+
+    def aggregate(
+        self, updates: Sequence[np.ndarray], rng: np.random.Generator
+    ) -> np.ndarray:
+        del rng
+        if not updates:
+            raise ValueError("cannot aggregate zero updates")
+        stacked = np.stack(updates)
+        if self._weights is None:
+            return stacked.mean(axis=0)
+        if len(self._weights) != len(stacked):
+            raise ValueError(
+                f"{len(self._weights)} weights for {len(stacked)} updates"
+            )
+        weights = self._weights
+        self._weights = None  # weights are per-round
+        return (weights[:, None] * stacked).sum(axis=0)

@@ -1,0 +1,95 @@
+"""From-scratch numpy neural-network substrate.
+
+The BaFFLe paper trains ResNet18 with PyTorch; this environment has neither
+PyTorch nor a GPU, so ``repro.nn`` provides the minimal-but-complete training
+stack the reproduction needs: layers with exact analytic gradients, losses,
+SGD with momentum and weight decay, flat-vector parameter views (used by the
+federated-averaging code in :mod:`repro.fl`), classification metrics, and
+model serialization (used by the communication-overhead benchmark).
+
+Design notes
+------------
+- Layers implement explicit ``forward``/``backward`` passes; there is no
+  tape-based autograd.  This keeps the substrate small, auditable, and easy
+  to property-test against numerical gradients.
+- All parameters of a :class:`~repro.nn.network.Network` can be read and
+  written as one flat ``float64`` vector (:meth:`Network.get_flat` /
+  :meth:`Network.set_flat`).  Federated aggregation, model-replacement
+  attacks, and norm-based baseline defenses all operate on these vectors.
+- Every stochastic operation takes an explicit ``numpy.random.Generator``.
+"""
+
+from repro.nn.activations import LeakyReLU, Sigmoid, Tanh
+from repro.nn.adam import Adam
+from repro.nn.batchnorm import BatchNorm1d
+from repro.nn.initializers import he_normal, xavier_uniform, zeros_init
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    Layer,
+    MaxPool2D,
+    Parameter,
+    ReLU,
+    Residual,
+)
+from repro.nn.losses import MSELoss, SoftmaxCrossEntropy
+from repro.nn.metrics import (
+    accuracy,
+    confusion_matrix,
+    per_class_error_rates,
+    source_focused_errors,
+    target_focused_errors,
+)
+from repro.nn.models import make_cnn, make_mlp, make_resnet_lite
+from repro.nn.network import Network
+from repro.nn.optim import SGD, ConstantSchedule, StepSchedule
+from repro.nn.serialization import (
+    load_network_params,
+    network_num_bytes,
+    params_from_bytes,
+    params_to_bytes,
+    save_network_params,
+)
+
+__all__ = [
+    "Adam",
+    "BatchNorm1d",
+    "Conv2D",
+    "ConstantSchedule",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool",
+    "Layer",
+    "LeakyReLU",
+    "MSELoss",
+    "MaxPool2D",
+    "Network",
+    "Parameter",
+    "ReLU",
+    "Residual",
+    "SGD",
+    "Sigmoid",
+    "SoftmaxCrossEntropy",
+    "StepSchedule",
+    "Tanh",
+    "accuracy",
+    "confusion_matrix",
+    "he_normal",
+    "load_network_params",
+    "make_cnn",
+    "make_mlp",
+    "make_resnet_lite",
+    "network_num_bytes",
+    "params_from_bytes",
+    "params_to_bytes",
+    "per_class_error_rates",
+    "save_network_params",
+    "source_focused_errors",
+    "target_focused_errors",
+    "xavier_uniform",
+    "zeros_init",
+]

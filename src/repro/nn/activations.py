@@ -1,0 +1,63 @@
+"""Additional activation layers (beyond ReLU in :mod:`repro.nn.layers`)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self) -> None:
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        out = np.tanh(x)
+        if train:
+            self._out = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        return grad_out * (1.0 - self._out**2)
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid activation."""
+
+    def __init__(self) -> None:
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        out = 1.0 / (1.0 + np.exp(-np.clip(x, -500.0, 500.0)))
+        if train:
+            self._out = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        return grad_out * self._out * (1.0 - self._out)
+
+
+class LeakyReLU(Layer):
+    """Leaky rectified linear unit: ``x if x > 0 else alpha * x``."""
+
+    def __init__(self, alpha: float = 0.01) -> None:
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        self.alpha = alpha
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        if train:
+            self._mask = x > 0
+        return np.where(x > 0, x, self.alpha * x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        return grad_out * np.where(self._mask, 1.0, self.alpha)

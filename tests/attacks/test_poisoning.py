@@ -1,0 +1,74 @@
+"""Unit tests for repro.attacks.poisoning helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.poisoning import backdoor_accuracy, make_poison_blend
+from repro.data.dataset import Dataset
+
+
+def make_ds(n, label, rng, classes=4):
+    return Dataset(rng.normal(size=(n, 3)), np.full(n, label), classes)
+
+
+class TestMakePoisonBlend:
+    def test_keeps_all_clean_samples(self, rng):
+        clean = make_ds(40, 0, rng)
+        poison = make_ds(10, 1, rng)
+        blend = make_poison_blend(clean, poison, 0.2, rng)
+        assert (blend.y == 0).sum() == 40
+
+    def test_poison_ratio_approximate(self, rng):
+        clean = make_ds(80, 0, rng)
+        poison = make_ds(100, 1, rng)
+        blend = make_poison_blend(clean, poison, 0.25, rng)
+        ratio = (blend.y == 1).mean()
+        assert abs(ratio - 0.25) < 0.05
+
+    def test_small_poison_pool_resampled(self, rng):
+        clean = make_ds(90, 0, rng)
+        poison = make_ds(2, 1, rng)
+        blend = make_poison_blend(clean, poison, 0.3, rng)
+        assert (blend.y == 1).sum() > 2  # sampled with replacement
+
+    def test_invalid_ratio_rejected(self, rng):
+        clean, poison = make_ds(10, 0, rng), make_ds(5, 1, rng)
+        with pytest.raises(ValueError):
+            make_poison_blend(clean, poison, 0.0, rng)
+        with pytest.raises(ValueError):
+            make_poison_blend(clean, poison, 1.0, rng)
+
+    def test_empty_inputs_rejected(self, rng):
+        empty = Dataset(np.zeros((0, 3)), np.zeros(0, dtype=int), 4)
+        with pytest.raises(ValueError):
+            make_poison_blend(empty, make_ds(5, 1, rng), 0.2, rng)
+        with pytest.raises(ValueError):
+            make_poison_blend(make_ds(5, 0, rng), empty, 0.2, rng)
+
+    def test_blend_is_shuffled(self, rng):
+        clean = make_ds(50, 0, rng)
+        poison = make_ds(50, 1, rng)
+        blend = make_poison_blend(clean, poison, 0.4, rng)
+        # poisoned samples should not all sit at the end
+        first_half = blend.y[: len(blend) // 2]
+        assert (first_half == 1).any()
+
+
+class TestBackdoorAccuracy:
+    def test_matches_eq1(self, rng, tiny_mlp):
+        instances = Dataset(rng.normal(size=(30, 2)), np.zeros(30, dtype=int), 3)
+        preds = tiny_mlp.predict(instances.x)
+        expected = (preds == 2).mean()
+        assert backdoor_accuracy(tiny_mlp, instances, 2) == pytest.approx(expected)
+
+    def test_empty_instances_rejected(self, tiny_mlp):
+        empty = Dataset(np.zeros((0, 2)), np.zeros(0, dtype=int), 3)
+        with pytest.raises(ValueError):
+            backdoor_accuracy(tiny_mlp, empty, 1)
+
+    def test_bad_target_rejected(self, rng, tiny_mlp):
+        instances = Dataset(rng.normal(size=(5, 2)), np.zeros(5, dtype=int), 3)
+        with pytest.raises(ValueError):
+            backdoor_accuracy(tiny_mlp, instances, 7)

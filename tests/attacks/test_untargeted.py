@@ -1,0 +1,75 @@
+"""Unit tests for the untargeted poisoning attacks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.untargeted import RandomUpdateClient, SignFlipClient
+from repro.fl.client import HonestClient, LocalTrainingConfig
+from repro.nn.models import make_mlp
+
+
+class TestSignFlipClient:
+    def test_attack_round_negates_and_boosts(self, tiny_dataset, rng):
+        model = make_mlp(2, 3, rng, hidden=(8,))
+        attacker = SignFlipClient(0, tiny_dataset, boost=5.0, attack_rounds={3})
+        honest = HonestClient(1, tiny_dataset)
+        honest_update = honest.produce_update(
+            model, LocalTrainingConfig(), 3, np.random.default_rng(0)
+        )
+        attack_update = attacker.produce_update(
+            model, LocalTrainingConfig(), 3, np.random.default_rng(0)
+        )
+        # same data, same rng stream: the attack is exactly -boost * honest
+        np.testing.assert_allclose(attack_update, -5.0 * honest_update)
+
+    def test_honest_outside_attack_rounds(self, tiny_dataset, rng):
+        model = make_mlp(2, 3, rng, hidden=(8,))
+        attacker = SignFlipClient(0, tiny_dataset, boost=5.0, attack_rounds={3})
+        update = attacker.produce_update(
+            model, LocalTrainingConfig(), 0, np.random.default_rng(0)
+        )
+        honest = HonestClient(1, tiny_dataset).produce_update(
+            model, LocalTrainingConfig(), 0, np.random.default_rng(0)
+        )
+        np.testing.assert_allclose(update, honest)
+
+    def test_is_malicious(self, tiny_dataset):
+        assert SignFlipClient(0, tiny_dataset, 2.0, set()).is_malicious
+
+    def test_invalid_boost(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            SignFlipClient(0, tiny_dataset, boost=0.0, attack_rounds=set())
+
+    def test_degrades_model_when_applied(self, tiny_dataset, rng):
+        from repro.nn.losses import SoftmaxCrossEntropy
+        from tests.conftest import train_briefly
+
+        model = make_mlp(2, 3, rng, hidden=(8,))
+        train_briefly(model, tiny_dataset, rng)
+        loss = SoftmaxCrossEntropy()
+        before = loss.forward(model.forward(tiny_dataset.x), tiny_dataset.y)
+        attacker = SignFlipClient(0, tiny_dataset, boost=10.0, attack_rounds={0})
+        update = attacker.produce_update(model, LocalTrainingConfig(), 0, rng)
+        model.set_flat(model.get_flat() + update)
+        after = loss.forward(model.forward(tiny_dataset.x), tiny_dataset.y)
+        assert after > before
+
+
+class TestRandomUpdateClient:
+    def test_attack_update_has_requested_norm(self, tiny_dataset, rng):
+        model = make_mlp(2, 3, rng, hidden=(8,))
+        attacker = RandomUpdateClient(0, tiny_dataset, norm=7.5, attack_rounds={1})
+        update = attacker.produce_update(model, LocalTrainingConfig(), 1, rng)
+        assert np.linalg.norm(update) == pytest.approx(7.5)
+
+    def test_honest_outside_attack_rounds(self, tiny_dataset, rng):
+        model = make_mlp(2, 3, rng, hidden=(8,))
+        attacker = RandomUpdateClient(0, tiny_dataset, norm=7.5, attack_rounds={1})
+        update = attacker.produce_update(model, LocalTrainingConfig(), 0, rng)
+        assert np.linalg.norm(update) != pytest.approx(7.5)
+
+    def test_invalid_norm(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            RandomUpdateClient(0, tiny_dataset, norm=-1.0, attack_rounds=set())

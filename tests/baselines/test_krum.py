@@ -1,0 +1,63 @@
+"""Unit tests for Krum / multi-Krum."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.krum import KrumAggregator, krum_scores
+
+
+class TestKrumScores:
+    def test_outlier_gets_highest_score(self, rng):
+        updates = rng.normal(size=(8, 5))
+        updates[3] = 100.0
+        scores = krum_scores(updates, num_malicious=1)
+        assert scores.argmax() == 3
+
+    def test_too_few_updates_rejected(self, rng):
+        with pytest.raises(ValueError):
+            krum_scores(rng.normal(size=(3, 2)), num_malicious=1)
+
+
+class TestKrumAggregator:
+    def test_selects_clustered_update(self, rng):
+        clustered = [rng.normal(0.0, 0.1, size=4) for _ in range(6)]
+        outlier = np.full(4, 50.0)
+        agg = KrumAggregator(num_malicious=1)
+        result = agg.aggregate(clustered + [outlier], rng)
+        assert np.abs(result).max() < 1.0  # outlier not chosen
+
+    def test_krum_returns_one_of_the_updates(self, rng):
+        updates = [rng.normal(size=3) for _ in range(6)]
+        result = KrumAggregator(num_malicious=1).aggregate(updates, rng)
+        assert any(np.allclose(result, u) for u in updates)
+
+    def test_multi_krum_averages_selection(self, rng):
+        updates = [np.full(2, float(i)) for i in range(6)]
+        result = KrumAggregator(num_malicious=1, multi_k=3).aggregate(updates, rng)
+        # the three most central updates are 2, 3 (and 1 or 4)
+        assert 1.0 <= result[0] <= 4.0
+
+    def test_requires_individual_updates(self):
+        assert KrumAggregator(0).requires_individual_updates
+
+    def test_multi_k_bounds(self, rng):
+        updates = [rng.normal(size=2) for _ in range(4)]
+        with pytest.raises(ValueError):
+            KrumAggregator(num_malicious=0, multi_k=4).aggregate(updates, rng)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            KrumAggregator(num_malicious=-1)
+        with pytest.raises(ValueError):
+            KrumAggregator(num_malicious=0, multi_k=0)
+
+    def test_defeated_by_boosted_update_when_f_underestimated(self, rng):
+        """Krum with f=0 can pick a colluding pair — the known weakness."""
+        honest = [rng.normal(0.0, 1.0, size=4) for _ in range(4)]
+        colluding = [np.full(4, 3.0), np.full(4, 3.0) + 1e-6]
+        agg = KrumAggregator(num_malicious=0)
+        result = agg.aggregate(honest + colluding, rng)
+        # the colluding near-duplicates have tiny mutual distance and often win
+        assert np.isfinite(result).all()

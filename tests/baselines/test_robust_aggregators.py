@@ -1,0 +1,156 @@
+"""Unit tests for trimmed mean, median, norm clipping, RFA, FoolsGold."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.foolsgold import FoolsGoldAggregator
+from repro.baselines.norm_clip import NormClippingAggregator
+from repro.baselines.rfa import GeometricMedianAggregator, geometric_median
+from repro.baselines.trimmed_mean import (
+    CoordinateMedianAggregator,
+    TrimmedMeanAggregator,
+)
+
+
+class TestTrimmedMean:
+    def test_discards_extremes(self, rng):
+        updates = [np.array([v]) for v in (1.0, 2.0, 3.0, 4.0, 100.0)]
+        result = TrimmedMeanAggregator(trim=1).aggregate(updates, rng)
+        np.testing.assert_allclose(result, [3.0])
+
+    def test_zero_trim_is_mean(self, rng):
+        updates = [np.array([1.0]), np.array([3.0])]
+        np.testing.assert_allclose(
+            TrimmedMeanAggregator(trim=0).aggregate(updates, rng), [2.0]
+        )
+
+    def test_overtrim_rejected(self, rng):
+        with pytest.raises(ValueError):
+            TrimmedMeanAggregator(trim=2).aggregate([np.zeros(1)] * 4, rng)
+
+    def test_negative_trim_rejected(self):
+        with pytest.raises(ValueError):
+            TrimmedMeanAggregator(trim=-1)
+
+    def test_robust_to_single_boosted_update(self, rng):
+        honest = [rng.normal(0, 0.1, size=6) for _ in range(9)]
+        boosted = np.full(6, 1000.0)
+        result = TrimmedMeanAggregator(trim=1).aggregate(honest + [boosted], rng)
+        assert np.abs(result).max() < 1.0
+
+
+class TestCoordinateMedian:
+    def test_median_per_coordinate(self, rng):
+        updates = [np.array([1.0, 10.0]), np.array([2.0, 20.0]), np.array([9.0, 0.0])]
+        result = CoordinateMedianAggregator().aggregate(updates, rng)
+        np.testing.assert_allclose(result, [2.0, 10.0])
+
+    def test_robust_to_minority_outliers(self, rng):
+        honest = [rng.normal(0, 0.1, size=4) for _ in range(7)]
+        attacks = [np.full(4, 500.0)] * 3
+        result = CoordinateMedianAggregator().aggregate(honest + attacks, rng)
+        assert np.abs(result).max() < 1.0
+
+
+class TestNormClipping:
+    def test_large_update_clipped(self, rng):
+        updates = [np.array([0.1, 0.0]), np.array([30.0, 40.0])]
+        result = NormClippingAggregator(max_norm=5.0).aggregate(updates, rng)
+        clipped_second = np.array([3.0, 4.0])
+        np.testing.assert_allclose(result, (updates[0] + clipped_second) / 2)
+
+    def test_small_updates_untouched(self, rng):
+        updates = [np.array([0.1, 0.2]), np.array([0.3, 0.1])]
+        result = NormClippingAggregator(max_norm=5.0).aggregate(updates, rng)
+        np.testing.assert_allclose(result, np.mean(updates, axis=0))
+
+    def test_blunts_model_replacement_boost(self, rng):
+        honest = [rng.normal(0, 0.1, size=8) for _ in range(9)]
+        boosted = rng.normal(0, 0.1, size=8) * 100
+        clipped = NormClippingAggregator(max_norm=1.0).aggregate(
+            honest + [boosted], rng
+        )
+        unclipped = np.mean(honest + [boosted], axis=0)
+        assert np.linalg.norm(clipped) < np.linalg.norm(unclipped)
+
+    def test_invalid_norm_rejected(self):
+        with pytest.raises(ValueError):
+            NormClippingAggregator(max_norm=0.0)
+
+
+class TestGeometricMedian:
+    def test_median_of_symmetric_points_is_center(self):
+        points = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
+        np.testing.assert_allclose(geometric_median(points), [0.0, 0.0], atol=1e-6)
+
+    def test_robust_to_far_outlier(self, rng):
+        points = np.vstack([rng.normal(0, 0.1, size=(9, 3)), np.full((1, 3), 1000.0)])
+        median = geometric_median(points)
+        assert np.abs(median).max() < 1.0
+
+    def test_single_point(self):
+        np.testing.assert_allclose(
+            geometric_median(np.array([[2.0, 3.0]])), [2.0, 3.0]
+        )
+
+    def test_invalid_input_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_median(np.zeros((0, 2)))
+        with pytest.raises(ValueError):
+            geometric_median(np.zeros(3))
+
+    def test_aggregator_wraps_median(self, rng):
+        updates = [rng.normal(size=4) for _ in range(7)]
+        agg_result = GeometricMedianAggregator().aggregate(updates, rng)
+        np.testing.assert_allclose(
+            agg_result, geometric_median(np.stack(updates)), atol=1e-9
+        )
+
+
+class TestFoolsGold:
+    def test_single_update_passes_through(self, rng):
+        agg = FoolsGoldAggregator()
+        update = rng.normal(size=5)
+        result = agg.aggregate([update], rng)
+        np.testing.assert_allclose(result, update)
+
+    def test_sybil_pair_downweighted(self, rng):
+        """Two identical-direction clients lose weight across rounds."""
+        agg = FoolsGoldAggregator()
+        sybil_dir = rng.normal(size=10)
+        honest = [rng.normal(size=10) for _ in range(3)]
+        for _ in range(3):
+            updates = [sybil_dir.copy(), sybil_dir.copy()] + [
+                h + rng.normal(0, 0.2, size=10) for h in honest
+            ]
+            agg.set_contributors([0, 1, 2, 3, 4])
+            result = agg.aggregate(updates, rng)
+        # sybil direction should be suppressed relative to plain averaging
+        plain = np.mean(updates, axis=0)
+        sybil_component = lambda v: float(
+            np.dot(v, sybil_dir) / np.linalg.norm(sybil_dir) ** 2
+        )
+        assert sybil_component(result) < sybil_component(plain)
+
+    def test_contributor_count_mismatch_rejected(self, rng):
+        agg = FoolsGoldAggregator()
+        agg.set_contributors([0, 1, 2])
+        with pytest.raises(ValueError):
+            agg.aggregate([np.zeros(2)] * 2, rng)
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            FoolsGoldAggregator(confidence=0.0)
+
+    def test_single_client_attack_not_downweighted(self, rng):
+        """The documented weakness: one attacker among diverse honest clients
+        keeps weight (its history is not similar to anyone)."""
+        agg = FoolsGoldAggregator()
+        attacker = np.full(10, 5.0)
+        honest = [rng.normal(size=10) for _ in range(4)]
+        agg.set_contributors([0, 1, 2, 3, 4])
+        result = agg.aggregate([attacker] + honest, rng)
+        # attacker direction survives aggregation
+        assert np.dot(result, attacker) > 0

@@ -1,0 +1,164 @@
+"""Unit tests for the BaFFLe feedback loop (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baffle import BaffleConfig, BaffleDefense, ValidatorPool
+from repro.core.validation import ConstantVoteValidator
+from repro.data.dataset import Dataset
+from repro.nn.models import make_mlp
+
+
+@pytest.fixture
+def model(rng):
+    return make_mlp(2, 2, rng, hidden=(4,))
+
+
+def constant_pool(votes: dict[int, int]) -> ValidatorPool:
+    return ValidatorPool({cid: ConstantVoteValidator(v) for cid, v in votes.items()})
+
+
+class TestBaffleConfig:
+    def test_defaults_valid(self):
+        BaffleConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"lookback": 2},
+            {"mode": "bogus"},
+            {"quorum": 0},
+            {"quorum": 12, "num_validators": 10, "mode": "clients"},
+            {"num_validators": 0, "mode": "clients"},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BaffleConfig(**kwargs)
+
+    def test_server_mode_ignores_quorum_bounds(self):
+        BaffleConfig(mode="server", quorum=99)
+
+
+class TestConstructionRequirements:
+    def test_clients_mode_needs_pool(self):
+        with pytest.raises(ValueError):
+            BaffleDefense(BaffleConfig(mode="clients"), validator_pool=None)
+
+    def test_server_mode_needs_server_validator(self):
+        pool = constant_pool({0: 0})
+        with pytest.raises(ValueError):
+            BaffleDefense(BaffleConfig(mode="server"), pool, server_validator=None)
+
+
+class TestQuorumRule:
+    def make_defense(self, votes, quorum, mode="clients", server_vote=None):
+        pool = constant_pool(votes)
+        server = ConstantVoteValidator(server_vote) if server_vote is not None else None
+        config = BaffleConfig(
+            lookback=5,
+            quorum=quorum,
+            num_validators=len(votes),
+            mode=mode,
+        )
+        return BaffleDefense(config, pool, server)
+
+    def test_rejects_at_quorum(self, model, rng):
+        defense = self.make_defense({i: 1 for i in range(5)}, quorum=5)
+        decision = defense.review(model, 0, rng)
+        assert not decision.accepted
+        assert decision.reject_votes == 5
+
+    def test_accepts_below_quorum(self, model, rng):
+        votes = {0: 1, 1: 1, 2: 0, 3: 0, 4: 0}
+        defense = self.make_defense(votes, quorum=3)
+        assert defense.review(model, 0, rng).accepted
+
+    def test_server_vote_counts_in_both_mode(self, model, rng):
+        votes = {i: 1 if i < 4 else 0 for i in range(5)}  # 4 rejects
+        defense = self.make_defense(votes, quorum=5, mode="both", server_vote=1)
+        decision = defense.review(model, 0, rng)
+        assert not decision.accepted  # 4 + server = 5 >= q
+        assert decision.server_vote == 1
+
+    def test_server_only_mode_single_vote_decides(self, model, rng):
+        defense = self.make_defense({0: 0}, quorum=1, mode="server", server_vote=1)
+        assert not defense.review(model, 0, rng).accepted
+        defense = self.make_defense({0: 1}, quorum=1, mode="server", server_vote=0)
+        assert defense.review(model, 0, rng).accepted
+
+    def test_start_round_auto_accepts(self, model, rng):
+        pool = constant_pool({i: 1 for i in range(5)})
+        config = BaffleConfig(
+            lookback=5, quorum=1, num_validators=5, mode="clients", start_round=10
+        )
+        defense = BaffleDefense(config, pool)
+        assert defense.review(model, 9, rng).accepted
+        assert not defense.review(model, 10, rng).accepted
+
+    def test_decision_reports_client_votes(self, model, rng):
+        votes = {0: 1, 1: 0, 2: 1}
+        defense = self.make_defense(votes, quorum=3)
+        decision = defense.review(model, 0, rng)
+        assert decision.client_votes == votes
+
+
+class TestHistoryMaintenance:
+    def test_accepted_models_extend_history(self, model, rng):
+        pool = constant_pool({0: 0, 1: 0})
+        config = BaffleConfig(lookback=4, quorum=2, num_validators=2, mode="clients")
+        defense = BaffleDefense(config, pool)
+        defense.record_outcome(model, accepted=True)
+        assert len(defense.history) == 1
+
+    def test_rejected_models_do_not_extend_history(self, model, rng):
+        pool = constant_pool({0: 0, 1: 0})
+        config = BaffleConfig(lookback=4, quorum=2, num_validators=2, mode="clients")
+        defense = BaffleDefense(config, pool)
+        defense.record_outcome(model, accepted=False)
+        assert len(defense.history) == 0
+
+    def test_history_bounded_by_lookback(self, model, rng):
+        pool = constant_pool({0: 0})
+        config = BaffleConfig(lookback=4, quorum=1, num_validators=1, mode="clients")
+        defense = BaffleDefense(config, pool)
+        for _ in range(10):
+            defense.record_outcome(model, accepted=True)
+        assert len(defense.history) == 5  # lookback + 1
+
+    def test_prime_seeds_history(self, model):
+        pool = constant_pool({0: 0})
+        config = BaffleConfig(lookback=4, quorum=1, num_validators=1, mode="clients")
+        defense = BaffleDefense(config, pool)
+        defense.prime(model)
+        assert len(defense.history) == 1
+
+
+class TestValidatorPool:
+    def test_sample_ids_distinct(self, rng):
+        pool = constant_pool({i: 0 for i in range(20)})
+        ids = pool.sample_ids(10, rng)
+        assert len(set(ids)) == 10
+
+    def test_sample_too_many_rejected(self, rng):
+        pool = constant_pool({0: 0})
+        with pytest.raises(ValueError):
+            pool.sample_ids(2, rng)
+
+    def test_from_datasets_builds_misclassification_validators(self, rng):
+        from repro.core.validation import MisclassificationValidator
+
+        data = Dataset(rng.normal(size=(10, 2)), rng.integers(0, 2, 10), 2)
+        pool = ValidatorPool.from_datasets({0: data})
+        assert isinstance(pool.get(0), MisclassificationValidator)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            ValidatorPool({})
+
+    def test_contains(self):
+        pool = constant_pool({3: 0})
+        assert 3 in pool
+        assert 4 not in pool

@@ -1,0 +1,106 @@
+"""Tests for validator dropout (paper footnote 1) and malicious voters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baffle import BaffleConfig, BaffleDefense, ValidatorPool
+from repro.core.validation import ConstantVoteValidator
+from repro.nn.models import make_mlp
+
+
+@pytest.fixture
+def model(rng):
+    return make_mlp(2, 2, rng, hidden=(4,))
+
+
+def all_reject_pool(n):
+    return ValidatorPool({i: ConstantVoteValidator(1) for i in range(n)})
+
+
+class TestValidatorDropout:
+    def test_full_dropout_invalid(self):
+        with pytest.raises(ValueError):
+            BaffleConfig(dropout_rate=1.0)
+
+    def test_negative_dropout_invalid(self):
+        with pytest.raises(ValueError):
+            BaffleConfig(dropout_rate=-0.1)
+
+    def test_silent_validators_cast_no_vote(self, model, rng):
+        config = BaffleConfig(
+            lookback=5, quorum=5, num_validators=10, mode="clients",
+            dropout_rate=0.95,
+        )
+        defense = BaffleDefense(config, all_reject_pool(10))
+        decision = defense.review(model, 0, rng)
+        # with ~95% dropout, far fewer than 10 votes arrive
+        assert decision.num_validators < 10
+
+    def test_dropout_defaults_to_accept(self, model, rng):
+        """Footnote 1: absent votes cannot reject — the round passes."""
+        config = BaffleConfig(
+            lookback=5, quorum=5, num_validators=10, mode="clients",
+            dropout_rate=0.95,
+        )
+        defense = BaffleDefense(config, all_reject_pool(10))
+        accepted = [defense.review(model, r, rng).accepted for r in range(20)]
+        # with dropout 0.95, reaching 5 reject votes is very unlikely
+        assert np.mean(accepted) > 0.9
+
+    def test_zero_dropout_all_vote(self, model, rng):
+        config = BaffleConfig(
+            lookback=5, quorum=5, num_validators=10, mode="clients",
+        )
+        defense = BaffleDefense(config, all_reject_pool(10))
+        decision = defense.review(model, 0, rng)
+        assert decision.num_validators == 10
+        assert not decision.accepted
+
+
+class TestMaliciousVotersInScenarios:
+    def test_config_validation(self):
+        from repro.experiments.configs import ExperimentConfig
+
+        with pytest.raises(ValueError):
+            ExperimentConfig(malicious_validators=-1)
+        with pytest.raises(ValueError):
+            ExperimentConfig(malicious_vote_strategy="bogus")
+
+    def test_dos_liars_in_pool(self, fast_detection_run):
+        """Scenario with DoS voters still detects and bounds FP."""
+        stats = fast_detection_run(malicious_validators=2,
+                                   malicious_vote_strategy="dos")
+        assert stats.fn_rate == 0.0
+        assert stats.fp_rate <= 0.4
+
+    def test_shield_liars_in_pool(self, fast_detection_run):
+        stats = fast_detection_run(malicious_validators=2,
+                                   malicious_vote_strategy="shield")
+        assert stats.fn_rate <= 0.5
+
+
+@pytest.fixture
+def fast_detection_run():
+    """Run the fast stable scenario with config overrides, return stats."""
+    from repro.experiments.configs import ExperimentConfig
+    from repro.experiments.metrics import detection_stats
+    from repro.experiments.scenarios import run_stable_scenario
+
+    base = ExperimentConfig(
+        dataset="cifar", client_share=0.9, num_clients=12, pool_size=900,
+        test_size=150, clients_per_round=5, pretrain_rounds=35, pretrain_lr=0.1,
+        lookback=8, quorum=3, num_validators=5, defense_start=10,
+        total_rounds=20, attack_rounds=(13, 17), poison_samples=40,
+        attack_epochs=4, hidden=(32,),
+    )
+
+    def run(**overrides):
+        config = base.with_updates(**overrides)
+        result = run_stable_scenario(config, seed=0)
+        return detection_stats(
+            result.records, result.injection_rounds, result.defense_start
+        )
+
+    return run

@@ -1,0 +1,90 @@
+"""Unit tests for repro.core.errors (eqs. 2-3 of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (
+    ErrorProfile,
+    error_variation_vector,
+    model_error_profile,
+)
+from repro.data.dataset import Dataset
+from tests.conftest import train_briefly
+
+
+def profile_from_vectors(vs, vt, n=100):
+    vs = np.asarray(vs, dtype=float)
+    return ErrorProfile(vs, np.asarray(vt, dtype=float), n, len(vs))
+
+
+class TestErrorProfile:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ErrorProfile(np.zeros(3), np.zeros(4), 10, 3)
+        with pytest.raises(ValueError):
+            ErrorProfile(np.zeros(4), np.zeros(3), 10, 3)
+
+    def test_model_profile_matches_manual_computation(self, tiny_dataset, tiny_mlp):
+        profile = model_error_profile(tiny_mlp, tiny_dataset)
+        preds = tiny_mlp.predict(tiny_dataset.x)
+        wrong = preds != tiny_dataset.y
+        for y in range(3):
+            manual_source = ((tiny_dataset.y == y) & wrong).mean()
+            assert profile.source_errors[y] == pytest.approx(manual_source)
+            manual_target = ((preds == y) & wrong).mean()
+            assert profile.target_errors[y] == pytest.approx(manual_target)
+
+    def test_trained_model_has_lower_errors(self, tiny_dataset, rng):
+        from repro.nn.models import make_mlp
+
+        model = make_mlp(2, 3, rng, hidden=(8,))
+        before = model_error_profile(model, tiny_dataset)
+        train_briefly(model, tiny_dataset, rng)
+        after = model_error_profile(model, tiny_dataset)
+        assert after.source_errors.sum() <= before.source_errors.sum()
+
+    def test_empty_dataset_rejected(self, tiny_mlp):
+        empty = Dataset(np.zeros((0, 2)), np.zeros(0, dtype=int), 3)
+        with pytest.raises(ValueError):
+            model_error_profile(tiny_mlp, empty)
+
+
+class TestErrorVariationVector:
+    def test_layout_is_source_then_target(self):
+        older = profile_from_vectors([0.3, 0.1, 0.0], [0.2, 0.2, 0.0])
+        newer = profile_from_vectors([0.1, 0.1, 0.0], [0.1, 0.3, 0.0])
+        v = error_variation_vector(older, newer)
+        np.testing.assert_allclose(v[:3], [0.2, 0.0, 0.0])  # eq. (2)
+        np.testing.assert_allclose(v[3:], [0.1, -0.1, 0.0])  # eq. (3)
+
+    def test_identical_profiles_give_zero_vector(self):
+        p = profile_from_vectors([0.1, 0.2], [0.2, 0.1])
+        np.testing.assert_array_equal(
+            error_variation_vector(p, p), np.zeros(4)
+        )
+
+    def test_dimension_is_twice_num_classes(self):
+        p = profile_from_vectors(np.zeros(7), np.zeros(7))
+        assert len(error_variation_vector(p, p)) == 14
+
+    def test_class_count_mismatch_rejected(self):
+        a = profile_from_vectors(np.zeros(3), np.zeros(3))
+        b = profile_from_vectors(np.zeros(4), np.zeros(4))
+        with pytest.raises(ValueError):
+            error_variation_vector(a, b)
+
+    def test_antisymmetry(self):
+        a = profile_from_vectors([0.3, 0.0], [0.1, 0.2])
+        b = profile_from_vectors([0.1, 0.1], [0.0, 0.2])
+        np.testing.assert_allclose(
+            error_variation_vector(a, b), -error_variation_vector(b, a)
+        )
+
+    def test_identical_models_on_same_data(self, tiny_dataset, tiny_mlp):
+        p1 = model_error_profile(tiny_mlp, tiny_dataset)
+        p2 = model_error_profile(tiny_mlp.clone(), tiny_dataset)
+        np.testing.assert_array_equal(
+            error_variation_vector(p1, p2), np.zeros(6)
+        )

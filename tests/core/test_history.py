@@ -1,0 +1,57 @@
+"""Unit tests for repro.core.history.ModelHistory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.history import ModelHistory
+from repro.nn.models import make_mlp
+
+
+@pytest.fixture
+def model(rng):
+    return make_mlp(2, 2, rng, hidden=(4,))
+
+
+class TestModelHistory:
+    def test_versions_increase_monotonically(self, model):
+        history = ModelHistory(max_models=3)
+        versions = [history.append(model) for _ in range(5)]
+        assert versions == [0, 1, 2, 3, 4]
+
+    def test_bounded_retention(self, model):
+        history = ModelHistory(max_models=3)
+        for _ in range(5):
+            history.append(model)
+        assert len(history) == 3
+        assert history.versions() == [2, 3, 4]
+
+    def test_entries_oldest_first(self, model):
+        history = ModelHistory(max_models=4)
+        for _ in range(4):
+            history.append(model)
+        versions = [v for v, _ in history.entries()]
+        assert versions == sorted(versions)
+
+    def test_append_stores_snapshot(self, model):
+        history = ModelHistory(max_models=2)
+        history.append(model)
+        model.set_flat(model.get_flat() + 1.0)
+        _, stored = history.latest()
+        assert not np.allclose(stored.get_flat(), model.get_flat())
+
+    def test_is_full(self, model):
+        history = ModelHistory(max_models=2)
+        assert not history.is_full
+        history.append(model)
+        history.append(model)
+        assert history.is_full
+
+    def test_latest_on_empty_raises(self):
+        with pytest.raises(LookupError):
+            ModelHistory(max_models=2).latest()
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ModelHistory(max_models=0)

@@ -1,0 +1,136 @@
+"""Unit + property tests for the from-scratch Local Outlier Factor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lof import local_outlier_factor, lof_scores
+
+
+def gaussian_cluster(rng, n=30, dim=3, scale=1.0):
+    return rng.normal(0.0, scale, size=(n, dim))
+
+
+class TestLofScores:
+    def test_uniform_cluster_scores_near_one(self, rng):
+        points = gaussian_cluster(rng, n=60)
+        scores = lof_scores(points, k=10)
+        assert 0.8 < np.median(scores) < 1.3
+
+    def test_planted_outlier_has_max_score(self, rng):
+        points = gaussian_cluster(rng, n=40)
+        points[0] = 50.0  # far outlier
+        scores = lof_scores(points, k=5)
+        assert scores.argmax() == 0
+        assert scores[0] > 3.0
+
+    def test_invalid_k_rejected(self, rng):
+        points = gaussian_cluster(rng, n=10)
+        with pytest.raises(ValueError):
+            lof_scores(points, k=0)
+        with pytest.raises(ValueError):
+            lof_scores(points, k=10)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            lof_scores(np.zeros(5), k=2)
+
+    def test_duplicate_cluster_scores_are_finite(self):
+        points = np.zeros((10, 2))
+        scores = lof_scores(points, k=3)
+        assert np.all(np.isfinite(scores))
+        np.testing.assert_allclose(scores, 1.0)
+
+
+class TestLocalOutlierFactor:
+    def test_query_inside_cluster_near_one(self, rng):
+        reference = gaussian_cluster(rng, n=50)
+        query = rng.normal(0.0, 1.0, size=3)
+        lof = local_outlier_factor(query, reference, k=10)
+        assert 0.5 < lof < 2.0
+
+    def test_query_far_outside_is_outlier(self, rng):
+        reference = gaussian_cluster(rng, n=50)
+        query = np.full(3, 100.0)
+        assert local_outlier_factor(query, reference, k=10) > 10.0
+
+    def test_monotone_in_distance(self, rng):
+        reference = gaussian_cluster(rng, n=50)
+        lofs = [
+            local_outlier_factor(np.full(3, d), reference, k=10)
+            for d in (5.0, 20.0, 80.0)
+        ]
+        assert lofs[0] < lofs[1] < lofs[2]
+
+    def test_duplicate_query_is_inlier(self, rng):
+        reference = np.zeros((12, 2))
+        assert local_outlier_factor(np.zeros(2), reference, k=4) == 1.0
+
+    def test_scale_invariance(self, rng):
+        """LOF is a density ratio: rescaling all points preserves it."""
+        reference = gaussian_cluster(rng, n=40)
+        query = rng.normal(size=3) * 3.0
+        a = local_outlier_factor(query, reference, k=8)
+        b = local_outlier_factor(query * 7.0, reference * 7.0, k=8)
+        assert a == pytest.approx(b, rel=1e-9)
+
+    def test_k_larger_than_reference_clamped(self, rng):
+        reference = gaussian_cluster(rng, n=5)
+        lof = local_outlier_factor(np.zeros(3), reference, k=100)
+        assert np.isfinite(lof)
+
+    def test_small_reference_rejected(self, rng):
+        with pytest.raises(ValueError):
+            local_outlier_factor(np.zeros(2), np.zeros((1, 2)), k=1)
+
+    def test_dim_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            local_outlier_factor(np.zeros(3), np.zeros((5, 2)), k=2)
+
+    def test_non_vector_query_rejected(self):
+        with pytest.raises(ValueError):
+            local_outlier_factor(np.zeros((2, 2)), np.zeros((5, 4)), k=2)
+
+
+class TestLofProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(8, 40),
+        dim=st.integers(1, 6),
+        k=st.integers(2, 6),
+    )
+    def test_lof_positive_and_finite(self, seed, n, dim, k):
+        """LOF is always a positive finite number for generic data."""
+        rng = np.random.default_rng(seed)
+        reference = rng.normal(size=(n, dim))
+        query = rng.normal(size=dim)
+        lof = local_outlier_factor(query, reference, k=min(k, n - 1))
+        assert np.isfinite(lof)
+        assert lof > 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), shift=st.floats(10.0, 1000.0))
+    def test_translation_invariance(self, seed, shift):
+        """LOF is computed from pairwise distances: translation-invariant."""
+        rng = np.random.default_rng(seed)
+        reference = rng.normal(size=(20, 3))
+        query = rng.normal(size=3)
+        a = local_outlier_factor(query, reference, k=5)
+        b = local_outlier_factor(query + shift, reference + shift, k=5)
+        assert a == pytest.approx(b, rel=1e-6)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_inlier_vs_planted_outlier_ordering(self, seed):
+        """A cluster member always scores below a far-away point."""
+        rng = np.random.default_rng(seed)
+        reference = rng.normal(size=(25, 4))
+        inlier = rng.normal(size=4) * 0.5
+        outlier = np.full(4, 30.0)
+        assert local_outlier_factor(inlier, reference, k=6) < local_outlier_factor(
+            outlier, reference, k=6
+        )

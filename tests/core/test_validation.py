@@ -1,0 +1,175 @@
+"""Unit tests for Algorithm 2 (MisclassificationValidator)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.validation import (
+    ConstantVoteValidator,
+    MisclassificationValidator,
+    ValidationContext,
+)
+from repro.data.dataset import Dataset
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.models import make_mlp
+from repro.nn.optim import SGD
+
+
+@pytest.fixture
+def evolution(rng):
+    """A gently evolving model history + validation data.
+
+    Returns ``(history, dataset, final_model)`` where history holds 13
+    training snapshots (versions 0..12).
+    """
+    centers = np.array([[2.0, 0.0], [-2.0, 1.5], [0.0, -2.5]])
+    labels = np.tile(np.arange(3), 40)
+    x = centers[labels] + rng.normal(0.0, 0.8, size=(120, 2))
+    dataset = Dataset(x, labels, 3)
+    model = make_mlp(2, 3, rng, hidden=(8,))
+    loss = SoftmaxCrossEntropy()
+    opt = SGD(model.parameters(), lr=0.05, momentum=0.9)
+    history = []
+    version = 0
+    for _ in range(40):
+        model.zero_grad()
+        loss.forward(model.forward(dataset.x, train=True), dataset.y)
+        model.backward(loss.backward())
+        opt.step()
+    for _ in range(13):
+        for _ in range(2):
+            model.zero_grad()
+            loss.forward(model.forward(dataset.x, train=True), dataset.y)
+            model.backward(loss.backward())
+            opt.step()
+        history.append((version, model.clone()))
+        version += 1
+    return history, dataset, model
+
+
+def poison_model(model, dataset, rng):
+    """Fine-tune the model to misclassify class 0 as class 1."""
+    poisoned = model.clone()
+    flipped = dataset.y.copy()
+    flipped[dataset.y == 0] = 1
+    loss = SoftmaxCrossEntropy()
+    opt = SGD(poisoned.parameters(), lr=0.1, momentum=0.9)
+    for _ in range(30):
+        poisoned.zero_grad()
+        loss.forward(poisoned.forward(dataset.x, train=True), flipped)
+        poisoned.backward(loss.backward())
+        opt.step()
+    return poisoned
+
+
+class TestVoting:
+    def test_benign_continuation_accepted(self, evolution, rng):
+        history, dataset, model = evolution
+        validator = MisclassificationValidator(dataset)
+        # one more benign step as the candidate
+        candidate = model.clone()
+        loss = SoftmaxCrossEntropy()
+        opt = SGD(candidate.parameters(), lr=0.05)
+        for _ in range(2):
+            candidate.zero_grad()
+            loss.forward(candidate.forward(dataset.x, train=True), dataset.y)
+            candidate.backward(loss.backward())
+            opt.step()
+        vote = validator.vote(ValidationContext(candidate, history), rng)
+        assert vote == 0
+
+    def test_poisoned_candidate_rejected(self, evolution, rng):
+        history, dataset, model = evolution
+        validator = MisclassificationValidator(dataset)
+        poisoned = poison_model(model, dataset, rng)
+        vote = validator.vote(ValidationContext(poisoned, history), rng)
+        assert vote == 1
+
+    def test_identical_candidate_accepted(self, evolution, rng):
+        """A candidate with the exact predictions of the latest model."""
+        history, dataset, model = evolution
+        validator = MisclassificationValidator(dataset)
+        candidate = history[-1][1].clone()
+        vote = validator.vote(ValidationContext(candidate, history), rng)
+        assert vote == 0
+
+    def test_short_history_abstains(self, evolution, rng):
+        history, dataset, model = evolution
+        validator = MisclassificationValidator(dataset)
+        report = validator.explain(ValidationContext(model, history[:3]))
+        assert report.abstained
+        assert report.vote == 0
+
+
+class TestReports:
+    def test_report_fields_populated(self, evolution):
+        history, dataset, model = evolution
+        validator = MisclassificationValidator(dataset)
+        report = validator.explain(ValidationContext(model, history))
+        assert not report.abstained
+        assert report.candidate_lof is not None
+        assert report.threshold is not None
+        assert len(report.trusted_lofs) >= 1
+
+    def test_poisoned_lof_exceeds_benign_lof(self, evolution, rng):
+        history, dataset, model = evolution
+        validator = MisclassificationValidator(dataset)
+        benign = validator.explain(ValidationContext(history[-1][1], history))
+        poisoned_model = poison_model(model, dataset, rng)
+        poisoned = validator.explain(ValidationContext(poisoned_model, history))
+        assert poisoned.candidate_lof > benign.candidate_lof
+
+
+class TestCaching:
+    def test_profiles_cached_by_version(self, evolution):
+        history, dataset, model = evolution
+        validator = MisclassificationValidator(dataset)
+        validator.explain(ValidationContext(model, history))
+        cached = set(validator._profile_cache)
+        assert cached == {v for v, _ in history}
+
+    def test_cache_pruned_for_old_versions(self, evolution):
+        history, dataset, model = evolution
+        validator = MisclassificationValidator(dataset)
+        validator.explain(ValidationContext(model, history))
+        validator.explain(ValidationContext(model, history[5:]))
+        assert min(validator._profile_cache) >= history[5][0]
+
+
+class TestConfiguration:
+    def test_empty_dataset_rejected(self):
+        empty = Dataset(np.zeros((0, 2)), np.zeros(0, dtype=int), 2)
+        with pytest.raises(ValueError):
+            MisclassificationValidator(empty)
+
+    def test_bad_min_history_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            MisclassificationValidator(tiny_dataset, min_history=2)
+
+    def test_bad_slack_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            MisclassificationValidator(tiny_dataset, threshold_slack=0.9)
+
+    def test_slack_one_is_paper_literal_rule(self, evolution, rng):
+        """slack = 1.0 is accepted (the paper's exact threshold)."""
+        history, dataset, _ = evolution
+        validator = MisclassificationValidator(dataset, threshold_slack=1.0)
+        report = validator.explain(ValidationContext(history[-1][1], history))
+        assert not report.abstained
+
+
+class TestConstantVoteValidator:
+    def test_always_rejects(self, evolution, rng):
+        history, dataset, model = evolution
+        dos = ConstantVoteValidator(1)
+        assert dos.vote(ValidationContext(model, history), rng) == 1
+
+    def test_always_accepts(self, evolution, rng):
+        history, dataset, model = evolution
+        shill = ConstantVoteValidator(0)
+        assert shill.vote(ValidationContext(model, history), rng) == 0
+
+    def test_invalid_vote_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantVoteValidator(2)

@@ -1,0 +1,108 @@
+"""Unit tests for augmentation and dataset I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.augment import (
+    augment_dataset,
+    gaussian_noise,
+    random_horizontal_flip,
+    random_shift,
+)
+from repro.data.dataset import Dataset
+from repro.data.io import load_dataset, save_dataset
+
+
+@pytest.fixture
+def images(rng):
+    return rng.random((10, 3, 8, 8))
+
+
+class TestFlip:
+    def test_probability_one_flips_everything(self, images, rng):
+        flipped = random_horizontal_flip(images, rng, probability=1.0)
+        np.testing.assert_array_equal(flipped, images[:, :, :, ::-1])
+
+    def test_probability_zero_is_identity(self, images, rng):
+        np.testing.assert_array_equal(
+            random_horizontal_flip(images, rng, probability=0.0), images
+        )
+
+    def test_input_not_mutated(self, images, rng):
+        original = images.copy()
+        random_horizontal_flip(images, rng, probability=1.0)
+        np.testing.assert_array_equal(images, original)
+
+    def test_invalid_probability(self, images, rng):
+        with pytest.raises(ValueError):
+            random_horizontal_flip(images, rng, probability=1.5)
+
+
+class TestShift:
+    def test_zero_shift_is_identity(self, images, rng):
+        np.testing.assert_array_equal(random_shift(images, rng, 0), images)
+
+    def test_shift_preserves_shape(self, images, rng):
+        assert random_shift(images, rng, 2).shape == images.shape
+
+    def test_shifted_borders_are_zero_padded(self, rng):
+        x = np.ones((50, 1, 4, 4))
+        shifted = random_shift(x, rng, max_shift=1)
+        # at least some images were shifted, introducing zero rows/cols
+        assert (shifted == 0).any()
+
+    def test_negative_shift_rejected(self, images, rng):
+        with pytest.raises(ValueError):
+            random_shift(images, rng, -1)
+
+    def test_non_image_input_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_shift(np.zeros((5, 8)), rng, 1)
+
+
+class TestNoise:
+    def test_noise_stays_in_unit_range(self, images, rng):
+        noisy = gaussian_noise(images, rng, std=0.5)
+        assert noisy.min() >= 0.0 and noisy.max() <= 1.0
+
+    def test_zero_std_is_identity_after_clip(self, images, rng):
+        np.testing.assert_array_equal(
+            gaussian_noise(np.clip(images, 0, 1), rng, std=0.0),
+            np.clip(images, 0, 1),
+        )
+
+    def test_negative_std_rejected(self, images, rng):
+        with pytest.raises(ValueError):
+            gaussian_noise(images, rng, std=-0.1)
+
+
+class TestAugmentDataset:
+    def test_labels_preserved(self, rng):
+        ds = Dataset(rng.random((12, 3, 8, 8)), rng.integers(0, 4, 12), 4)
+        augmented = augment_dataset(ds, rng, noise_std=0.05)
+        np.testing.assert_array_equal(augmented.y, ds.y)
+        assert augmented.x.shape == ds.x.shape
+
+
+class TestDatasetIO:
+    def test_roundtrip(self, tmp_path, rng):
+        ds = Dataset(rng.random((20, 6)), rng.integers(0, 3, 20), 3)
+        path = save_dataset(ds, tmp_path / "data.npz")
+        loaded = load_dataset(path)
+        np.testing.assert_array_equal(loaded.x, ds.x)
+        np.testing.assert_array_equal(loaded.y, ds.y)
+        assert loaded.num_classes == 3
+
+    def test_suffix_normalised(self, tmp_path, rng):
+        ds = Dataset(rng.random((5, 2)), rng.integers(0, 2, 5), 2)
+        path = save_dataset(ds, tmp_path / "data")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_missing_arrays_rejected(self, tmp_path):
+        bad = tmp_path / "bad.npz"
+        np.savez(bad, x=np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            load_dataset(bad)

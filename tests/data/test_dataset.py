@@ -1,0 +1,129 @@
+"""Unit tests for repro.data.dataset.Dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+
+
+def make_ds(n=10, classes=3, rng=None):
+    rng = rng or np.random.default_rng(0)
+    return Dataset(rng.normal(size=(n, 4)), rng.integers(0, classes, size=n), classes)
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        ds = make_ds(12, 3)
+        assert len(ds) == 12
+        assert ds.num_classes == 3
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.zeros(4, dtype=int), 2)
+
+    def test_labels_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((2, 2)), np.array([0, 5]), 3)
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((2, 2)), np.array([-1, 0]), 3)
+
+    def test_2d_labels_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((2, 2)), np.zeros((2, 1), dtype=int), 2)
+
+    def test_zero_classes_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((2, 2)), np.zeros(2, dtype=int), 0)
+
+    def test_empty_dataset_allowed(self):
+        ds = Dataset(np.zeros((0, 4)), np.zeros(0, dtype=int), 3)
+        assert len(ds) == 0
+        np.testing.assert_array_equal(ds.class_distribution(), np.zeros(3))
+
+
+class TestSlicing:
+    def test_subset_copies(self):
+        ds = make_ds()
+        sub = ds.subset([0, 1])
+        sub.x[0, 0] = 999.0
+        assert ds.x[0, 0] != 999.0
+
+    def test_filter_by_class(self):
+        ds = make_ds(30, 3)
+        only_zero = ds.filter_by_class([0])
+        assert np.all(only_zero.y == 0)
+        assert len(only_zero) == (ds.y == 0).sum()
+
+    def test_split_fractions(self, rng):
+        ds = make_ds(100)
+        first, second = ds.split(0.7, rng)
+        assert len(first) == 70 and len(second) == 30
+
+    def test_split_is_a_partition(self, rng):
+        ds = Dataset(np.arange(20.0).reshape(20, 1), np.zeros(20, dtype=int), 1)
+        first, second = ds.split(0.5, rng)
+        combined = sorted(first.x.ravel().tolist() + second.x.ravel().tolist())
+        assert combined == list(ds.x.ravel())
+
+    def test_split_invalid_fraction(self, rng):
+        with pytest.raises(ValueError):
+            make_ds().split(0.0, rng)
+
+    def test_take_first_n(self):
+        ds = Dataset(np.arange(10.0).reshape(10, 1), np.zeros(10, dtype=int), 1)
+        np.testing.assert_array_equal(ds.take(3).x.ravel(), [0.0, 1.0, 2.0])
+
+    def test_take_random_n(self, rng):
+        ds = make_ds(10)
+        taken = ds.take(5, rng)
+        assert len(taken) == 5
+
+    def test_take_too_many_rejected(self, rng):
+        with pytest.raises(ValueError):
+            make_ds(5).take(6)
+
+    def test_shuffled_preserves_pairs(self, rng):
+        ds = make_ds(20)
+        pairs = {tuple(row) + (label,) for row, label in zip(ds.x, ds.y)}
+        shuffled = ds.shuffled(rng)
+        shuffled_pairs = {
+            tuple(row) + (label,) for row, label in zip(shuffled.x, shuffled.y)
+        }
+        assert pairs == shuffled_pairs
+
+
+class TestCombination:
+    def test_concat_lengths_add(self):
+        a, b = make_ds(4), make_ds(6)
+        assert len(Dataset.concat([a, b])) == 10
+
+    def test_concat_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset.concat([])
+
+    def test_concat_class_mismatch_rejected(self):
+        a = make_ds(4, classes=3)
+        b = Dataset(np.zeros((2, 4)), np.zeros(2, dtype=int), 5)
+        with pytest.raises(ValueError):
+            Dataset.concat([a, b])
+
+    def test_with_labels_replaces_labels_only(self):
+        ds = make_ds(5, classes=3)
+        relabelled = ds.with_labels(np.full(5, 2))
+        np.testing.assert_array_equal(relabelled.x, ds.x)
+        assert np.all(relabelled.y == 2)
+
+
+class TestStatistics:
+    def test_class_counts_sum_to_n(self):
+        ds = make_ds(50, 4)
+        assert ds.class_counts().sum() == 50
+
+    def test_class_distribution_sums_to_one(self):
+        ds = make_ds(50, 4)
+        assert ds.class_distribution().sum() == pytest.approx(1.0)
+
+    def test_repr_mentions_size(self):
+        assert "n=10" in repr(make_ds(10))

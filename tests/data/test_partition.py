@@ -1,0 +1,110 @@
+"""Unit + property tests for repro.data.partition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import Dataset
+from repro.data.partition import (
+    dirichlet_partition,
+    iid_partition,
+    split_client_server,
+    writer_partition,
+)
+
+
+class TestDirichletPartition:
+    def test_is_a_partition(self, rng):
+        labels = rng.integers(0, 5, size=300)
+        parts = dirichlet_partition(labels, 10, 0.9, rng)
+        combined = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(combined, np.arange(300))
+
+    def test_min_samples_respected(self, rng):
+        labels = rng.integers(0, 5, size=300)
+        parts = dirichlet_partition(labels, 10, 0.1, rng, min_samples=5)
+        assert min(len(p) for p in parts) >= 5
+
+    def test_low_alpha_more_skewed_than_high(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 5, size=2000)
+        low = dirichlet_partition(labels, 10, 0.05, np.random.default_rng(1))
+        high = dirichlet_partition(labels, 10, 100.0, np.random.default_rng(1))
+
+        def class_skew(parts):
+            stds = []
+            for p in parts:
+                dist = np.bincount(labels[p], minlength=5) / max(len(p), 1)
+                stds.append(dist.std())
+            return np.mean(stds)
+
+        assert class_skew(low) > class_skew(high)
+
+    def test_invalid_args_rejected(self, rng):
+        labels = np.zeros(10, dtype=int)
+        with pytest.raises(ValueError):
+            dirichlet_partition(labels, 0, 0.9, rng)
+        with pytest.raises(ValueError):
+            dirichlet_partition(labels, 2, 0.0, rng)
+        with pytest.raises(ValueError):
+            dirichlet_partition(labels, 20, 0.9, rng, min_samples=1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        num_clients=st.integers(2, 12),
+        num_classes=st.integers(2, 6),
+        alpha=st.floats(0.1, 10.0),
+    )
+    def test_partition_property(self, seed, num_clients, num_classes, alpha):
+        """Every index appears in exactly one shard, for any configuration."""
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, num_classes, size=50 * num_clients)
+        parts = dirichlet_partition(labels, num_clients, alpha, rng)
+        combined = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(combined, np.arange(len(labels)))
+
+
+class TestIIDPartition:
+    def test_is_a_partition(self, rng):
+        parts = iid_partition(100, 7, rng)
+        combined = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(combined, np.arange(100))
+
+    def test_balanced_sizes(self, rng):
+        parts = iid_partition(100, 7, rng)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            iid_partition(5, 10, rng)
+        with pytest.raises(ValueError):
+            iid_partition(5, 0, rng)
+
+
+class TestWriterPartition:
+    def test_groups_by_writer(self):
+        writers = np.array([2, 0, 1, 0, 2, 2])
+        parts = writer_partition(writers)
+        assert [len(p) for p in parts] == [2, 1, 3]
+        np.testing.assert_array_equal(parts[0], [1, 3])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            writer_partition(np.zeros((2, 2), dtype=int))
+
+
+class TestSplitClientServer:
+    def test_split_sizes(self, rng):
+        ds = Dataset(rng.normal(size=(200, 3)), rng.integers(0, 2, 200), 2)
+        clients, server = split_client_server(ds, 0.9, rng)
+        assert len(clients) == 180 and len(server) == 20
+
+    def test_invalid_share(self, rng):
+        ds = Dataset(rng.normal(size=(10, 3)), rng.integers(0, 2, 10), 2)
+        with pytest.raises(ValueError):
+            split_client_server(ds, 1.0, rng)

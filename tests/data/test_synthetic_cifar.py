@@ -1,0 +1,99 @@
+"""Unit tests for the synthetic CIFAR-like generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic_cifar import (
+    CIFAR_BACKDOOR_SOURCE_CLASS,
+    CIFAR_BACKDOOR_TARGET_CLASS,
+    SyntheticCifar,
+)
+
+
+class TestShapes:
+    def test_flat_samples(self, cifar_task, rng):
+        ds = cifar_task.sample(20, rng)
+        assert ds.x.shape == (20, cifar_task.flat_dim)
+
+    def test_image_samples(self, cifar_task, rng):
+        ds = cifar_task.sample(5, rng, flat=False)
+        assert ds.x.shape == (5, *cifar_task.image_shape)
+
+    def test_pixels_in_unit_range(self, cifar_task, rng):
+        ds = cifar_task.sample(50, rng)
+        assert ds.x.min() >= 0.0 and ds.x.max() <= 1.0
+
+    def test_invalid_image_size_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticCifar(image_size=6)
+
+    def test_too_few_classes_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticCifar(num_classes=2)
+
+
+class TestDistribution:
+    def test_labels_roughly_uniform(self, cifar_task, rng):
+        ds = cifar_task.sample(2000, rng)
+        counts = ds.class_counts()
+        assert counts.min() > 120  # expected 200 each
+
+    def test_same_structure_seed_same_task(self, rng):
+        a = SyntheticCifar(structure_seed=5)
+        b = SyntheticCifar(structure_seed=5)
+        da = a.sample(10, np.random.default_rng(3))
+        db = b.sample(10, np.random.default_rng(3))
+        np.testing.assert_array_equal(da.x, db.x)
+
+    def test_different_structure_seed_differs(self):
+        a = SyntheticCifar(structure_seed=5)
+        b = SyntheticCifar(structure_seed=6)
+        da = a.sample(10, np.random.default_rng(3))
+        db = b.sample(10, np.random.default_rng(3))
+        assert not np.allclose(da.x, db.x)
+
+    def test_sample_class_is_single_class(self, cifar_task, rng):
+        ds = cifar_task.sample_class(4, 15, rng)
+        assert np.all(ds.y == 4)
+
+
+class TestBackdoorInstances:
+    def test_true_label_is_source_class(self, cifar_task, rng):
+        ds = cifar_task.sample_backdoor_instances(30, rng)
+        assert np.all(ds.y == CIFAR_BACKDOOR_SOURCE_CLASS)
+
+    def test_target_differs_from_source(self):
+        assert CIFAR_BACKDOOR_SOURCE_CLASS != CIFAR_BACKDOOR_TARGET_CLASS
+
+    def test_striped_feature_changes_border_pixels(self, rng):
+        task = SyntheticCifar(noise=0.0)
+        plain = task.sample_class(CIFAR_BACKDOOR_SOURCE_CLASS, 8, np.random.default_rng(1), flat=False)
+        striped = task.sample_backdoor_instances(8, np.random.default_rng(1), flat=False)
+        # Striped backgrounds brighten alternating border rows.
+        top_row_plain = plain.x[:, :, 0, :].mean()
+        top_row_striped = striped.x[:, :, 0, :].mean()
+        assert top_row_striped > top_row_plain + 0.1
+
+    def test_striped_feature_is_learnable(self, rng):
+        """A linear probe can separate striped from plain cars."""
+        task = SyntheticCifar()
+        plain = task.sample_class(CIFAR_BACKDOOR_SOURCE_CLASS, 300, rng)
+        striped = task.sample_backdoor_instances(300, rng)
+        x = np.concatenate([plain.x, striped.x])
+        y = np.concatenate([np.zeros(300), np.ones(300)])
+        # least-squares linear classifier
+        xb = np.hstack([x, np.ones((len(x), 1))])
+        w, *_ = np.linalg.lstsq(xb, 2 * y - 1, rcond=None)
+        acc = ((xb @ w > 0) == y).mean()
+        assert acc > 0.9
+
+    def test_natural_samples_contain_striped_fraction(self, rng):
+        task = SyntheticCifar(striped_fraction=0.5, noise=0.0)
+        ds = task.sample(4000, rng, flat=False)
+        cars = ds.x[ds.y == CIFAR_BACKDOOR_SOURCE_CLASS]
+        top_rows = cars[:, :, 0, :].mean(axis=(1, 2))
+        # Bimodal: about half the cars should have bright striped top rows.
+        bright = (top_rows > 0.8).mean()
+        assert 0.3 < bright < 0.7

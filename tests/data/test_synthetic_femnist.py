@@ -1,0 +1,96 @@
+"""Unit tests for the synthetic FEMNIST-like generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic_femnist import SyntheticFemnist
+
+
+class TestShapes:
+    def test_flat_dim(self, femnist_task, rng):
+        ds = femnist_task.sample(10, rng)
+        assert ds.x.shape == (10, femnist_task.flat_dim)
+
+    def test_image_shape(self, femnist_task, rng):
+        ds = femnist_task.sample(4, rng, flat=False)
+        assert ds.x.shape == (4, 1, femnist_task.image_size, femnist_task.image_size)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticFemnist(image_size=5)
+        with pytest.raises(ValueError):
+            SyntheticFemnist(num_classes=1)
+        with pytest.raises(ValueError):
+            SyntheticFemnist(num_writers=0)
+
+
+class TestWriters:
+    def test_writer_ids_in_range(self, femnist_task, rng):
+        _, writers = femnist_task.sample_with_writers(100, rng)
+        assert writers.min() >= 0
+        assert writers.max() < femnist_task.num_writers
+
+    def test_writer_class_distribution_sums_to_one(self, femnist_task):
+        for writer in range(femnist_task.num_writers):
+            dist = femnist_task.writer_class_distribution(writer)
+            assert dist.sum() == pytest.approx(1.0)
+
+    def test_writers_have_skewed_class_usage(self, femnist_task):
+        """Non-IID-ness: writers' class distributions differ substantially."""
+        dists = np.stack(
+            [
+                femnist_task.writer_class_distribution(w)
+                for w in range(femnist_task.num_writers)
+            ]
+        )
+        spread = dists.std(axis=0).mean()
+        assert spread > 0.02
+
+    def test_sample_for_writer_respects_skew(self, femnist_task, rng):
+        ds = femnist_task.sample_for_writer(0, 800, rng)
+        expected = femnist_task.writer_class_distribution(0)
+        observed = ds.class_distribution()
+        assert np.abs(observed - expected).max() < 0.08
+
+    def test_writer_out_of_range_rejected(self, femnist_task, rng):
+        with pytest.raises(ValueError):
+            femnist_task.sample_for_writer(99, 5, rng)
+
+    def test_writer_styles_differ(self, rng):
+        """Same class, different writers -> systematically different pixels."""
+        task = SyntheticFemnist(num_writers=8, noise=0.0)
+        a = task.sample_class_for_writer(0, 3, 50, np.random.default_rng(0))
+        b = task.sample_class_for_writer(1, 3, 50, np.random.default_rng(0))
+        assert np.abs(a.x.mean(axis=0) - b.x.mean(axis=0)).max() > 0.05
+
+
+class TestSampling:
+    def test_sample_class_for_writer_labels(self, femnist_task, rng):
+        ds = femnist_task.sample_class_for_writer(2, 5, 20, rng)
+        assert np.all(ds.y == 5)
+
+    def test_sample_with_writers_labels_match_skew(self, femnist_task, rng):
+        ds, writers = femnist_task.sample_with_writers(3000, rng)
+        # pooled distribution = average of writers' distributions
+        pooled = np.stack(
+            [
+                femnist_task.writer_class_distribution(w)
+                for w in range(femnist_task.num_writers)
+            ]
+        ).mean(axis=0)
+        observed = ds.class_distribution()
+        assert np.abs(observed - pooled).max() < 0.05
+
+    def test_pixels_in_unit_range(self, femnist_task, rng):
+        ds = femnist_task.sample(100, rng)
+        assert ds.x.min() >= 0.0 and ds.x.max() <= 1.0
+
+    def test_deterministic_given_seeds(self):
+        task = SyntheticFemnist(structure_seed=11, num_writers=4)
+        a = task.sample(20, np.random.default_rng(5))
+        b = SyntheticFemnist(structure_seed=11, num_writers=4).sample(
+            20, np.random.default_rng(5)
+        )
+        np.testing.assert_array_equal(a.x, b.x)

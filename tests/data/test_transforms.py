@@ -1,0 +1,42 @@
+"""Unit tests for repro.data.transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.transforms import flatten_images, normalize_features
+
+
+class TestFlattenImages:
+    def test_flattens_image_batch(self, rng):
+        x = rng.normal(size=(5, 3, 4, 4))
+        assert flatten_images(x).shape == (5, 48)
+
+    def test_keeps_2d_input(self, rng):
+        x = rng.normal(size=(5, 8))
+        np.testing.assert_array_equal(flatten_images(x), x)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            flatten_images(np.zeros(5))
+
+
+class TestNormalizeFeatures:
+    def test_zero_mean_unit_std(self, rng):
+        x = rng.normal(3.0, 2.0, size=(100, 4))
+        normalized, _, _ = normalize_features(x)
+        np.testing.assert_allclose(normalized.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(normalized.std(axis=0), 1.0, atol=1e-12)
+
+    def test_constant_feature_not_divided_by_zero(self):
+        x = np.ones((10, 2))
+        normalized, _, std = normalize_features(x)
+        assert np.all(np.isfinite(normalized))
+
+    def test_reusing_train_statistics(self, rng):
+        train = rng.normal(size=(50, 3))
+        test = rng.normal(size=(20, 3))
+        _, mean, std = normalize_features(train)
+        normalized_test, _, _ = normalize_features(test, mean, std)
+        np.testing.assert_allclose(normalized_test, (test - mean) / std)

@@ -1,0 +1,36 @@
+"""Shared fast configs for experiment tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.configs import ExperimentConfig
+
+
+@pytest.fixture
+def fast_config() -> ExperimentConfig:
+    """A detection experiment small enough for unit tests (~1s)."""
+    return ExperimentConfig(
+        dataset="cifar",
+        client_share=0.9,
+        num_clients=12,
+        pool_size=900,
+        test_size=150,
+        clients_per_round=5,
+        pretrain_rounds=35,
+        pretrain_lr=0.1,
+        lookback=8,
+        quorum=3,
+        num_validators=5,
+        defense_start=10,
+        total_rounds=20,
+        attack_rounds=(13, 17),
+        poison_samples=40,
+        attack_epochs=4,
+        hidden=(32,),
+    )
+
+
+@pytest.fixture
+def fast_femnist_config(fast_config) -> ExperimentConfig:
+    return fast_config.with_updates(dataset="femnist", client_share=0.97)

@@ -1,0 +1,46 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        sub_actions = [
+            a for a in parser._actions if hasattr(a, "choices") and a.choices
+        ]
+        commands = set(sub_actions[0].choices)
+        assert {"detect", "table1", "fig3", "table2", "fig2", "fig4"} <= commands
+
+    def test_detect_defaults(self):
+        args = build_parser().parse_args(["detect"])
+        assert args.dataset == "cifar"
+        assert args.lookback == 20
+        assert args.quorum == 5
+
+    def test_invalid_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["detect", "--dataset", "mnist"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_detect_runs_and_prints(self, capsys):
+        code = main(["detect", "--seeds", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FP" in out and "FN" in out
+
+    def test_detect_server_mode(self, capsys):
+        code = main(
+            ["detect", "--seeds", "1", "--mode", "server", "--lookback", "10"]
+        )
+        assert code == 0
+        assert "mode=server" in capsys.readouterr().out

@@ -1,0 +1,72 @@
+"""Wiring tests: config knobs actually reach the components they control."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.environment import build_environment
+from repro.experiments.scenarios import _build_defense
+
+
+class TestValidatorKnobWiring:
+    def test_slack_reaches_validators(self, fast_config):
+        env = build_environment(fast_config, seed=0)
+        config = fast_config.with_updates(validator_slack=1.4)
+        defense = _build_defense(config, env)
+        some_validator = defense.validator_pool.get(
+            next(iter(range(1, config.num_clients)))
+        )
+        assert some_validator.threshold_slack == 1.4
+        assert defense.server_validator.threshold_slack == 1.4
+
+    def test_features_reach_validators(self, fast_config):
+        env = build_environment(fast_config, seed=0)
+        config = fast_config.with_updates(validator_features="source")
+        defense = _build_defense(config, env)
+        assert defense.server_validator.features == "source"
+
+    def test_normalize_reaches_validators(self, fast_config):
+        env = build_environment(fast_config, seed=0)
+        config = fast_config.with_updates(validator_normalize="class")
+        defense = _build_defense(config, env)
+        assert defense.server_validator.normalize == "class"
+
+    def test_dropout_reaches_defense_config(self, fast_config):
+        env = build_environment(fast_config, seed=0)
+        config = fast_config.with_updates(validator_dropout=0.25)
+        defense = _build_defense(config, env)
+        assert defense.config.dropout_rate == 0.25
+
+    def test_quorum_and_lookback_reach_defense(self, fast_config):
+        env = build_environment(fast_config, seed=0)
+        config = fast_config.with_updates(quorum=4, lookback=6)
+        defense = _build_defense(config, env)
+        assert defense.config.quorum == 4
+        assert defense.config.lookback == 6
+        assert defense.history.max_models == 7
+
+
+class TestDropoutScenario:
+    def test_scenario_with_dropout_still_detects(self, fast_config):
+        from repro.experiments.metrics import detection_stats
+        from repro.experiments.scenarios import run_stable_scenario
+
+        config = fast_config.with_updates(validator_dropout=0.2)
+        result = run_stable_scenario(config, seed=0)
+        stats = detection_stats(
+            result.records, result.injection_rounds, result.defense_start
+        )
+        # a 20% silent-validator rate should not break detection at q=3
+        assert stats.fn_rate <= 0.5
+
+
+class TestInvalidValidatorConfig:
+    def test_invalid_features_caught_at_build(self, fast_config):
+        env = build_environment(fast_config, seed=0)
+        with pytest.raises(ValueError):
+            _build_defense(fast_config.with_updates(validator_features="bogus"), env)
+
+    def test_invalid_slack_caught_at_build(self, fast_config):
+        env = build_environment(fast_config, seed=0)
+        with pytest.raises(ValueError):
+            _build_defense(fast_config.with_updates(validator_slack=0.5), env)

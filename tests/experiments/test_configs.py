@@ -1,0 +1,67 @@
+"""Unit tests for repro.experiments.configs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.configs import (
+    CIFAR_SPLITS,
+    FEMNIST_SPLITS,
+    PAPER_ATTACK_ROUNDS,
+    ExperimentConfig,
+    paper_config,
+)
+
+
+class TestExperimentConfig:
+    def test_defaults_match_paper_structure(self):
+        config = ExperimentConfig()
+        assert config.clients_per_round == 10
+        assert config.num_validators == 10
+        assert config.local_epochs == 2
+        assert config.lookback == 20
+        assert config.defense_start == 20
+        assert config.attack_rounds == PAPER_ATTACK_ROUNDS
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dataset": "mnist"},
+            {"client_share": 0.0},
+            {"client_share": 1.0},
+            {"defense_start": 50, "total_rounds": 50},
+            {"attack_rounds": (99,)},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ExperimentConfig(**kwargs)
+
+    def test_with_updates_returns_modified_copy(self):
+        config = ExperimentConfig()
+        updated = config.with_updates(lookback=30)
+        assert updated.lookback == 30
+        assert config.lookback == 20
+
+    def test_environment_key_ignores_defense_params(self):
+        base = ExperimentConfig()
+        assert base.environment_key(0) == base.with_updates(
+            lookback=30, quorum=7, mode="server"
+        ).environment_key(0)
+
+    def test_environment_key_tracks_data_params(self):
+        base = ExperimentConfig()
+        assert base.environment_key(0) != base.with_updates(
+            pool_size=100
+        ).environment_key(0)
+        assert base.environment_key(0) != base.environment_key(1)
+
+    def test_paper_splits_defined(self):
+        assert len(CIFAR_SPLITS) == 3
+        assert len(FEMNIST_SPLITS) == 3
+        assert all(0 < s < 1 for s in CIFAR_SPLITS + FEMNIST_SPLITS)
+
+    def test_paper_config_helper(self):
+        config = paper_config("femnist", 0.99, lookback=10)
+        assert config.dataset == "femnist"
+        assert config.lookback == 10

@@ -1,0 +1,75 @@
+"""Unit tests for detection bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.metrics import (
+    DetectionStats,
+    aggregate_stats,
+    detection_stats,
+)
+from repro.fl.simulation import DefenseDecision, RoundRecord
+
+
+def record(round_idx: int, accepted: bool) -> RoundRecord:
+    return RoundRecord(
+        round_idx=round_idx,
+        contributor_ids=[],
+        malicious_present=False,
+        accepted=accepted,
+        decision=DefenseDecision(accepted=accepted),
+    )
+
+
+class TestDetectionStats:
+    def test_classification_of_rounds(self):
+        records = [
+            record(10, accepted=True),   # clean accepted -> TN
+            record(11, accepted=False),  # clean rejected -> FP
+            record(12, accepted=False),  # poisoned rejected -> TP
+            record(13, accepted=True),   # poisoned accepted -> FN
+        ]
+        stats = detection_stats(records, injection_rounds={12, 13}, defense_start=10)
+        assert (stats.true_negatives, stats.false_positives) == (1, 1)
+        assert (stats.true_positives, stats.false_negatives) == (1, 1)
+
+    def test_pre_defense_rounds_ignored(self):
+        records = [record(0, accepted=False), record(10, accepted=True)]
+        stats = detection_stats(records, injection_rounds=set(), defense_start=5)
+        assert stats.false_positives == 0
+        assert stats.true_negatives == 1
+
+    def test_rates(self):
+        stats = DetectionStats(
+            true_positives=3, false_positives=1, true_negatives=9, false_negatives=1
+        )
+        assert stats.fp_rate == pytest.approx(0.1)
+        assert stats.fn_rate == pytest.approx(0.25)
+        assert stats.detection_accuracy == pytest.approx(12 / 14)
+
+    def test_rates_with_no_rounds(self):
+        stats = DetectionStats(0, 0, 0, 0)
+        assert stats.fp_rate == 0.0
+        assert stats.fn_rate == 0.0
+        assert stats.detection_accuracy == 0.0
+
+
+class TestAggregateStats:
+    def test_mean_and_std(self):
+        runs = [
+            DetectionStats(1, 0, 9, 1),  # fn 0.5, fp 0.0
+            DetectionStats(2, 1, 9, 0),  # fn 0.0, fp 0.1
+        ]
+        agg = aggregate_stats(runs)
+        assert agg.fn_mean == pytest.approx(0.25)
+        assert agg.fp_mean == pytest.approx(0.05)
+        assert agg.num_runs == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_stats([])
+
+    def test_str_rendering(self):
+        agg = aggregate_stats([DetectionStats(1, 0, 9, 0)])
+        assert "FP" in str(agg) and "FN" in str(agg)

@@ -1,0 +1,55 @@
+"""Unit tests for JSON persistence of experiment results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.metrics import AggregateStats
+from repro.experiments.persistence import load_results, save_results
+
+
+def stats(fp=0.1, fn=0.2):
+    return AggregateStats(fp_mean=fp, fp_std=0.01, fn_mean=fn, fn_std=0.02, num_runs=3)
+
+
+class TestRoundTrip:
+    def test_tuple_keys_preserved(self, tmp_path):
+        results = {(20, 0.9, "both"): stats(), (10, 0.95, "clients"): stats(0.0, 0.0)}
+        path = save_results(results, tmp_path / "out.json")
+        loaded, _ = load_results(path)
+        assert set(loaded) == set(results)
+        assert loaded[(20, 0.9, "both")].fp_mean == pytest.approx(0.1)
+
+    def test_scalar_keys_preserved(self, tmp_path):
+        results = {0.9: stats(), "label": stats()}
+        path = save_results(results, tmp_path / "out.json")
+        loaded, _ = load_results(path)
+        assert 0.9 in loaded and "label" in loaded
+
+    def test_metadata_round_trips(self, tmp_path):
+        path = save_results(
+            {(1,): stats()}, tmp_path / "out.json", metadata={"dataset": "cifar"}
+        )
+        _, metadata = load_results(path)
+        assert metadata == {"dataset": "cifar"}
+
+    def test_all_fields_preserved(self, tmp_path):
+        original = stats(0.123, 0.456)
+        path = save_results({"x": original}, tmp_path / "out.json")
+        loaded, _ = load_results(path)
+        restored = loaded["x"]
+        assert restored.fp_mean == pytest.approx(original.fp_mean)
+        assert restored.fp_std == pytest.approx(original.fp_std)
+        assert restored.fn_mean == pytest.approx(original.fn_mean)
+        assert restored.fn_std == pytest.approx(original.fn_std)
+        assert restored.num_runs == original.num_runs
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_results({"a": stats()}, tmp_path / "deep" / "dir" / "out.json")
+        assert path.exists()
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": 99, "results": {}}')
+        with pytest.raises(ValueError):
+            load_results(path)

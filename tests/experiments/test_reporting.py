@@ -1,0 +1,79 @@
+"""Unit tests for paper-style text reports."""
+
+from __future__ import annotations
+
+from repro.experiments.metrics import AggregateStats
+from repro.experiments.reporting import (
+    format_quorum_series,
+    format_series,
+    format_table1,
+    format_table2,
+    format_vote_distribution,
+)
+
+
+def stats(fp=0.1, fn=0.0):
+    return AggregateStats(fp_mean=fp, fp_std=0.01, fn_mean=fn, fn_std=0.0, num_runs=5)
+
+
+class TestTable1:
+    def test_contains_all_cells(self):
+        results = {
+            (10, 0.9, m): stats() for m in ("clients", "server", "both")
+        }
+        text = format_table1(results, lookbacks=(10,), splits=(0.9,), dataset="cifar")
+        assert "90-10" in text
+        assert "FP(C+S)" in text
+        assert "0.100" in text
+
+    def test_missing_cells_rendered_as_dash(self):
+        text = format_table1({}, lookbacks=(10,), splits=(0.9,), dataset="cifar")
+        assert "-" in text
+
+
+class TestQuorumSeries:
+    def test_rows_per_quorum(self):
+        results = {
+            (q, 0.9, m): stats()
+            for q in (3, 4)
+            for m in ("clients", "server", "both")
+        }
+        text = format_quorum_series(results, quorums=(3, 4), split=0.9, dataset="cifar")
+        assert text.count("\n") >= 3
+
+
+class TestTable2:
+    def test_adaptive_rows(self):
+        from repro.experiments.runner import AdaptiveExperimentResult
+
+        result = AdaptiveExperimentResult(
+            non_adaptive=stats(fn=0.0),
+            adaptive=stats(fn=0.111),
+            adaptive_reject_votes=(9, 10),
+            self_check_pass_rate=0.5,
+        )
+        text = format_table2({0.9: result})
+        assert "Adaptive" in text and "Non-Adaptive" in text
+        assert "0.111" in text
+
+
+class TestVoteDistribution:
+    def test_cumulative_shares(self):
+        text = format_vote_distribution({0.9: [10, 5, 8]}, num_validators=10)
+        assert "90-10" in text
+        # all injections got >= 1 vote
+        assert "1.00" in text
+
+    def test_empty_votes_skipped(self):
+        text = format_vote_distribution({0.9: []}, num_validators=10)
+        assert "90-10" not in text
+
+
+class TestGenericSeries:
+    def test_alignment(self):
+        text = format_series(
+            "Figure X", {"main": [0.9, 0.95], "backdoor": [0.1, 0.0]}, x=[0, 1]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "main" in lines[1]

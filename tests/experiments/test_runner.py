@@ -1,0 +1,52 @@
+"""Tests for the experiment runner and sweeps (fast configs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import (
+    run_adaptive_experiment,
+    run_detection_experiment,
+    sweep_lookback,
+    sweep_quorum,
+)
+
+
+class TestRunDetectionExperiment:
+    def test_aggregates_over_seeds(self, fast_config):
+        stats = run_detection_experiment(fast_config, seeds=(0, 1))
+        assert stats.num_runs == 2
+        assert 0.0 <= stats.fp_mean <= 1.0
+        assert 0.0 <= stats.fn_mean <= 1.0
+
+    def test_detection_works_in_fast_config(self, fast_config):
+        stats = run_detection_experiment(fast_config, seeds=(0,))
+        assert stats.fn_mean == 0.0
+
+
+class TestSweeps:
+    def test_sweep_lookback_covers_grid(self, fast_config):
+        results = sweep_lookback(
+            fast_config, lookbacks=(6, 8), splits=(0.9,), modes=("clients",),
+            seeds=(0,),
+        )
+        assert set(results) == {(6, 0.9, "clients"), (8, 0.9, "clients")}
+
+    def test_sweep_quorum_replicates_server_stats(self, fast_config):
+        results = sweep_quorum(
+            fast_config, quorums=(2, 3), splits=(0.9,),
+            modes=("clients", "server"), seeds=(0,),
+        )
+        assert results[(2, 0.9, "server")] is results[(3, 0.9, "server")]
+        assert (2, 0.9, "clients") in results
+
+
+class TestAdaptiveExperiment:
+    def test_result_fields(self, fast_config):
+        result = run_adaptive_experiment(
+            fast_config.with_updates(adaptive_max_trials=3), seeds=(0,)
+        )
+        assert result.non_adaptive.num_runs == 1
+        assert result.adaptive.num_runs == 1
+        assert len(result.adaptive_reject_votes) == len(fast_config.attack_rounds)
+        assert 0.0 <= result.self_check_pass_rate <= 1.0

@@ -1,0 +1,66 @@
+"""Error paths and edge cases of the scenario builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scenarios import _build_clients, _build_defense
+from repro.experiments.environment import build_environment
+from repro.fl.client import HonestClient
+
+
+class TestBuildDefense:
+    def test_server_mode_has_no_pool(self, fast_config):
+        env = build_environment(fast_config, seed=0)
+        defense = _build_defense(fast_config.with_updates(mode="server"), env)
+        assert defense.validator_pool is None
+        assert defense.server_validator is not None
+
+    def test_clients_mode_has_no_server_validator(self, fast_config):
+        env = build_environment(fast_config, seed=0)
+        defense = _build_defense(fast_config.with_updates(mode="clients"), env)
+        assert defense.server_validator is None
+
+    def test_attacker_excluded_from_pool(self, fast_config):
+        env = build_environment(fast_config, seed=0)
+        defense = _build_defense(fast_config, env)
+        assert env.attacker_id not in defense.validator_pool
+
+    def test_malicious_validators_injected(self, fast_config):
+        from repro.core.validation import ConstantVoteValidator
+
+        env = build_environment(fast_config, seed=0)
+        config = fast_config.with_updates(
+            malicious_validators=2, malicious_vote_strategy="shield"
+        )
+        defense = _build_defense(config, env)
+        liars = [
+            cid
+            for cid in range(config.num_clients)
+            if cid in defense.validator_pool
+            and isinstance(defense.validator_pool.get(cid), ConstantVoteValidator)
+        ]
+        assert len(liars) == 2
+
+
+class TestBuildClients:
+    def test_adaptive_without_defense_rejected(self, fast_config):
+        env = build_environment(fast_config, seed=0)
+        with pytest.raises(ValueError):
+            _build_clients(
+                fast_config.with_updates(adaptive=True), env, None, 1.0
+            )
+
+    def test_single_attacker_rest_honest(self, fast_config):
+        env = build_environment(fast_config, seed=0)
+        clients = _build_clients(fast_config, env, None, 1.0)
+        malicious = [c for c in clients if c.is_malicious]
+        assert len(malicious) == 1
+        assert malicious[0].client_id == env.attacker_id
+        assert all(isinstance(c, HonestClient) for c in clients if not c.is_malicious)
+
+    def test_boost_matches_global_lr(self, fast_config):
+        env = build_environment(fast_config, seed=0)
+        clients = _build_clients(fast_config, env, None, effective_global_lr=2.0)
+        attacker = clients[env.attacker_id]
+        assert attacker.replacement.boost == fast_config.num_clients / 2.0

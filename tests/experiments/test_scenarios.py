@@ -1,0 +1,124 @@
+"""Tests for the evaluation scenarios (fast configs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.metrics import detection_stats
+from repro.experiments.scenarios import (
+    run_early_scenario,
+    run_error_trace,
+    run_stable_scenario,
+)
+
+
+class TestStableScenario:
+    def test_detects_injections(self, fast_config):
+        result = run_stable_scenario(fast_config, seed=0)
+        stats = detection_stats(
+            result.records, result.injection_rounds, result.defense_start
+        )
+        assert stats.fn_rate == 0.0
+        assert stats.fp_rate <= 0.3
+
+    def test_record_count_matches_rounds(self, fast_config):
+        result = run_stable_scenario(fast_config, seed=0)
+        assert len(result.records) == fast_config.total_rounds
+
+    def test_metrics_tracked_when_requested(self, fast_config):
+        result = run_stable_scenario(fast_config, seed=0, track_metrics=True)
+        assert len(result.main_accuracy) == fast_config.total_rounds
+        assert all(0.0 <= a <= 1.0 for a in result.main_accuracy)
+
+    def test_metrics_skipped_by_default(self, fast_config):
+        result = run_stable_scenario(fast_config, seed=0)
+        assert result.main_accuracy == []
+
+    def test_votes_on_injections_reported(self, fast_config):
+        result = run_stable_scenario(fast_config, seed=0)
+        votes = result.reject_votes_on_injections()
+        assert len(votes) == len(fast_config.attack_rounds)
+        assert all(v >= fast_config.quorum for v in votes)
+
+    def test_secure_agg_path_runs(self, fast_config):
+        result = run_stable_scenario(fast_config, seed=0, use_secure_agg=True)
+        stats = detection_stats(
+            result.records, result.injection_rounds, result.defense_start
+        )
+        assert stats.fn_rate == 0.0
+
+    def test_adaptive_attacker_records_self_checks(self, fast_config):
+        result = run_stable_scenario(
+            fast_config.with_updates(adaptive=True, adaptive_max_trials=3), seed=0
+        )
+        assert set(result.self_check_passed) == set(fast_config.attack_rounds)
+
+    def test_server_only_mode_runs(self, fast_config):
+        result = run_stable_scenario(fast_config.with_updates(mode="server"), seed=0)
+        stats = detection_stats(
+            result.records, result.injection_rounds, result.defense_start
+        )
+        assert stats.fn_rate == 0.0
+
+    def test_femnist_scenario(self, fast_femnist_config):
+        result = run_stable_scenario(fast_femnist_config, seed=0)
+        stats = detection_stats(
+            result.records, result.injection_rounds, result.defense_start
+        )
+        assert stats.fn_rate == 0.0
+
+
+class TestEarlyScenario:
+    def test_defended_run_rejects_late_injections(self, fast_config):
+        result = run_early_scenario(
+            fast_config, seed=0,
+            total_rounds=40, defense_start=26,
+            early_injections=(8,), late_injection_start=26,
+            late_injection_every=3, late_injection_count=3,
+        )
+        late = {26, 29, 32}
+        rejected = {r.round_idx for r in result.records if not r.accepted}
+        assert late.issubset(rejected)
+
+    def test_undefended_run_accepts_everything(self, fast_config):
+        result = run_early_scenario(
+            fast_config, seed=0,
+            total_rounds=30, defense_start=None,
+            early_injections=(8,), late_injection_start=20,
+            late_injection_every=3, late_injection_count=2,
+        )
+        assert all(r.accepted for r in result.records)
+
+    def test_early_backdoor_fades(self, fast_config):
+        result = run_early_scenario(
+            fast_config, seed=0,
+            total_rounds=30, defense_start=None,
+            early_injections=(8,), late_injection_start=25,
+            late_injection_every=2, late_injection_count=1,
+        )
+        bd = np.array(result.backdoor_accuracy)
+        # high right after the injection, lower a few rounds later
+        assert bd[8] > 0.5
+        assert bd[20] < bd[8]
+
+    def test_injection_beyond_rounds_rejected(self, fast_config):
+        with pytest.raises(ValueError):
+            run_early_scenario(
+                fast_config, seed=0, total_rounds=10, defense_start=None,
+                early_injections=(20,), late_injection_count=0,
+            )
+
+
+class TestErrorTrace:
+    def test_trace_shapes(self, fast_config):
+        traces = run_error_trace(fast_config, seed=0, rounds=12, injections=(8,))
+        assert traces["clean"].shape == (12, 10)
+        assert traces["poisoned"].shape == (12, 10)
+
+    def test_poisoned_run_disturbs_source_class(self, fast_config):
+        traces = run_error_trace(fast_config, seed=0, rounds=12, injections=(8, 10))
+        source = int(traces["source_class"])
+        clean_err = traces["clean"][8:, source].max()
+        poisoned_err = traces["poisoned"][8:, source].max()
+        assert poisoned_err > clean_err

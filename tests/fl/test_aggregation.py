@@ -1,0 +1,74 @@
+"""Unit + property tests for repro.fl.aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fl.aggregation import FedAvgAggregator, apply_global_update
+
+
+class TestFedAvg:
+    def test_mean_of_updates(self, rng):
+        agg = FedAvgAggregator()
+        updates = [np.array([1.0, 2.0]), np.array([3.0, 4.0])]
+        np.testing.assert_allclose(agg.aggregate(updates, rng), [2.0, 3.0])
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(ValueError):
+            FedAvgAggregator().aggregate([], rng)
+
+    def test_secure_agg_compatible_flag(self):
+        assert not FedAvgAggregator().requires_individual_updates
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        n=st.integers(1, 10),
+        dim=st.integers(1, 20),
+        scale=st.floats(0.1, 10.0),
+    )
+    def test_linearity_property(self, seed, n, dim, scale):
+        """FedAvg(c * U) == c * FedAvg(U): the mean is linear."""
+        rng = np.random.default_rng(seed)
+        updates = [rng.normal(size=dim) for _ in range(n)]
+        agg = FedAvgAggregator()
+        lhs = agg.aggregate([scale * u for u in updates], rng)
+        rhs = scale * agg.aggregate(updates, rng)
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-10)
+
+
+class TestApplyGlobalUpdate:
+    def test_full_replacement_with_default_lambda(self, rng):
+        """lambda = N/n makes G' = G + mean(U)."""
+        g = rng.normal(size=5)
+        mean_update = rng.normal(size=5)
+        out = apply_global_update(g, mean_update, num_selected=10, global_lr=10.0, num_clients=100)
+        np.testing.assert_allclose(out, g + mean_update)
+
+    def test_damped_update(self, rng):
+        g = np.zeros(3)
+        mean_update = np.ones(3)
+        out = apply_global_update(g, mean_update, num_selected=10, global_lr=1.0, num_clients=30)
+        np.testing.assert_allclose(out, np.full(3, 10.0 / 30.0))
+
+    def test_paper_formula(self, rng):
+        """G' = G + (lambda/N) * sum_i U_i, via the mean interface."""
+        g = rng.normal(size=4)
+        updates = [rng.normal(size=4) for _ in range(5)]
+        lam, n_clients = 2.0, 50
+        expected = g + (lam / n_clients) * np.sum(updates, axis=0)
+        out = apply_global_update(
+            g, np.mean(updates, axis=0), num_selected=5, global_lr=lam, num_clients=n_clients
+        )
+        np.testing.assert_allclose(out, expected)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_selected": 0, "global_lr": 1.0, "num_clients": 10},
+        {"num_selected": 5, "global_lr": 0.0, "num_clients": 10},
+    ])
+    def test_invalid_args(self, kwargs, rng):
+        with pytest.raises(ValueError):
+            apply_global_update(np.zeros(2), np.zeros(2), **kwargs)

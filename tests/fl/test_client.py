@@ -1,0 +1,61 @@
+"""Unit tests for repro.fl.client."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fl.client import HonestClient, LocalTrainingConfig, local_train
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.models import make_mlp
+
+
+class TestLocalTrainingConfig:
+    @pytest.mark.parametrize(
+        "kwargs", [{"epochs": 0}, {"batch_size": 0}, {"lr": 0.0}]
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LocalTrainingConfig(**kwargs)
+
+
+class TestLocalTrain:
+    def test_improves_loss(self, tiny_dataset, tiny_mlp, rng):
+        loss = SoftmaxCrossEntropy()
+        before = loss.forward(tiny_mlp.forward(tiny_dataset.x), tiny_dataset.y)
+        local_train(
+            tiny_mlp, tiny_dataset, LocalTrainingConfig(epochs=10, lr=0.1), rng
+        )
+        after = loss.forward(tiny_mlp.forward(tiny_dataset.x), tiny_dataset.y)
+        assert after < before
+
+    def test_empty_dataset_rejected(self, tiny_mlp, rng):
+        from repro.data.dataset import Dataset
+
+        empty = Dataset(np.zeros((0, 2)), np.zeros(0, dtype=int), 3)
+        with pytest.raises(ValueError):
+            local_train(tiny_mlp, empty, LocalTrainingConfig(), rng)
+
+    def test_mutates_model_in_place(self, tiny_dataset, tiny_mlp, rng):
+        before = tiny_mlp.get_flat()
+        returned = local_train(tiny_mlp, tiny_dataset, LocalTrainingConfig(), rng)
+        assert returned is tiny_mlp
+        assert not np.allclose(tiny_mlp.get_flat(), before)
+
+
+class TestHonestClient:
+    def test_update_is_difference_of_models(self, tiny_dataset, rng):
+        model = make_mlp(2, 3, rng, hidden=(8,))
+        client = HonestClient(0, tiny_dataset)
+        before = model.get_flat()
+        update = client.produce_update(model, LocalTrainingConfig(), 0, rng)
+        # the global model itself must be untouched
+        np.testing.assert_array_equal(model.get_flat(), before)
+        assert update.shape == before.shape
+        assert np.abs(update).max() > 0.0
+
+    def test_not_malicious(self, tiny_dataset):
+        assert not HonestClient(0, tiny_dataset).is_malicious
+
+    def test_repr_mentions_honest(self, tiny_dataset):
+        assert "honest" in repr(HonestClient(3, tiny_dataset))

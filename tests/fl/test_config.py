@@ -1,0 +1,46 @@
+"""Unit tests for repro.fl.config.FLConfig."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fl.config import FLConfig
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_clients": 0},
+            {"clients_per_round": 0},
+            {"num_clients": 5, "clients_per_round": 6},
+            {"local_epochs": 0},
+            {"batch_size": 0},
+            {"client_lr": 0.0},
+            {"global_lr": 0.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FLConfig(**kwargs)
+
+    def test_defaults_valid(self):
+        FLConfig()
+
+
+class TestDerivedQuantities:
+    def test_default_global_lr_is_full_replacement(self):
+        cfg = FLConfig(num_clients=100, clients_per_round=10)
+        assert cfg.effective_global_lr == 10.0
+
+    def test_explicit_global_lr_respected(self):
+        cfg = FLConfig(num_clients=100, clients_per_round=10, global_lr=1.0)
+        assert cfg.effective_global_lr == 1.0
+
+    def test_replacement_boost_inverse_of_lambda(self):
+        cfg = FLConfig(num_clients=30, clients_per_round=10, global_lr=1.0)
+        assert cfg.replacement_boost == 30.0
+
+    def test_boost_with_default_lambda_equals_n(self):
+        cfg = FLConfig(num_clients=100, clients_per_round=10)
+        assert cfg.replacement_boost == 10.0

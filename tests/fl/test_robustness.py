@@ -1,0 +1,99 @@
+"""Robustness features: gradient clipping and non-finite-update handling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.partition import iid_partition
+from repro.fl.client import (
+    Client,
+    HonestClient,
+    LocalTrainingConfig,
+    clip_gradients,
+    local_train,
+)
+from repro.fl.config import FLConfig
+from repro.fl.simulation import FederatedSimulation
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.models import make_mlp
+
+
+class TestGradientClipping:
+    def test_clip_scales_to_max_norm(self, tiny_mlp, tiny_dataset):
+        loss = SoftmaxCrossEntropy()
+        tiny_mlp.zero_grad()
+        loss.forward(tiny_mlp.forward(tiny_dataset.x, train=True), tiny_dataset.y)
+        tiny_mlp.backward(loss.backward())
+        pre_norm = float(np.linalg.norm(tiny_mlp.get_grad_flat()))
+        returned = clip_gradients(tiny_mlp, max_norm=pre_norm / 10)
+        assert returned == pytest.approx(pre_norm)
+        post = float(np.linalg.norm(tiny_mlp.get_grad_flat()))
+        assert post == pytest.approx(pre_norm / 10)
+
+    def test_no_clip_below_threshold(self, tiny_mlp, tiny_dataset):
+        loss = SoftmaxCrossEntropy()
+        tiny_mlp.zero_grad()
+        loss.forward(tiny_mlp.forward(tiny_dataset.x, train=True), tiny_dataset.y)
+        tiny_mlp.backward(loss.backward())
+        before = tiny_mlp.get_grad_flat()
+        clip_gradients(tiny_mlp, max_norm=1e9)
+        np.testing.assert_array_equal(tiny_mlp.get_grad_flat(), before)
+
+    def test_invalid_max_norm(self, tiny_mlp):
+        with pytest.raises(ValueError):
+            clip_gradients(tiny_mlp, max_norm=0.0)
+
+    def test_local_train_with_clipping_converges(self, tiny_dataset, rng):
+        model = make_mlp(2, 3, rng, hidden=(8,))
+        config = LocalTrainingConfig(epochs=20, lr=0.1, max_grad_norm=1.0)
+        local_train(model, tiny_dataset, config, rng)
+        acc = (model.predict(tiny_dataset.x) == tiny_dataset.y).mean()
+        assert acc > 0.9
+
+    def test_config_validates_max_grad_norm(self):
+        with pytest.raises(ValueError):
+            LocalTrainingConfig(max_grad_norm=0.0)
+
+
+class NaNClient(Client):
+    """A crash-faulty client: submits a NaN-poisoned update."""
+
+    def produce_update(self, global_model, config, round_idx, rng):
+        update = np.zeros(global_model.num_parameters)
+        update[0] = np.nan
+        return update
+
+
+class TestNonFiniteUpdates:
+    @pytest.fixture
+    def world(self, rng):
+        labels = np.tile(np.arange(3), 40)
+        centers = np.array([[2.0, 0.0], [-2.0, 1.5], [0.0, -2.5]])
+        x = centers[labels] + rng.normal(0.0, 0.4, size=(120, 2))
+        pool = Dataset(x, labels, 3)
+        parts = iid_partition(len(pool), 4, rng)
+        clients = [NaNClient(0, pool.subset(parts[0]))] + [
+            HonestClient(i, pool.subset(parts[i])) for i in range(1, 4)
+        ]
+        model = make_mlp(2, 3, rng, hidden=(8,))
+        config = FLConfig(num_clients=4, clients_per_round=4, local_epochs=1)
+        return model, clients, config
+
+    def test_nan_round_rejected_and_model_preserved(self, world, rng):
+        model, clients, config = world
+        sim = FederatedSimulation(model, clients, config, rng)
+        before = sim.global_model.get_flat().copy()
+        record = sim.run_round()
+        assert not record.accepted
+        np.testing.assert_array_equal(sim.global_model.get_flat(), before)
+        assert np.isfinite(sim.global_model.get_flat()).all()
+
+    def test_training_continues_after_nan_round(self, world, rng):
+        model, clients, config = world
+        sim = FederatedSimulation(model, clients, config, rng)
+        records = sim.run(5)
+        # every round contains the NaN client (4 of 4 selected): all rejected
+        assert not any(r.accepted for r in records)
+        assert np.isfinite(sim.global_model.get_flat()).all()

@@ -1,0 +1,77 @@
+"""Unit + property tests for the secure-aggregation simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fl.secure_agg import SecureAggregator, make_pairwise_masks
+
+
+class TestPairwiseMasks:
+    def test_masks_cancel_exactly(self):
+        masks = make_pairwise_masks([3, 1, 7], dim=10, round_seed=0)
+        total = sum(masks.values())
+        np.testing.assert_allclose(total, np.zeros(10), atol=1e-12)
+
+    def test_single_client_unmasked(self):
+        masks = make_pairwise_masks([5], dim=4, round_seed=0)
+        np.testing.assert_array_equal(masks[5], np.zeros(4))
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            make_pairwise_masks([1, 1], dim=2, round_seed=0)
+
+    def test_masks_are_nontrivial(self):
+        masks = make_pairwise_masks([0, 1], dim=8, round_seed=0)
+        assert np.abs(masks[0]).max() > 0.1
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(2, 8),
+        dim=st.integers(1, 30),
+        round_seed=st.integers(0, 10_000),
+    )
+    def test_cancellation_property(self, n, dim, round_seed):
+        """For any round and cohort, the masks sum to zero."""
+        masks = make_pairwise_masks(list(range(n)), dim, round_seed)
+        np.testing.assert_allclose(sum(masks.values()), np.zeros(dim), atol=1e-9)
+
+
+class TestSecureAggregator:
+    def test_sum_recovered(self, rng):
+        updates = {i: rng.normal(size=6) for i in range(4)}
+        agg = SecureAggregator(list(updates), dim=6, round_seed=3)
+        submissions = [agg.blind(i, u) for i, u in updates.items()]
+        total = agg.unmask_sum(submissions)
+        np.testing.assert_allclose(total, sum(updates.values()), atol=1e-9)
+
+    def test_blinded_submission_hides_update(self, rng):
+        update = rng.normal(size=6)
+        agg = SecureAggregator([0, 1], dim=6, round_seed=3)
+        blinded = agg.blind(0, update)
+        assert not np.allclose(blinded.blinded, update, atol=0.01)
+
+    def test_unknown_client_rejected(self, rng):
+        agg = SecureAggregator([0, 1], dim=3, round_seed=0)
+        with pytest.raises(KeyError):
+            agg.blind(9, np.zeros(3))
+
+    def test_wrong_dim_rejected(self):
+        agg = SecureAggregator([0, 1], dim=3, round_seed=0)
+        with pytest.raises(ValueError):
+            agg.blind(0, np.zeros(4))
+
+    def test_missing_submission_rejected(self, rng):
+        agg = SecureAggregator([0, 1, 2], dim=3, round_seed=0)
+        submissions = [agg.blind(0, np.zeros(3)), agg.blind(1, np.zeros(3))]
+        with pytest.raises(ValueError):
+            agg.unmask_sum(submissions)
+
+    def test_round_seed_changes_masks(self, rng):
+        update = rng.normal(size=4)
+        a = SecureAggregator([0, 1], dim=4, round_seed=1).blind(0, update)
+        b = SecureAggregator([0, 1], dim=4, round_seed=2).blind(0, update)
+        assert not np.allclose(a.blinded, b.blinded)

@@ -1,0 +1,64 @@
+"""Unit tests for repro.fl.selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fl.selection import ScheduledSelector, UniformSelector
+
+
+class TestUniformSelector:
+    def test_selects_requested_count(self, rng):
+        sel = UniformSelector(30, 10)
+        chosen = sel.select(0, rng)
+        assert len(chosen) == 10
+        assert len(set(chosen)) == 10
+
+    def test_ids_in_range(self, rng):
+        sel = UniformSelector(15, 5)
+        for round_idx in range(20):
+            assert all(0 <= c < 15 for c in sel.select(round_idx, rng))
+
+    def test_all_clients_eventually_selected(self, rng):
+        sel = UniformSelector(10, 3)
+        seen = set()
+        for round_idx in range(200):
+            seen.update(sel.select(round_idx, rng))
+        assert seen == set(range(10))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            UniformSelector(5, 6)
+        with pytest.raises(ValueError):
+            UniformSelector(5, 0)
+
+
+class TestScheduledSelector:
+    def test_forced_client_present(self, rng):
+        sel = ScheduledSelector(20, 5, {3: [7]})
+        assert 7 in sel.select(3, rng)
+
+    def test_unforced_round_is_uniform(self, rng):
+        sel = ScheduledSelector(20, 5, {3: [7]})
+        chosen = sel.select(0, rng)
+        assert len(chosen) == 5
+
+    def test_forced_clients_not_duplicated(self, rng):
+        sel = ScheduledSelector(20, 5, {0: [1, 2]})
+        chosen = sel.select(0, rng)
+        assert len(chosen) == 5
+        assert len(set(chosen)) == 5
+        assert 1 in chosen and 2 in chosen
+
+    def test_too_many_forced_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduledSelector(20, 2, {0: [1, 2, 3]})
+
+    def test_out_of_range_forced_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduledSelector(20, 5, {0: [25]})
+
+    def test_duplicate_forced_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduledSelector(20, 5, {0: [1, 1]})

@@ -1,0 +1,141 @@
+"""Unit tests for repro.fl.simulation.FederatedSimulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.partition import iid_partition
+from repro.fl.client import HonestClient
+from repro.fl.config import FLConfig
+from repro.fl.simulation import DefenseDecision, FederatedSimulation
+from repro.nn.models import make_mlp
+
+
+@pytest.fixture
+def small_world(rng):
+    """6 honest clients on a separable 3-class problem + a model."""
+    centers = np.array([[2.0, 0.0], [-2.0, 1.5], [0.0, -2.5]])
+    labels = np.tile(np.arange(3), 80)
+    x = centers[labels] + rng.normal(0.0, 0.4, size=(240, 2))
+    pool = Dataset(x, labels, 3)
+    parts = iid_partition(len(pool), 6, rng)
+    clients = [HonestClient(i, pool.subset(p)) for i, p in enumerate(parts)]
+    model = make_mlp(2, 3, rng, hidden=(8,))
+    config = FLConfig(num_clients=6, clients_per_round=3, local_epochs=1, batch_size=16)
+    return model, clients, config
+
+
+class RejectEverything:
+    """A defense stub that rejects every round."""
+
+    def __init__(self):
+        self.outcomes = []
+
+    def review(self, candidate, round_idx, rng):
+        return DefenseDecision(accepted=False, reject_votes=1, num_validators=1)
+
+    def record_outcome(self, candidate, accepted):
+        self.outcomes.append(accepted)
+
+
+class TestRoundLoop:
+    def test_round_records_have_sequential_indices(self, small_world, rng):
+        model, clients, config = small_world
+        sim = FederatedSimulation(model, clients, config, rng)
+        records = sim.run(4)
+        assert [r.round_idx for r in records] == [0, 1, 2, 3]
+
+    def test_model_changes_each_round(self, small_world, rng):
+        model, clients, config = small_world
+        sim = FederatedSimulation(model, clients, config, rng)
+        before = sim.global_model.get_flat()
+        sim.run_round()
+        assert not np.allclose(sim.global_model.get_flat(), before)
+
+    def test_accuracy_improves_over_rounds(self, small_world, rng):
+        model, clients, config = small_world
+        all_data = Dataset.concat([c.dataset for c in clients])
+        sim = FederatedSimulation(model, clients, config, rng)
+        before = (sim.global_model.predict(all_data.x) == all_data.y).mean()
+        sim.run(15)
+        after = (sim.global_model.predict(all_data.x) == all_data.y).mean()
+        assert after > before
+        assert after > 0.9
+
+    def test_metric_hooks_recorded(self, small_world, rng):
+        model, clients, config = small_world
+        sim = FederatedSimulation(
+            model, clients, config, rng,
+            metric_hooks={"norm": lambda m: float(np.linalg.norm(m.get_flat()))},
+        )
+        record = sim.run_round()
+        assert "norm" in record.metrics
+
+
+class TestDefenseIntegration:
+    def test_rejection_keeps_model(self, small_world, rng):
+        model, clients, config = small_world
+        defense = RejectEverything()
+        sim = FederatedSimulation(model, clients, config, rng, defense=defense)
+        before = sim.global_model.get_flat().copy()
+        record = sim.run_round()
+        assert not record.accepted
+        np.testing.assert_array_equal(sim.global_model.get_flat(), before)
+
+    def test_defense_notified_of_outcome(self, small_world, rng):
+        model, clients, config = small_world
+        defense = RejectEverything()
+        sim = FederatedSimulation(model, clients, config, rng, defense=defense)
+        sim.run(3)
+        assert defense.outcomes == [False, False, False]
+
+    def test_no_defense_accepts_everything(self, small_world, rng):
+        model, clients, config = small_world
+        sim = FederatedSimulation(model, clients, config, rng)
+        records = sim.run(3)
+        assert all(r.accepted for r in records)
+
+
+class TestSecureAggregationPath:
+    def test_secure_agg_matches_fedavg(self, small_world):
+        model, clients, config = small_world
+        plain = FederatedSimulation(
+            model.clone(), clients, config, np.random.default_rng(42)
+        )
+        secure = FederatedSimulation(
+            model.clone(), clients, config, np.random.default_rng(42),
+            use_secure_agg=True,
+        )
+        plain.run(3)
+        secure.run(3)
+        np.testing.assert_allclose(
+            plain.global_model.get_flat(),
+            secure.global_model.get_flat(),
+            atol=1e-9,
+        )
+
+    def test_incompatible_aggregator_rejected(self, small_world, rng):
+        from repro.baselines.krum import KrumAggregator
+
+        model, clients, config = small_world
+        with pytest.raises(ValueError):
+            FederatedSimulation(
+                model, clients, config, rng,
+                aggregator=KrumAggregator(num_malicious=0),
+                use_secure_agg=True,
+            )
+
+
+class TestConstruction:
+    def test_client_count_mismatch_rejected(self, small_world, rng):
+        model, clients, config = small_world
+        with pytest.raises(ValueError):
+            FederatedSimulation(model, clients[:-1], config, rng)
+
+    def test_misordered_clients_rejected(self, small_world, rng):
+        model, clients, config = small_world
+        reordered = list(reversed(clients))
+        with pytest.raises(ValueError):
+            FederatedSimulation(model, reordered, config, rng)

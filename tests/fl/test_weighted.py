@@ -1,0 +1,47 @@
+"""Unit tests for sample-count-weighted FedAvg."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fl.weighted import WeightedFedAvgAggregator
+
+
+class TestWeightedFedAvg:
+    def test_without_weights_is_plain_mean(self, rng):
+        agg = WeightedFedAvgAggregator()
+        updates = [np.array([2.0]), np.array([4.0])]
+        np.testing.assert_allclose(agg.aggregate(updates, rng), [3.0])
+
+    def test_weights_applied_and_normalised(self, rng):
+        agg = WeightedFedAvgAggregator()
+        agg.set_weights([30, 10])  # e.g. dataset sizes
+        updates = [np.array([0.0]), np.array([4.0])]
+        np.testing.assert_allclose(agg.aggregate(updates, rng), [1.0])
+
+    def test_weights_are_per_round(self, rng):
+        agg = WeightedFedAvgAggregator()
+        agg.set_weights([1, 0])
+        updates = [np.array([2.0]), np.array([4.0])]
+        agg.aggregate(updates, rng)
+        # next round without weights falls back to the mean
+        np.testing.assert_allclose(agg.aggregate(updates, rng), [3.0])
+
+    def test_count_mismatch_rejected(self, rng):
+        agg = WeightedFedAvgAggregator()
+        agg.set_weights([1, 2, 3])
+        with pytest.raises(ValueError):
+            agg.aggregate([np.zeros(1)] * 2, rng)
+
+    @pytest.mark.parametrize("weights", [[], [-1.0, 2.0], [0.0, 0.0]])
+    def test_invalid_weights_rejected(self, weights):
+        with pytest.raises(ValueError):
+            WeightedFedAvgAggregator().set_weights(weights)
+
+    def test_secure_agg_compatible(self):
+        assert not WeightedFedAvgAggregator().requires_individual_updates
+
+    def test_empty_updates_rejected(self, rng):
+        with pytest.raises(ValueError):
+            WeightedFedAvgAggregator().aggregate([], rng)

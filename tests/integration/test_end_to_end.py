@@ -1,0 +1,160 @@
+"""Integration tests: the full pipeline wired together by hand.
+
+These tests build the world explicitly (data -> clients -> attack ->
+defense -> simulation) instead of going through the experiment harness, so
+they double as executable documentation of the public API.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import ModelReplacementClient, ReplacementConfig, SemanticBackdoor
+from repro.core import BaffleConfig, BaffleDefense, MisclassificationValidator, ValidatorPool
+from repro.data import SyntheticCifar, dirichlet_partition, split_client_server
+from repro.fl import FLConfig, FederatedSimulation, HonestClient, ScheduledSelector
+from repro.nn import accuracy, make_mlp
+
+
+@pytest.fixture(scope="module")
+def world():
+    """A small but complete federated world with a stable global model."""
+    rng = np.random.default_rng(77)
+    task = SyntheticCifar()
+    pool = task.sample(1200, rng)
+    test = task.sample(300, rng)
+    client_pool, server_data = split_client_server(pool, 0.9, rng)
+    num_clients = 15
+    parts = dirichlet_partition(client_pool.y, num_clients, 0.9, rng, min_samples=10)
+    shards = [client_pool.subset(p) for p in parts]
+
+    model = make_mlp(task.flat_dim, 10, rng, hidden=(32,))
+    pretrain_cfg = FLConfig(
+        num_clients=num_clients, clients_per_round=5, local_epochs=2, client_lr=0.1
+    )
+    clients = [HonestClient(i, s) for i, s in enumerate(shards)]
+    sim = FederatedSimulation(model, clients, pretrain_cfg, rng)
+    sim.run(35)
+    return {
+        "task": task,
+        "shards": shards,
+        "server_data": server_data,
+        "test": test,
+        "stable": sim.global_model,
+        "num_clients": num_clients,
+        "rng": rng,
+    }
+
+
+def build_defended_sim(world, attack_rounds, mode="both", use_secure_agg=False):
+    task = world["task"]
+    shards = world["shards"]
+    num_clients = world["num_clients"]
+    rng = np.random.default_rng(99)
+
+    fl_cfg = FLConfig(
+        num_clients=num_clients, clients_per_round=5, local_epochs=2,
+        client_lr=0.05, global_lr=1.0,
+    )
+    backdoor = SemanticBackdoor(task)
+    replacement = ReplacementConfig(
+        boost=fl_cfg.replacement_boost, poison_ratio=0.25, poison_samples=60,
+        attack_epochs=4,
+    )
+    clients = [
+        ModelReplacementClient(0, shards[0], backdoor, replacement, attack_rounds)
+    ] + [HonestClient(i, shards[i]) for i in range(1, num_clients)]
+
+    pool = ValidatorPool.from_datasets(
+        {i: shards[i] for i in range(1, num_clients)}
+    )
+    defense = BaffleDefense(
+        BaffleConfig(lookback=8, quorum=3, num_validators=5, mode=mode, start_round=10),
+        pool,
+        MisclassificationValidator(world["server_data"]),
+    )
+    defense.prime(world["stable"])
+    selector = ScheduledSelector(num_clients, 5, {r: [0] for r in attack_rounds})
+    sim = FederatedSimulation(
+        world["stable"].clone(), clients, fl_cfg, rng,
+        selector=selector, defense=defense, use_secure_agg=use_secure_agg,
+    )
+    return sim, backdoor, defense
+
+
+class TestFullPipeline:
+    def test_stable_model_competent(self, world):
+        acc = accuracy(world["test"].y, world["stable"].predict(world["test"].x))
+        assert acc > 0.8
+
+    def test_injections_rejected_clean_rounds_accepted(self, world):
+        attack_rounds = {13, 17}
+        sim, _, _ = build_defended_sim(world, attack_rounds)
+        records = sim.run(20)
+        for record in records:
+            if record.round_idx in attack_rounds:
+                assert not record.accepted, f"round {record.round_idx} missed"
+        clean_defended = [
+            r for r in records
+            if r.round_idx >= 10 and r.round_idx not in attack_rounds
+        ]
+        fp_rate = np.mean([not r.accepted for r in clean_defended])
+        assert fp_rate <= 0.3
+
+    def test_backdoor_never_enters_global_model(self, world):
+        attack_rounds = {13, 17}
+        sim, backdoor, _ = build_defended_sim(world, attack_rounds)
+        sim.run(20)
+        bd_acc = backdoor.backdoor_accuracy(
+            sim.global_model, 200, np.random.default_rng(5)
+        )
+        assert bd_acc < 0.3
+
+    def test_without_defense_backdoor_lands(self, world):
+        """Control: the identical attack succeeds when nothing defends."""
+        task = world["task"]
+        shards = world["shards"]
+        num_clients = world["num_clients"]
+        fl_cfg = FLConfig(
+            num_clients=num_clients, clients_per_round=5, local_epochs=2,
+            client_lr=0.05, global_lr=1.0,
+        )
+        backdoor = SemanticBackdoor(task)
+        replacement = ReplacementConfig(
+            boost=fl_cfg.replacement_boost, poison_ratio=0.25, poison_samples=60,
+            attack_epochs=4,
+        )
+        clients = [
+            ModelReplacementClient(0, shards[0], backdoor, replacement, {15})
+        ] + [HonestClient(i, shards[i]) for i in range(1, num_clients)]
+        selector = ScheduledSelector(num_clients, 5, {15: [0]})
+        sim = FederatedSimulation(
+            world["stable"].clone(), clients, fl_cfg,
+            np.random.default_rng(99), selector=selector,
+        )
+        sim.run(16)  # stop right after the injection
+        bd_acc = backdoor.backdoor_accuracy(
+            sim.global_model, 200, np.random.default_rng(5)
+        )
+        assert bd_acc > 0.5
+
+    def test_defense_composes_with_secure_aggregation(self, world):
+        """The headline compatibility claim, exercised end to end."""
+        attack_rounds = {13}
+        sim, _, _ = build_defended_sim(world, attack_rounds, use_secure_agg=True)
+        records = sim.run(15)
+        assert not records[13].accepted
+
+    def test_server_only_configuration_detects(self, world):
+        attack_rounds = {13}
+        sim, _, _ = build_defended_sim(world, attack_rounds, mode="server")
+        records = sim.run(15)
+        assert not records[13].accepted
+
+    def test_rollback_preserves_main_accuracy(self, world):
+        attack_rounds = {13, 14, 15}
+        sim, _, _ = build_defended_sim(world, attack_rounds)
+        sim.run(17)
+        acc = accuracy(world["test"].y, sim.global_model.predict(world["test"].x))
+        assert acc > 0.75

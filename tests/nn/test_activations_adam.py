@@ -1,0 +1,124 @@
+"""Unit tests for the extra activations and the Adam optimizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import LeakyReLU, Sigmoid, Tanh
+from repro.nn.adam import Adam
+from repro.nn.layers import Dense, Parameter
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.network import Network
+
+
+def gradcheck_layer(layer, x, rng, atol=1e-7):
+    grad_out = rng.normal(size=x.shape)
+    layer.forward(x, train=True)
+    analytic = layer.backward(grad_out)
+    eps = 1e-6
+    numeric = np.zeros_like(x)
+    for idx in np.ndindex(x.shape):
+        plus = x.copy()
+        plus[idx] += eps
+        minus = x.copy()
+        minus[idx] -= eps
+        numeric[idx] = (
+            (layer.forward(plus) * grad_out).sum()
+            - (layer.forward(minus) * grad_out).sum()
+        ) / (2 * eps)
+    np.testing.assert_allclose(analytic, numeric, atol=atol)
+
+
+class TestActivations:
+    def test_tanh_values(self):
+        out = Tanh().forward(np.array([[0.0, 100.0, -100.0]]))
+        np.testing.assert_allclose(out, [[0.0, 1.0, -1.0]], atol=1e-12)
+
+    def test_tanh_gradient(self, rng):
+        gradcheck_layer(Tanh(), rng.normal(size=(4, 5)), rng)
+
+    def test_sigmoid_values(self):
+        out = Sigmoid().forward(np.array([[0.0]]))
+        np.testing.assert_allclose(out, [[0.5]])
+
+    def test_sigmoid_stable_for_extreme_inputs(self):
+        out = Sigmoid().forward(np.array([[1000.0, -1000.0]]))
+        assert np.all(np.isfinite(out))
+
+    def test_sigmoid_gradient(self, rng):
+        gradcheck_layer(Sigmoid(), rng.normal(size=(4, 5)), rng)
+
+    def test_leaky_relu_values(self):
+        out = LeakyReLU(alpha=0.1).forward(np.array([[-2.0, 3.0]]))
+        np.testing.assert_allclose(out, [[-0.2, 3.0]])
+
+    def test_leaky_relu_gradient(self, rng):
+        gradcheck_layer(LeakyReLU(alpha=0.1), rng.normal(size=(4, 5)), rng)
+
+    def test_leaky_relu_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            LeakyReLU(alpha=-0.5)
+
+    @pytest.mark.parametrize("layer_cls", [Tanh, Sigmoid])
+    def test_backward_before_forward_raises(self, layer_cls):
+        with pytest.raises(RuntimeError):
+            layer_cls().backward(np.zeros((1, 2)))
+
+    def test_tanh_network_trains(self, tiny_dataset, rng):
+        net = Network([Dense(2, 12, rng), Tanh(), Dense(12, 3, rng)])
+        loss = SoftmaxCrossEntropy()
+        opt = Adam(net.parameters(), lr=0.05)
+        for _ in range(150):
+            net.zero_grad()
+            loss.forward(net.forward(tiny_dataset.x, train=True), tiny_dataset.y)
+            net.backward(loss.backward())
+            opt.step()
+        acc = (net.predict(tiny_dataset.x) == tiny_dataset.y).mean()
+        assert acc > 0.95
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            p.zero_grad()
+            p.grad[...] = 2 * (p.value - 3.0)
+            opt.step()
+        np.testing.assert_allclose(p.value, [3.0], atol=1e-3)
+
+    def test_first_step_size_is_lr(self):
+        """With bias correction, the first Adam step has magnitude ~lr."""
+        p = Parameter(np.array([0.0]))
+        p.grad[...] = 123.0
+        Adam([p], lr=0.01).step()
+        np.testing.assert_allclose(abs(p.value[0]), 0.01, rtol=1e-6)
+
+    def test_weight_decay_pulls_to_zero(self):
+        p = Parameter(np.array([5.0]))
+        opt = Adam([p], lr=0.05, weight_decay=1.0)
+        for _ in range(400):
+            p.zero_grad()
+            opt.step()
+        assert abs(p.value[0]) < 1.0
+
+    def test_zero_grad(self):
+        p = Parameter(np.array([1.0]))
+        p.grad[...] = 3.0
+        Adam([p]).zero_grad()
+        assert p.grad[0] == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"lr": 0.0},
+            {"beta1": 1.0},
+            {"beta2": 1.0},
+            {"eps": 0.0},
+            {"weight_decay": -1.0},
+        ],
+    )
+    def test_invalid_hyperparams(self, kwargs):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], **kwargs)

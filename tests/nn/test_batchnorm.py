@@ -1,0 +1,116 @@
+"""Unit tests for BatchNorm1d."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.batchnorm import BatchNorm1d
+from repro.nn.layers import Dense, ReLU
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.network import Network
+from repro.nn.optim import SGD
+
+
+class TestForward:
+    def test_train_output_is_normalised(self, rng):
+        bn = BatchNorm1d(4)
+        x = rng.normal(5.0, 3.0, size=(64, 4))
+        out = bn.forward(x, train=True)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_gamma_beta_applied(self, rng):
+        bn = BatchNorm1d(3)
+        bn.gamma.value[...] = 2.0
+        bn.beta.value[...] = 1.0
+        x = rng.normal(size=(32, 3))
+        out = bn.forward(x, train=True)
+        np.testing.assert_allclose(out.mean(axis=0), 1.0, atol=1e-10)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm1d(2, momentum=0.0)  # running stats = last batch
+        x = rng.normal(3.0, 2.0, size=(128, 2))
+        bn.forward(x, train=True)
+        fresh = rng.normal(3.0, 2.0, size=(64, 2))
+        out = bn.forward(fresh, train=False)
+        assert abs(out.mean()) < 0.3  # approx normalised by running stats
+
+    def test_wrong_width_rejected(self, rng):
+        with pytest.raises(ValueError):
+            BatchNorm1d(4).forward(rng.normal(size=(8, 3)))
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"num_features": 0}, {"num_features": 2, "momentum": 1.0},
+                   {"num_features": 2, "eps": 0.0}]
+    )
+    def test_invalid_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            BatchNorm1d(**kwargs)
+
+
+class TestBackward:
+    def test_input_gradient_matches_numeric(self, rng):
+        bn = BatchNorm1d(3)
+        bn.gamma.value[...] = rng.uniform(0.5, 1.5, size=3)
+        bn.beta.value[...] = rng.normal(size=3)
+        x = rng.normal(size=(6, 3))
+        grad_out = rng.normal(size=(6, 3))
+        bn.forward(x, train=True)
+        analytic = bn.backward(grad_out)
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        for idx in np.ndindex(x.shape):
+            plus = x.copy()
+            plus[idx] += eps
+            minus = x.copy()
+            minus[idx] -= eps
+            numeric[idx] = (
+                (bn.forward(plus, train=True) * grad_out).sum()
+                - (bn.forward(minus, train=True) * grad_out).sum()
+            ) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_parameter_gradients_match_numeric(self, rng):
+        bn = BatchNorm1d(2)
+        x = rng.normal(size=(5, 2))
+        grad_out = rng.normal(size=(5, 2))
+        bn.forward(x, train=True)
+        bn.backward(grad_out)
+        eps = 1e-6
+        for param in (bn.gamma, bn.beta):
+            analytic = param.grad.copy()
+            numeric = np.zeros_like(param.value)
+            for i in range(param.size):
+                orig = param.value[i]
+                param.value[i] = orig + eps
+                plus = (bn.forward(x, train=True) * grad_out).sum()
+                param.value[i] = orig - eps
+                minus = (bn.forward(x, train=True) * grad_out).sum()
+                param.value[i] = orig
+                numeric[i] = (plus - minus) / (2 * eps)
+            np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            BatchNorm1d(2).backward(np.zeros((4, 2)))
+
+
+class TestInNetwork:
+    def test_network_with_batchnorm_trains(self, tiny_dataset, rng):
+        net = Network(
+            [Dense(2, 16, rng), BatchNorm1d(16), ReLU(), Dense(16, 3, rng)]
+        )
+        loss = SoftmaxCrossEntropy()
+        opt = SGD(net.parameters(), lr=0.1, momentum=0.9)
+        for _ in range(80):
+            net.zero_grad()
+            loss.forward(net.forward(tiny_dataset.x, train=True), tiny_dataset.y)
+            net.backward(loss.backward())
+            opt.step()
+        acc = (net.predict(tiny_dataset.x) == tiny_dataset.y).mean()
+        assert acc > 0.95
+
+    def test_flat_params_include_gamma_beta(self, rng):
+        net = Network([Dense(2, 4, rng), BatchNorm1d(4)])
+        assert net.num_parameters == 2 * 4 + 4 + 4 + 4  # W, b, gamma, beta

@@ -1,0 +1,71 @@
+"""Property-based gradient checks: analytic == numeric for random nets."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.models import make_mlp
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    input_dim=st.integers(2, 6),
+    hidden=st.integers(3, 10),
+    num_classes=st.integers(2, 5),
+    batch=st.integers(1, 6),
+)
+def test_mlp_parameter_gradients_match_numeric(
+    seed, input_dim, hidden, num_classes, batch
+):
+    """For arbitrary small MLPs, backprop equals central differences."""
+    rng = np.random.default_rng(seed)
+    net = make_mlp(input_dim, num_classes, rng, hidden=(hidden,))
+    x = rng.normal(size=(batch, input_dim))
+    y = rng.integers(0, num_classes, size=batch)
+    loss = SoftmaxCrossEntropy()
+    net.zero_grad()
+    loss.forward(net.forward(x, train=True), y)
+    net.backward(loss.backward())
+    analytic = net.get_grad_flat()
+    flat = net.get_flat()
+    eps = 1e-6
+    check = rng.choice(len(flat), size=min(8, len(flat)), replace=False)
+    for i in check:
+        plus = flat.copy()
+        plus[i] += eps
+        net.set_flat(plus)
+        lp = loss.forward(net.forward(x), y)
+        minus = flat.copy()
+        minus[i] -= eps
+        net.set_flat(minus)
+        lm = loss.forward(net.forward(x), y)
+        numeric = (lp - lm) / (2 * eps)
+        assert abs(numeric - analytic[i]) < 1e-6
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), batch=st.integers(1, 8))
+def test_input_gradient_matches_numeric(seed, batch):
+    """Gradient w.r.t. the input (through the whole network) is exact."""
+    rng = np.random.default_rng(seed)
+    net = make_mlp(3, 2, rng, hidden=(5,))
+    x = rng.normal(size=(batch, 3))
+    y = rng.integers(0, 2, size=batch)
+    loss = SoftmaxCrossEntropy()
+    net.zero_grad()
+    loss.forward(net.forward(x, train=True), y)
+    grad_x = net.backward(loss.backward())
+    eps = 1e-6
+    for idx in [(0, 0), (batch - 1, 2)]:
+        plus = x.copy()
+        plus[idx] += eps
+        minus = x.copy()
+        minus[idx] -= eps
+        numeric = (
+            loss.forward(net.forward(plus), y) - loss.forward(net.forward(minus), y)
+        ) / (2 * eps)
+        assert abs(numeric - grad_x[idx]) < 1e-6

@@ -1,0 +1,83 @@
+"""Property-based invariants of the metrics the defense is built on."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.metrics import (
+    accuracy,
+    confusion_matrix,
+    source_focused_errors,
+    target_focused_errors,
+)
+
+
+@st.composite
+def labelled_predictions(draw):
+    num_classes = draw(st.integers(2, 8))
+    n = draw(st.integers(1, 120))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    y_true = rng.integers(0, num_classes, size=n)
+    y_pred = rng.integers(0, num_classes, size=n)
+    return y_true, y_pred, num_classes
+
+
+class TestConfusionMatrixProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(data=labelled_predictions())
+    def test_total_mass_is_sample_count(self, data):
+        y_true, y_pred, k = data
+        assert confusion_matrix(y_true, y_pred, k).sum() == len(y_true)
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=labelled_predictions())
+    def test_row_sums_are_class_counts(self, data):
+        y_true, y_pred, k = data
+        conf = confusion_matrix(y_true, y_pred, k)
+        np.testing.assert_array_equal(
+            conf.sum(axis=1), np.bincount(y_true, minlength=k)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=labelled_predictions())
+    def test_transpose_swaps_roles(self, data):
+        y_true, y_pred, k = data
+        np.testing.assert_array_equal(
+            confusion_matrix(y_true, y_pred, k).T,
+            confusion_matrix(y_pred, y_true, k),
+        )
+
+
+class TestErrorViewProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(data=labelled_predictions())
+    def test_error_mass_consistency(self, data):
+        """Source and target views distribute the same total error mass,
+        which equals 1 - accuracy under dataset normalisation."""
+        y_true, y_pred, k = data
+        conf = confusion_matrix(y_true, y_pred, k)
+        vs = source_focused_errors(conf)
+        vt = target_focused_errors(conf)
+        total_error = 1.0 - accuracy(y_true, y_pred)
+        np.testing.assert_allclose(vs.sum(), total_error, atol=1e-12)
+        np.testing.assert_allclose(vt.sum(), total_error, atol=1e-12)
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=labelled_predictions())
+    def test_errors_bounded(self, data):
+        y_true, y_pred, k = data
+        conf = confusion_matrix(y_true, y_pred, k)
+        for view in (source_focused_errors(conf), target_focused_errors(conf)):
+            assert (view >= 0).all()
+            assert view.sum() <= 1.0 + 1e-12
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=labelled_predictions())
+    def test_class_normalised_errors_are_rates(self, data):
+        y_true, y_pred, k = data
+        conf = confusion_matrix(y_true, y_pred, k)
+        rates = source_focused_errors(conf, normalize="class")
+        assert (rates >= 0).all() and (rates <= 1).all()
