@@ -34,6 +34,11 @@ HistoryProvider = Callable[[], Sequence[tuple[int, Network]]]
 class AdaptiveReplacementClient(ModelReplacementClient):
     """Model replacement with a self-run BaFFLe check before submission.
 
+    Not ``parallel_safe``: the self-check reads the *live* defense history
+    through ``history_provider`` and records per-round outcomes the
+    experiment harness inspects, so this client always executes in the
+    parent process.
+
     Parameters
     ----------
     history_provider:
@@ -52,6 +57,8 @@ class AdaptiveReplacementClient(ModelReplacementClient):
         backdoor but a much smaller prediction footprint.  The attacker
         self-validates exactly that interpolated model.
     """
+
+    parallel_safe = False
 
     def __init__(
         self,

@@ -75,6 +75,10 @@ class ModelReplacementClient(MaliciousClient):
     In rounds listed in ``attack_rounds`` it submits the boosted backdoor
     update; in all other rounds it behaves honestly (maximising stealth, as
     in the paper's single-shot evaluation).
+
+    The submitted update is a pure function of the inputs, so the client is
+    ``parallel_safe``; only the ``crafted_models`` inspection dict stays in
+    whichever process ran the attack round.
     """
 
     def __init__(

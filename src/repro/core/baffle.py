@@ -36,6 +36,8 @@ from repro.core.validation import (
     Validator,
 )
 from repro.data.dataset import Dataset
+from repro.fl.parallel import RoundExecutor
+from repro.fl.rng import RngStreams
 from repro.fl.simulation import DefenseDecision
 from repro.nn.network import Network
 
@@ -138,6 +140,10 @@ class ValidatorPool:
     def get(self, client_id: int) -> Validator:
         return self._validators[client_id]
 
+    def as_dict(self) -> dict[int, Validator]:
+        """The ``{client_id: validator}`` population (a copy)."""
+        return dict(self._validators)
+
 
 class BaffleDefense:
     """Implements :class:`repro.fl.simulation.Defense` with Algorithm 1.
@@ -167,6 +173,25 @@ class BaffleDefense:
         self.validator_pool = validator_pool
         self.server_validator = server_validator
         self.history = ModelHistory(max_models=config.lookback + 1)
+        self._executor: RoundExecutor | None = None
+        self._streams: RngStreams | None = None
+
+    def bind_runtime(self, executor: RoundExecutor, streams: RngStreams) -> None:
+        """Attach the round executor and keyed rng streams.
+
+        :class:`~repro.fl.simulation.FederatedSimulation` calls this at
+        construction so validator votes draw from per-``(round, validator)``
+        streams and fan out through the same executor as client training.
+        Unbound (standalone) defenses fall back to consuming the ``rng``
+        passed to :meth:`review` sequentially, preserving the historical
+        behavior.
+        """
+        self._executor = executor
+        self._streams = streams
+        # Server-only mode never fans out client votes, so don't ship the
+        # validator population (each holding a data shard) to the workers.
+        if self.validator_pool is not None and self.config.mode in ("clients", "both"):
+            executor.bind(validator_pool=self.validator_pool)
 
     # ------------------------------------------------------------------
     # Defense protocol
@@ -182,18 +207,34 @@ class BaffleDefense:
         client_votes: dict[int, int] = {}
         if self.config.mode in ("clients", "both"):
             assert self.validator_pool is not None
+            # Sampling and dropout are server-side decisions drawn from the
+            # sequential rng; the votes themselves are order-independent.
+            active: list[int] = []
             for cid in self.validator_pool.sample_ids(self.config.num_validators, rng):
                 if (
                     self.config.dropout_rate
                     and rng.random() < self.config.dropout_rate
                 ):
                     continue  # silent validator: no vote (paper footnote 1)
-                client_votes[cid] = self.validator_pool.get(cid).vote(context, rng)
+                active.append(cid)
+            if self._streams is not None:
+                assert self._executor is not None  # set with _streams in bind_runtime
+                client_votes = self._executor.run_validators(
+                    self.validator_pool, active, context, round_idx, self._streams
+                )
+            else:  # standalone defense: classic sequential stream
+                for cid in active:
+                    client_votes[cid] = self.validator_pool.get(cid).vote(context, rng)
 
         server_vote: int | None = None
         if self.config.mode in ("server", "both"):
             assert self.server_validator is not None
-            server_vote = self.server_validator.vote(context, rng)
+            server_rng = (
+                self._streams.server_rng(round_idx)
+                if self._streams is not None
+                else rng
+            )
+            server_vote = self.server_validator.vote(context, server_rng)
 
         reject_votes = sum(client_votes.values()) + (server_vote or 0)
         if self.config.mode == "server":
@@ -209,9 +250,24 @@ class BaffleDefense:
         )
 
     def record_outcome(self, candidate: Network, accepted: bool) -> None:
-        """Accepted models extend the trusted history; rejected ones do not."""
-        if accepted:
-            self.history.append(candidate)
+        """Accepted models extend the trusted history; rejected ones do not.
+
+        On acceptance every validator that just profiled this candidate is
+        told its committed history version, so the profile computed during
+        :meth:`review` is reused instead of recomputed next round.
+        """
+        if not accepted:
+            return
+        version = self.history.append(candidate)
+        validators: list[Validator] = []
+        if self.validator_pool is not None:
+            validators.extend(self.validator_pool.as_dict().values())
+        if self.server_validator is not None:
+            validators.append(self.server_validator)
+        for validator in validators:
+            note = getattr(validator, "note_committed", None)
+            if callable(note):
+                note(candidate, version)
 
     # ------------------------------------------------------------------
     # Bootstrapping

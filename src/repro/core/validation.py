@@ -104,6 +104,11 @@ class MisclassificationValidator:
         ``"target"`` (eq. 3 only).  Used by the ablation benchmarks.
     """
 
+    #: Algorithm 2 is a pure function of (context, dataset); the profile
+    #: caches are per-process performance details, so worker processes may
+    #: evaluate this validator (see :mod:`repro.fl.parallel`).
+    parallel_safe = True
+
     def __init__(
         self,
         dataset: Dataset,
@@ -128,6 +133,10 @@ class MisclassificationValidator:
         self.threshold_slack = threshold_slack
         self.features = features
         self._profile_cache: dict[int, ErrorProfile] = {}
+        #: The last candidate this validator profiled, kept one round so an
+        #: accepted candidate's profile can be re-filed under its committed
+        #: history version instead of being recomputed from scratch.
+        self._pending_candidate: tuple[Network, ErrorProfile] | None = None
 
     # ------------------------------------------------------------------
     # Voting (Algorithm 2)
@@ -141,6 +150,7 @@ class MisclassificationValidator:
         """Run Algorithm 2 and return the full diagnostic report."""
         history = list(context.history)
         lookback = len(history) - 1  # l: number of consecutive accepted pairs
+        self._pending_candidate = None
         if len(history) < self.min_history:
             return ValidationReport(0, None, None, (), abstained=True)
 
@@ -148,6 +158,7 @@ class MisclassificationValidator:
         candidate_profile = model_error_profile(
             context.candidate, self.dataset, normalize=self.normalize
         )
+        self._pending_candidate = (context.candidate, candidate_profile)
         variations = [
             self._select_features(
                 error_variation_vector(profiles[i - 1], profiles[i])
@@ -194,6 +205,20 @@ class MisclassificationValidator:
     # ------------------------------------------------------------------
     # Profile caching
     # ------------------------------------------------------------------
+    def note_committed(self, candidate: Network, version: int) -> None:
+        """Record that ``candidate`` entered the history as ``version``.
+
+        When this validator just profiled that exact candidate in
+        :meth:`explain`, the profile is re-filed under the committed
+        version, saving the full forward pass the next round would
+        otherwise spend recomputing it (the history entry is a clone of
+        the candidate, so the profile carries over unchanged).
+        """
+        pending = self._pending_candidate
+        self._pending_candidate = None
+        if pending is not None and pending[0] is candidate:
+            self._profile_cache[version] = pending[1]
+
     def _profile_for(self, version: int, model: Network) -> ErrorProfile:
         profile = self._profile_cache.get(version)
         if profile is None:
@@ -213,6 +238,8 @@ class ConstantVoteValidator:
     ``vote_value = 1`` models a denial-of-service voter (always "poisoned");
     ``vote_value = 0`` models a colluding voter shielding the attacker.
     """
+
+    parallel_safe = True
 
     def __init__(self, vote_value: int) -> None:
         if vote_value not in (0, 1):

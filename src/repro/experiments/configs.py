@@ -80,6 +80,11 @@ class ExperimentConfig:
     malicious_vote_strategy: str = "dos"
     # Model.
     hidden: tuple[int, ...] = (64,)
+    # Execution engine: worker processes for client training and validator
+    # votes (0/1 = in-process sequential).  Sequential and parallel runs
+    # commit bit-identical models, so this is a pure throughput knob and is
+    # deliberately excluded from ``environment_key``.
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if self.dataset not in _DATASETS:
@@ -98,6 +103,8 @@ class ExperimentConfig:
                 "malicious_vote_strategy must be 'dos' or 'shield', got "
                 f"{self.malicious_vote_strategy!r}"
             )
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
 
     def environment_key(self, seed: int) -> tuple:
         """Cache key for the (expensive) pretrained environment.

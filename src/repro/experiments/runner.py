@@ -19,9 +19,18 @@ DEFAULT_SEEDS = (0, 1, 2, 3, 4)
 
 
 def run_detection_experiment(
-    config: ExperimentConfig, seeds: Sequence[int] = DEFAULT_SEEDS
+    config: ExperimentConfig,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    workers: int | None = None,
 ) -> AggregateStats:
-    """One table/figure cell: FP/FN rates averaged over repeated runs."""
+    """One table/figure cell: FP/FN rates averaged over repeated runs.
+
+    ``workers`` overrides ``config.workers`` (the parallel-engine knob)
+    without the caller rebuilding the config; results are bit-identical
+    for any worker count.
+    """
+    if workers is not None:
+        config = config.with_updates(workers=workers)
     runs = [
         detection_stats(
             result.records, result.injection_rounds, result.defense_start
@@ -99,9 +108,13 @@ class AdaptiveExperimentResult:
 
 
 def run_adaptive_experiment(
-    config: ExperimentConfig, seeds: Sequence[int] = DEFAULT_SEEDS
+    config: ExperimentConfig,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    workers: int | None = None,
 ) -> AdaptiveExperimentResult:
     """Compare the defense against non-adaptive vs adaptive injections."""
+    if workers is not None:
+        config = config.with_updates(workers=workers)
     non_adaptive_runs: list[DetectionStats] = []
     adaptive_runs: list[DetectionStats] = []
     votes: list[int] = []

@@ -24,6 +24,7 @@ from repro.experiments.configs import ExperimentConfig
 from repro.experiments.environment import Environment, build_environment
 from repro.fl.client import Client, HonestClient
 from repro.fl.config import FLConfig
+from repro.fl.parallel import make_executor
 from repro.fl.selection import ScheduledSelector
 from repro.fl.simulation import FederatedSimulation, RoundRecord
 from repro.nn.metrics import accuracy, confusion_matrix, source_focused_errors
@@ -92,17 +93,19 @@ def run_stable_scenario(
                 (m.predict(bd_eval.x) == target).mean()
             ),
         }
-    sim = FederatedSimulation(
-        env.stable_model.clone(),
-        clients,
-        fl_config,
-        run_rng,
-        selector=selector,
-        defense=defense,
-        use_secure_agg=use_secure_agg,
-        metric_hooks=hooks,
-    )
-    records = sim.run(config.total_rounds)
+    with make_executor(config.workers) as executor:
+        sim = FederatedSimulation(
+            env.stable_model.clone(),
+            clients,
+            fl_config,
+            run_rng,
+            selector=selector,
+            defense=defense,
+            use_secure_agg=use_secure_agg,
+            metric_hooks=hooks,
+            executor=executor,
+        )
+        records = sim.run(config.total_rounds)
 
     attacker = clients[env.attacker_id]
     self_checks = (
@@ -200,19 +203,21 @@ def run_early_scenario(
     test = env.test_data
     bd_eval = env.backdoor.backdoor_test_instances(200, np.random.default_rng(seed))
     target = env.backdoor.target_label
-    sim = FederatedSimulation(
-        model,
-        clients,
-        fl_config,
-        run_rng,
-        selector=selector,
-        defense=defense,
-        metric_hooks={
-            "main_acc": lambda m: accuracy(test.y, m.predict(test.x)),
-            "backdoor_acc": lambda m: float((m.predict(bd_eval.x) == target).mean()),
-        },
-    )
-    records = sim.run(total_rounds)
+    with make_executor(config.workers) as executor:
+        sim = FederatedSimulation(
+            model,
+            clients,
+            fl_config,
+            run_rng,
+            selector=selector,
+            defense=defense,
+            metric_hooks={
+                "main_acc": lambda m: accuracy(test.y, m.predict(test.x)),
+                "backdoor_acc": lambda m: float((m.predict(bd_eval.x) == target).mean()),
+            },
+            executor=executor,
+        )
+        records = sim.run(total_rounds)
     return EarlyRoundResult(
         records=records,
         main_accuracy=[r.metrics["main_acc"] for r in records],
@@ -261,19 +266,21 @@ def run_error_trace(
             config.clients_per_round,
             {r: [env.attacker_id] for r in attack_rounds},
         )
-        sim = FederatedSimulation(
-            env.stable_model.clone(),
-            clients,
-            fl_config,
-            np.random.default_rng(np.random.SeedSequence((seed, 0xF16))),
-            selector=selector,
-        )
-        rows = []
-        for _ in range(rounds):
-            sim.run_round()
-            preds = sim.global_model.predict(env.test_data.x)
-            conf = confusion_matrix(env.test_data.y, preds, env.num_classes)
-            rows.append(source_focused_errors(conf, normalize="class"))
+        with make_executor(config.workers) as executor:
+            sim = FederatedSimulation(
+                env.stable_model.clone(),
+                clients,
+                fl_config,
+                np.random.default_rng(np.random.SeedSequence((seed, 0xF16))),
+                selector=selector,
+                executor=executor,
+            )
+            rows = []
+            for _ in range(rounds):
+                sim.run_round()
+                preds = sim.global_model.predict(env.test_data.x)
+                conf = confusion_matrix(env.test_data.y, preds, env.num_classes)
+                rows.append(source_focused_errors(conf, normalize="class"))
         traces[label] = np.stack(rows)
     source_class = getattr(env.backdoor, "source_label", None)
     if source_class is None:

@@ -30,6 +30,13 @@ from repro.fl.client import (
     local_train,
 )
 from repro.fl.config import FLConfig
+from repro.fl.parallel import (
+    ProcessPoolRoundExecutor,
+    RoundExecutor,
+    SequentialExecutor,
+    make_executor,
+)
+from repro.fl.rng import RngStreams
 from repro.fl.secure_agg import MaskedUpdate, SecureAggregator, make_pairwise_masks
 from repro.fl.selection import ScheduledSelector, Selector, UniformSelector
 from repro.fl.weighted import WeightedFedAvgAggregator
@@ -51,8 +58,12 @@ __all__ = [
     "HonestClient",
     "LocalTrainingConfig",
     "MaskedUpdate",
+    "ProcessPoolRoundExecutor",
+    "RngStreams",
+    "RoundExecutor",
     "RoundRecord",
     "ScheduledSelector",
+    "SequentialExecutor",
     "SecureAggregator",
     "Selector",
     "UniformSelector",
@@ -60,5 +71,6 @@ __all__ = [
     "apply_global_update",
     "clip_gradients",
     "local_train",
+    "make_executor",
     "make_pairwise_masks",
 ]

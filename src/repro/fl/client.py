@@ -98,6 +98,13 @@ def local_train(
 class Client:
     """Base class: a participant identified by ``client_id`` holding data."""
 
+    #: Whether ``produce_update`` is a pure function of its arguments (plus
+    #: the client's own frozen data), so the parallel engine may execute it
+    #: in a worker process.  Clients that read live server-side state or
+    #: mutate state the parent must observe set this to ``False`` and are
+    #: always run in the parent, whatever the executor.
+    parallel_safe: bool = True
+
     def __init__(self, client_id: int, dataset: Dataset) -> None:
         self.client_id = client_id
         self.dataset = dataset

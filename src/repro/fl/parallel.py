@@ -1,0 +1,395 @@
+"""The parallel round-execution engine.
+
+``FederatedSimulation.run_round`` has two embarrassingly parallel fan-out
+points: the selected clients' local training (``produce_update``) and the
+BaFFLe validators' votes.  Both dominate the wall-clock cost of a round —
+BackFed (Dao et al., 2025) identifies sequential client execution as *the*
+bottleneck of FL-backdoor benchmarking — yet the seed implementation ran
+them strictly sequentially on one core.
+
+:class:`RoundExecutor` abstracts the fan-out:
+
+- :class:`SequentialExecutor` (default) runs everything in-process, in
+  deterministic order — byte-for-byte the classic behavior;
+- :class:`ProcessPoolRoundExecutor` fans tasks out over a
+  ``concurrent.futures.ProcessPoolExecutor``.
+
+Because every task's randomness comes from a keyed
+:class:`~repro.fl.rng.RngStreams` child (not a shared sequential stream),
+and weights travel as lossless float64 blobs via
+:mod:`repro.nn.serialization`, both executors commit **bit-identical**
+global models and round records for the same seed.
+
+Worker-side state
+-----------------
+Workers are initialized once per pool with the (parallel-safe) client and
+validator populations plus a structural template network; per task only the
+candidate/history *weights* and a picklable seed sequence travel.  Worker
+processes keep their own per-version model and error-profile caches, so a
+validator vote costs one forward pass per model *new to that worker*.  The
+caches are per worker copy: a validator's successive votes may land on
+different workers, and the commit-time profile reuse
+(``note_committed``) only reaches the parent's validator objects — so
+parallel validation spends up to one extra forward pass per validator per
+round compared to the sequential path (see the ROADMAP's shared-memory
+open item).
+
+Entities that are stateful across rounds in ways the parent must observe
+(e.g. the adaptive attacker, which reads the live defense history and
+records its self-check outcomes) declare ``parallel_safe = False`` and are
+always executed in the parent process — correctness never depends on the
+executor choice.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.fl.client import Client, LocalTrainingConfig
+from repro.fl.rng import RngStreams
+from repro.nn.network import Network
+from repro.nn.serialization import params_from_bytes, params_to_bytes
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard: this module is
+    # imported by repro.fl.simulation, which repro.core.baffle imports, so
+    # importing repro.core here at runtime would close a circle.
+    from repro.core.baffle import ValidatorPool
+    from repro.core.validation import ValidationContext, Validator
+
+
+def _is_parallel_safe(obj: object) -> bool:
+    """Whether an entity may run in a worker process (opt-in attribute)."""
+    return bool(getattr(obj, "parallel_safe", False))
+
+
+class RoundExecutor:
+    """Strategy interface for executing one round's independent tasks.
+
+    ``bind`` hands the executor the static population *before* the first
+    fan-out (process pools ship it to workers exactly once); ``run_clients``
+    and ``run_validators`` execute one round's tasks and return results in
+    deterministic order, regardless of completion order.
+    """
+
+    def bind(
+        self,
+        clients: Sequence[Client] | None = None,
+        validator_pool: "ValidatorPool | None" = None,
+        template: Network | None = None,
+    ) -> None:
+        """Register the populations this executor will fan out over."""
+
+    def run_clients(
+        self,
+        clients: Sequence[Client],
+        contributor_ids: Sequence[int],
+        global_model: Network,
+        config: LocalTrainingConfig,
+        round_idx: int,
+        streams: RngStreams,
+    ) -> list[np.ndarray]:
+        """Collect ``produce_update`` results, ordered as ``contributor_ids``."""
+        raise NotImplementedError
+
+    def run_validators(
+        self,
+        pool: "ValidatorPool",
+        validator_ids: Sequence[int],
+        context: ValidationContext,
+        round_idx: int,
+        streams: RngStreams,
+    ) -> dict[int, int]:
+        """Collect votes ``{validator_id: vote}`` for the given context."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release executor resources (idempotent)."""
+
+    def __enter__(self) -> "RoundExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SequentialExecutor(RoundExecutor):
+    """In-process execution in deterministic order (the default)."""
+
+    def run_clients(
+        self,
+        clients: Sequence[Client],
+        contributor_ids: Sequence[int],
+        global_model: Network,
+        config: LocalTrainingConfig,
+        round_idx: int,
+        streams: RngStreams,
+    ) -> list[np.ndarray]:
+        return [
+            clients[cid].produce_update(
+                global_model, config, round_idx, streams.client_rng(round_idx, cid)
+            )
+            for cid in contributor_ids
+        ]
+
+    def run_validators(
+        self,
+        pool: "ValidatorPool",
+        validator_ids: Sequence[int],
+        context: ValidationContext,
+        round_idx: int,
+        streams: RngStreams,
+    ) -> dict[int, int]:
+        return {
+            vid: pool.get(vid).vote(context, streams.validator_rng(round_idx, vid))
+            for vid in validator_ids
+        }
+
+
+# ----------------------------------------------------------------------
+# Worker-process side of the process-pool backend
+# ----------------------------------------------------------------------
+_W_CLIENTS: dict[int, Client] = {}
+_W_VALIDATORS: dict[int, Validator] = {}
+_W_TEMPLATE: Network | None = None
+_W_MODELS: dict[int, Network] = {}
+
+
+def _init_worker(
+    clients: dict[int, Client],
+    validators: dict[int, Validator],
+    template: Network | None,
+) -> None:
+    global _W_TEMPLATE
+    _W_CLIENTS.clear()
+    _W_CLIENTS.update(clients)
+    _W_VALIDATORS.clear()
+    _W_VALIDATORS.update(validators)
+    _W_MODELS.clear()
+    _W_TEMPLATE = template
+
+
+def _materialize(blob: bytes) -> Network:
+    assert _W_TEMPLATE is not None, "worker used before initialization"
+    model = _W_TEMPLATE.clone()
+    params_from_bytes(model, blob)
+    return model
+
+
+def _client_task(
+    client_id: int,
+    weights_blob: bytes,
+    config: LocalTrainingConfig,
+    round_idx: int,
+    seed_seq: np.random.SeedSequence,
+) -> np.ndarray:
+    model = _materialize(weights_blob)
+    rng = np.random.default_rng(seed_seq)
+    return _W_CLIENTS[client_id].produce_update(model, config, round_idx, rng)
+
+
+def _validator_task(
+    validator_id: int,
+    candidate_blob: bytes,
+    history_blobs: Sequence[tuple[int, bytes]],
+    round_idx: int,
+    seed_seq: np.random.SeedSequence,
+) -> int:
+    from repro.core.validation import ValidationContext
+
+    # Per-version model cache: across rounds the history shifts by one
+    # entry, so all but one model are already materialized (and their
+    # error profiles already cached inside the validator objects).  An
+    # empty history (defense active before any model was accepted) must
+    # fall through to the validator, which abstains on it — exactly like
+    # the sequential path.
+    for version, blob in history_blobs:
+        if version not in _W_MODELS:
+            _W_MODELS[version] = _materialize(blob)
+    if history_blobs:
+        oldest = min(version for version, _ in history_blobs)
+        for version in [v for v in _W_MODELS if v < oldest]:
+            del _W_MODELS[version]
+    context = ValidationContext(
+        candidate=_materialize(candidate_blob),
+        history=[(version, _W_MODELS[version]) for version, _ in history_blobs],
+    )
+    rng = np.random.default_rng(seed_seq)
+    return _W_VALIDATORS[validator_id].vote(context, rng)
+
+
+class ProcessPoolRoundExecutor(RoundExecutor):
+    """Fan rounds out over worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Worker-process count (>= 2; use :func:`make_executor` to fall back
+        to :class:`SequentialExecutor` for 0/1).
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 2:
+            raise ValueError(
+                f"ProcessPoolRoundExecutor needs >= 2 workers, got {workers}; "
+                "use make_executor() for an automatic sequential fallback"
+            )
+        self.workers = workers
+        self._clients: dict[int, Client] = {}
+        self._validators: dict[int, Validator] = {}
+        self._template: Network | None = None
+        self._bound: set[str] = set()
+        self._pool: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    # Population binding / pool lifecycle
+    # ------------------------------------------------------------------
+    def bind(
+        self,
+        clients: Sequence[Client] | None = None,
+        validator_pool: "ValidatorPool | None" = None,
+        template: Network | None = None,
+    ) -> None:
+        if self._pool is not None:
+            raise RuntimeError("cannot bind populations after the pool started")
+        # Each population binds exactly once: workers see one consistent
+        # snapshot, and sharing an executor across simulations fails loudly
+        # instead of silently running the first simulation against the
+        # second's clients.
+        for field, provided in (
+            ("clients", clients),
+            ("validator_pool", validator_pool),
+            ("template", template),
+        ):
+            if provided is not None and field in self._bound:
+                raise RuntimeError(
+                    f"executor already has {field} bound; "
+                    "use one executor per simulation"
+                )
+        if clients is not None:
+            self._bound.add("clients")
+            self._clients = {
+                c.client_id: c for c in clients if _is_parallel_safe(c)
+            }
+        if validator_pool is not None:
+            self._bound.add("validator_pool")
+            self._validators = {
+                vid: validator
+                for vid, validator in validator_pool.as_dict().items()
+                if _is_parallel_safe(validator)
+            }
+        if template is not None:
+            self._bound.add("template")
+            self._template = template
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            if self._template is None:
+                raise RuntimeError(
+                    "executor needs a template network; bind(template=...) "
+                    "first (FederatedSimulation does this automatically)"
+                )
+            # The template travels once, as a pickled Network (float64
+            # arrays pickle losslessly); per-round weights travel as blobs.
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(self._clients, self._validators, self._template),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    # Round fan-out
+    # ------------------------------------------------------------------
+    def run_clients(
+        self,
+        clients: Sequence[Client],
+        contributor_ids: Sequence[int],
+        global_model: Network,
+        config: LocalTrainingConfig,
+        round_idx: int,
+        streams: RngStreams,
+    ) -> list[np.ndarray]:
+        pool = self._ensure_pool()
+        weights_blob = params_to_bytes(global_model, dtype=np.float64)
+        futures: dict[int, Future] = {
+            cid: pool.submit(
+                _client_task,
+                cid,
+                weights_blob,
+                config,
+                round_idx,
+                streams.client_seq(round_idx, cid),
+            )
+            for cid in contributor_ids
+            if cid in self._clients
+        }
+        # Entities that must run in the parent (stateful / unpicklable)
+        # overlap with the workers' wall-clock, then everything is gathered
+        # in contributor order so results are order-deterministic.
+        local: dict[int, np.ndarray] = {
+            cid: clients[cid].produce_update(
+                global_model, config, round_idx, streams.client_rng(round_idx, cid)
+            )
+            for cid in contributor_ids
+            if cid not in futures
+        }
+        return [
+            futures[cid].result() if cid in futures else local[cid]
+            for cid in contributor_ids
+        ]
+
+    def run_validators(
+        self,
+        pool: "ValidatorPool",
+        validator_ids: Sequence[int],
+        context: ValidationContext,
+        round_idx: int,
+        streams: RngStreams,
+    ) -> dict[int, int]:
+        executor_pool = self._ensure_pool()
+        candidate_blob = params_to_bytes(context.candidate, dtype=np.float64)
+        history_blobs = [
+            (version, params_to_bytes(model, dtype=np.float64))
+            for version, model in context.history
+        ]
+        futures: dict[int, Future] = {
+            vid: executor_pool.submit(
+                _validator_task,
+                vid,
+                candidate_blob,
+                history_blobs,
+                round_idx,
+                streams.validator_seq(round_idx, vid),
+            )
+            for vid in validator_ids
+            if vid in self._validators
+        }
+        # As in run_clients: parent-side (non-parallel-safe) votes run while
+        # the workers chew, then everything is gathered in id order.
+        local: dict[int, int] = {
+            vid: pool.get(vid).vote(context, streams.validator_rng(round_idx, vid))
+            for vid in validator_ids
+            if vid not in futures
+        }
+        return {
+            vid: futures[vid].result() if vid in futures else local[vid]
+            for vid in validator_ids
+        }
+
+
+def make_executor(workers: int) -> RoundExecutor:
+    """Executor for a worker count: 0/1 -> sequential, N>=2 -> process pool."""
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers <= 1:
+        return SequentialExecutor()
+    return ProcessPoolRoundExecutor(workers)

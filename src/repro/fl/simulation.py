@@ -21,6 +21,8 @@ import numpy as np
 from repro.fl.aggregation import Aggregator, FedAvgAggregator, apply_global_update
 from repro.fl.client import Client, LocalTrainingConfig
 from repro.fl.config import FLConfig
+from repro.fl.parallel import RoundExecutor, SequentialExecutor
+from repro.fl.rng import RngStreams
 from repro.fl.secure_agg import SecureAggregator
 from repro.fl.selection import Selector, UniformSelector
 from repro.nn.network import Network
@@ -82,7 +84,11 @@ class FederatedSimulation:
     config:
         FL hyper-parameters.
     rng:
-        Source of all randomness (selection, local training, defense).
+        Source of the server-side randomness (selection, validator
+        sampling).  Client training and validator votes draw from
+        independent per-``(round, entity)`` streams spawned off this
+        generator's seed sequence (see :mod:`repro.fl.rng`), so their
+        results do not depend on execution order.
     selector:
         Client-selection policy; defaults to uniform sampling.
     aggregator:
@@ -95,6 +101,10 @@ class FederatedSimulation:
     metric_hooks:
         ``{name: fn(model) -> float}`` evaluated on the committed global
         model after every round (used for paper Fig. 4 time series).
+    executor:
+        The :class:`~repro.fl.parallel.RoundExecutor` that fans out client
+        training and validator votes; defaults to in-process sequential
+        execution.  The caller owns the executor's lifecycle.
     """
 
     def __init__(
@@ -108,6 +118,7 @@ class FederatedSimulation:
         use_secure_agg: bool = False,
         defense: Defense | None = None,
         metric_hooks: Mapping[str, Callable[[Network], float]] | None = None,
+        executor: RoundExecutor | None = None,
     ) -> None:
         if len(clients) != config.num_clients:
             raise ValueError(
@@ -132,6 +143,12 @@ class FederatedSimulation:
             )
         self.defense = defense
         self.metric_hooks = dict(metric_hooks or {})
+        self.streams = RngStreams.from_rng(rng)
+        self.executor = executor or SequentialExecutor()
+        self.executor.bind(clients=self.clients, template=global_model.clone())
+        bind_runtime = getattr(defense, "bind_runtime", None)
+        if callable(bind_runtime):
+            bind_runtime(executor=self.executor, streams=self.streams)
         self.round_idx = 0
         self.history: list[RoundRecord] = []
 
@@ -149,10 +166,14 @@ class FederatedSimulation:
             momentum=self.config.client_momentum,
             weight_decay=self.config.weight_decay,
         )
-        updates = [
-            self.clients[cid].produce_update(self.global_model, local_cfg, round_idx, self.rng)
-            for cid in contributor_ids
-        ]
+        updates = self.executor.run_clients(
+            self.clients,
+            contributor_ids,
+            self.global_model,
+            local_cfg,
+            round_idx,
+            self.streams,
+        )
         mean_update = self._combine(contributor_ids, updates, round_idx)
         candidate_flat = apply_global_update(
             self.global_model.get_flat(),

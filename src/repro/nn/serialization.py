@@ -20,10 +20,16 @@ from repro.nn.network import Network
 PAPER_COMPRESSION_FACTOR = 10.0
 
 
-def params_to_bytes(network: Network) -> bytes:
-    """Serialize network parameters to a compact binary blob (float32)."""
+def params_to_bytes(network: Network, dtype: type = np.float32) -> bytes:
+    """Serialize network parameters to a compact binary blob.
+
+    The default ``float32`` matches the paper's on-the-wire size estimates
+    (Sec. VI-D).  The parallel round engine passes ``float64`` instead: its
+    sequential/parallel equivalence guarantee needs lossless weight
+    transport between the server and worker processes.
+    """
     buffer = io.BytesIO()
-    np.save(buffer, network.get_flat().astype(np.float32), allow_pickle=False)
+    np.save(buffer, network.get_flat().astype(dtype), allow_pickle=False)
     return buffer.getvalue()
 
 

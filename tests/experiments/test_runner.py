@@ -23,6 +23,12 @@ class TestRunDetectionExperiment:
         stats = run_detection_experiment(fast_config, seeds=(0,))
         assert stats.fn_mean == 0.0
 
+    def test_workers_override_is_a_pure_throughput_knob(self, fast_config):
+        """The runner-level workers override must not change results."""
+        sequential = run_detection_experiment(fast_config, seeds=(0,))
+        parallel = run_detection_experiment(fast_config, seeds=(0,), workers=2)
+        assert parallel == sequential
+
 
 class TestSweeps:
     def test_sweep_lookback_covers_grid(self, fast_config):

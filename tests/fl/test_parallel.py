@@ -1,0 +1,246 @@
+"""Tests for the parallel round engine and its keyed RNG streams.
+
+The headline guarantee: a :class:`ProcessPoolRoundExecutor` run commits
+**bit-identical** global models and round records to a
+:class:`SequentialExecutor` run under the same seed.  Everything here
+defends that property.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baffle import BaffleConfig, BaffleDefense, ValidatorPool
+from repro.core.validation import MisclassificationValidator
+from repro.data.dataset import Dataset
+from repro.data.partition import iid_partition
+from repro.fl.client import HonestClient, LocalTrainingConfig
+from repro.fl.config import FLConfig
+from repro.fl.parallel import (
+    ProcessPoolRoundExecutor,
+    SequentialExecutor,
+    make_executor,
+)
+from repro.fl.rng import RngStreams
+from repro.fl.simulation import FederatedSimulation
+from repro.nn.models import make_mlp
+
+
+class StayAtHomeClient(HonestClient):
+    """An honest client that must run in the parent process."""
+
+    parallel_safe = False
+
+
+def make_world(seed: int = 7, num_clients: int = 6, home_client: int | None = None):
+    """A separable 3-class federated world with per-client validators."""
+    rng = np.random.default_rng(seed)
+    centers = np.array([[2.0, 0.0], [-2.0, 1.5], [0.0, -2.5]])
+    labels = np.tile(np.arange(3), 120)
+    x = centers[labels] + rng.normal(0.0, 0.4, size=(len(labels), 2))
+    pool = Dataset(x, labels, 3)
+    parts = iid_partition(len(pool), num_clients + 1, rng)
+    shards = [pool.subset(p) for p in parts]
+    clients = [
+        (StayAtHomeClient if i == home_client else HonestClient)(i, shards[i])
+        for i in range(num_clients)
+    ]
+    server_data = shards[num_clients]
+    model = make_mlp(2, 3, rng, hidden=(8,))
+    config = FLConfig(num_clients=num_clients, clients_per_round=3, local_epochs=1,
+                      batch_size=16)
+    return model, clients, server_data, config
+
+
+def build_defended_sim(
+    executor, seed: int = 7, home_client: int | None = None, prime: bool = True
+):
+    model, clients, server_data, config = make_world(seed, home_client=home_client)
+    validator_pool = ValidatorPool.from_datasets(
+        {c.client_id: c.dataset for c in clients}, min_history=4
+    )
+    defense = BaffleDefense(
+        BaffleConfig(lookback=4, quorum=2, num_validators=3, mode="both"),
+        validator_pool,
+        MisclassificationValidator(server_data, min_history=4),
+    )
+    if prime:
+        defense.prime(model)
+    return FederatedSimulation(
+        model.clone(), clients, config, np.random.default_rng(seed + 1),
+        defense=defense, executor=executor,
+    )
+
+
+def run_and_snapshot(sim, rounds: int = 8):
+    records = sim.run(rounds)
+    return sim.global_model.get_flat(), [
+        (
+            r.round_idx,
+            tuple(r.contributor_ids),
+            r.accepted,
+            r.decision.reject_votes,
+            dict(r.decision.client_votes),
+            r.decision.server_vote,
+        )
+        for r in records
+    ]
+
+
+class TestRngStreams:
+    def test_keyed_streams_are_reproducible(self):
+        a = RngStreams.from_seed(3)
+        b = RngStreams.from_seed(3)
+        assert a.client_rng(5, 2).random() == b.client_rng(5, 2).random()
+        assert a.validator_rng(5, 2).random() == b.validator_rng(5, 2).random()
+
+    def test_domains_rounds_and_entities_are_independent(self):
+        streams = RngStreams.from_seed(3)
+        draws = {
+            streams.client_rng(5, 2).random(),
+            streams.validator_rng(5, 2).random(),
+            streams.client_rng(6, 2).random(),
+            streams.client_rng(5, 3).random(),
+            streams.server_rng(5).random(),
+        }
+        assert len(draws) == 5
+
+    def test_from_rng_consumes_no_draws(self):
+        rng = np.random.default_rng(11)
+        RngStreams.from_rng(rng)
+        assert rng.random() == np.random.default_rng(11).random()
+
+    def test_from_rng_is_deterministic_per_generator(self):
+        a = RngStreams.from_rng(np.random.default_rng(11))
+        b = RngStreams.from_rng(np.random.default_rng(11))
+        assert a.client_rng(0, 0).random() == b.client_rng(0, 0).random()
+
+    def test_negative_keys_rejected(self):
+        with pytest.raises(ValueError):
+            RngStreams.from_seed(0).client_seq(-1, 0)
+
+
+class TestSequentialOrderIndependence:
+    def test_client_updates_do_not_depend_on_execution_order(self):
+        model, clients, _, config = make_world()
+        local_cfg = LocalTrainingConfig(epochs=1, batch_size=16, lr=0.1)
+        streams = RngStreams.from_seed(0)
+        executor = SequentialExecutor()
+        forward = executor.run_clients(clients, [0, 1, 2], model, local_cfg, 0, streams)
+        backward = executor.run_clients(clients, [2, 1, 0], model, local_cfg, 0, streams)
+        for update_f, update_b in zip(forward, reversed(backward)):
+            np.testing.assert_array_equal(update_f, update_b)
+
+
+class TestMakeExecutor:
+    def test_zero_and_one_worker_fall_back_to_sequential(self):
+        assert isinstance(make_executor(0), SequentialExecutor)
+        assert isinstance(make_executor(1), SequentialExecutor)
+
+    def test_multiple_workers_build_a_process_pool(self):
+        executor = make_executor(2)
+        assert isinstance(executor, ProcessPoolRoundExecutor)
+        executor.close()
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            make_executor(-1)
+
+    def test_pool_requires_two_workers(self):
+        with pytest.raises(ValueError):
+            ProcessPoolRoundExecutor(1)
+
+
+class TestSequentialParallelEquivalence:
+    def test_defended_runs_commit_bit_identical_models_and_records(self):
+        seq_flat, seq_records = run_and_snapshot(
+            build_defended_sim(SequentialExecutor())
+        )
+        with make_executor(2) as executor:
+            par_flat, par_records = run_and_snapshot(build_defended_sim(executor))
+        np.testing.assert_array_equal(seq_flat, par_flat)
+        assert seq_records == par_records
+
+    def test_parent_fallback_clients_preserve_equivalence(self):
+        """Clients with ``parallel_safe = False`` run in the parent but
+        must not perturb the committed trajectory."""
+        seq_flat, seq_records = run_and_snapshot(
+            build_defended_sim(SequentialExecutor())
+        )
+        with make_executor(2) as executor:
+            par_flat, par_records = run_and_snapshot(
+                build_defended_sim(executor, home_client=1)
+            )
+        np.testing.assert_array_equal(seq_flat, par_flat)
+        assert seq_records == par_records
+
+    def test_empty_history_round_abstains_in_both_engines(self):
+        """Regression: an unprimed defense reviews round 0 with an empty
+        history; worker-side validation must abstain like the sequential
+        path instead of crashing on the empty history."""
+        seq_flat, seq_records = run_and_snapshot(
+            build_defended_sim(SequentialExecutor(), prime=False), rounds=3
+        )
+        with make_executor(2) as executor:
+            par_flat, par_records = run_and_snapshot(
+                build_defended_sim(executor, prime=False), rounds=3
+            )
+        np.testing.assert_array_equal(seq_flat, par_flat)
+        assert seq_records == par_records
+
+    def test_undefended_run_equivalence(self):
+        model, clients, _, config = make_world()
+        sims = []
+        for executor in (SequentialExecutor(), make_executor(2)):
+            with executor:
+                sim = FederatedSimulation(
+                    model.clone(), clients, config,
+                    np.random.default_rng(3), executor=executor,
+                )
+                sim.run(4)
+                sims.append(sim.global_model.get_flat())
+        np.testing.assert_array_equal(sims[0], sims[1])
+
+
+class TestExecutorLifecycle:
+    def test_bind_after_pool_start_rejected(self):
+        model, clients, _, config = make_world()
+        with make_executor(2) as executor:
+            sim = FederatedSimulation(
+                model.clone(), clients, config,
+                np.random.default_rng(3), executor=executor,
+            )
+            sim.run_round()
+            with pytest.raises(RuntimeError):
+                executor.bind(clients=clients)
+
+    def test_executor_reuse_across_simulations_rejected(self):
+        """One executor per simulation: a second bind of the same
+        population must fail loudly, not silently retrain the wrong world."""
+        model, clients, _, config = make_world()
+        with make_executor(2) as executor:
+            FederatedSimulation(
+                model.clone(), clients, config,
+                np.random.default_rng(3), executor=executor,
+            )
+            with pytest.raises(RuntimeError, match="one executor per simulation"):
+                FederatedSimulation(
+                    model.clone(), clients, config,
+                    np.random.default_rng(4), executor=executor,
+                )
+
+    def test_pool_without_template_rejected(self):
+        executor = ProcessPoolRoundExecutor(2)
+        model, clients, _, config = make_world()
+        streams = RngStreams.from_seed(0)
+        with pytest.raises(RuntimeError):
+            executor.run_clients(
+                clients, [0], model, LocalTrainingConfig(epochs=1), 0, streams
+            )
+        executor.close()
+
+    def test_close_is_idempotent(self):
+        executor = make_executor(2)
+        executor.close()
+        executor.close()

@@ -1,0 +1,1 @@
+"""Test package (required: duplicate test-module basenames need package-qualified import)."""

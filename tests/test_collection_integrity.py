@@ -1,0 +1,50 @@
+"""Guards against the test-collection failure that broke the seed repo.
+
+Two test modules shared the basename ``test_metrics.py`` while the test
+tree had no package ``__init__.py`` files, so pytest's rootdir-relative
+import machinery mapped both files onto one module name and aborted the
+whole collection with an import-file mismatch — zero tests ran.
+
+These tests enforce the invariants that keep collection healthy:
+
+1. every directory under ``tests/`` that contains test modules is a real
+   package (has ``__init__.py``), and
+2. every test module imports under its fully-qualified package name to the
+   file it lives in (no shadowing between same-basename modules).
+"""
+
+from __future__ import annotations
+
+import importlib
+from pathlib import Path
+
+TESTS_ROOT = Path(__file__).resolve().parent
+
+
+def _test_modules() -> list[Path]:
+    return sorted(TESTS_ROOT.rglob("test_*.py"))
+
+
+def test_every_test_dir_is_a_package():
+    missing = {
+        str(path.parent.relative_to(TESTS_ROOT.parent))
+        for path in _test_modules()
+        if not (path.parent / "__init__.py").exists()
+    }
+    assert not missing, (
+        f"test directories without __init__.py: {sorted(missing)}; "
+        "pytest then imports their modules by basename, and duplicate "
+        "basenames abort collection"
+    )
+
+
+def test_every_test_module_imports_to_its_own_file():
+    assert _test_modules(), "no test modules found — wrong rootdir?"
+    for path in _test_modules():
+        relative = path.relative_to(TESTS_ROOT.parent)
+        dotted = ".".join(relative.with_suffix("").parts)
+        module = importlib.import_module(dotted)
+        assert Path(module.__file__).resolve() == path, (
+            f"module {dotted!r} resolved to {module.__file__}, not {path}; "
+            "a same-basename module is shadowing it"
+        )
