@@ -1,10 +1,18 @@
-"""Round-throughput benchmark: sequential vs parallel execution engine.
+"""Round-throughput benchmark: transport paths of the execution engine.
 
-Runs one defended federated world twice — once on the in-process
-:class:`SequentialExecutor`, once on a
-:class:`ProcessPoolRoundExecutor` — and reports rounds/second for both,
-the speedup, and the max absolute weight divergence (which must be 0.0:
-the engines commit bit-identical models by construction).
+Runs one defended federated world three times —
+
+- ``sequential``: in-process :class:`SequentialExecutor` (no transport);
+- ``pool+pipes``: :class:`ProcessPoolRoundExecutor` over an
+  :class:`InProcessModelStore`, shipping pickled float64 weight blobs
+  through pipes: O(model x (clients + validators x history)) per round;
+- ``pool+shm``: the same pool over a :class:`SharedMemoryModelStore`,
+  shipping version keys into a shared-memory arena: O(1 new model) per
+  round, independent of history length and fan-out width —
+
+and reports rounds/second, per-round transport bytes, and the max absolute
+committed-weight divergence against the sequential run (which must be 0.0:
+all engine/store combinations commit bit-identical models by construction).
 
 Usage::
 
@@ -15,7 +23,7 @@ Usage::
 Speedup scales with physical cores; on a single-core host the parallel
 engine pays process-pool overhead for no gain and the report will say so —
 the number to quote comes from a multi-core machine (the acceptance target
-is >= 1.5x at 4 workers).
+is >= 1.5x at 4 workers).  The transport numbers are host-independent.
 """
 
 from __future__ import annotations
@@ -40,12 +48,19 @@ from repro.data.partition import iid_partition
 from repro.data.synthetic_cifar import SyntheticCifar
 from repro.fl.client import HonestClient
 from repro.fl.config import FLConfig
+from repro.fl.model_store import (
+    InProcessModelStore,
+    ModelStore,
+    SharedMemoryModelStore,
+)
 from repro.fl.parallel import RoundExecutor, SequentialExecutor, make_executor
 from repro.fl.simulation import FederatedSimulation
 from repro.nn.models import make_mlp
 
 
-def build_sim(args: argparse.Namespace, executor: RoundExecutor) -> FederatedSimulation:
+def build_sim(
+    args: argparse.Namespace, executor: RoundExecutor, store: ModelStore
+) -> FederatedSimulation:
     rng = np.random.default_rng(0)
     task = SyntheticCifar()
     pool = task.sample(args.clients * args.shard, rng)
@@ -59,7 +74,7 @@ def build_sim(args: argparse.Namespace, executor: RoundExecutor) -> FederatedSim
     )
     defense = BaffleDefense(
         BaffleConfig(
-            lookback=4,
+            lookback=args.lookback,
             quorum=max(2, args.validators // 2),
             num_validators=args.validators,
             mode="both",
@@ -77,31 +92,37 @@ def build_sim(args: argparse.Namespace, executor: RoundExecutor) -> FederatedSim
     )
     return FederatedSimulation(
         model.clone(), clients, config, np.random.default_rng(1),
-        defense=defense, executor=executor,
+        defense=defense, executor=executor, model_store=store,
     )
 
 
-def timed_run(args: argparse.Namespace, executor: RoundExecutor) -> tuple[float, np.ndarray]:
-    """Rounds/second over the measured window (after one warmup round)."""
-    with executor:
-        sim = build_sim(args, executor)
+def timed_run(
+    args: argparse.Namespace, executor: RoundExecutor, store: ModelStore
+) -> tuple[float, np.ndarray, float]:
+    """(rounds/s, committed weights, mean transport bytes/round), after warmup."""
+    with store, executor:
+        sim = build_sim(args, executor, store)
         sim.run_round()  # warmup: process-pool startup, caches, JIT-ish costs
         start = time.perf_counter()
-        sim.run(args.rounds)
+        records = sim.run(args.rounds)
         elapsed = time.perf_counter() - start
-        return args.rounds / elapsed, sim.global_model.get_flat()
+        transport = float(np.mean([r.transport_bytes for r in records]))
+        return args.rounds / elapsed, sim.global_model.get_flat(), transport
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workers", type=int, default=4,
-                        help="worker processes for the parallel engine")
+                        help="worker processes for the parallel engines")
     parser.add_argument("--rounds", type=int, default=6,
                         help="measured rounds per engine")
     parser.add_argument("--clients", type=int, default=30)
     parser.add_argument("--per-round", type=int, default=10, dest="per_round")
     parser.add_argument("--validators", type=int, default=10)
     parser.add_argument("--epochs", type=int, default=2)
+    parser.add_argument("--lookback", type=int, default=4,
+                        help="defense look-back window (history = lookback+1 "
+                             "models; stresses pipe transport, not shm)")
     parser.add_argument("--shard", type=int, default=100,
                         help="samples per client shard")
     parser.add_argument("--hidden", type=int, nargs="+", default=[128])
@@ -118,26 +139,58 @@ def main(argv: list[str] | None = None) -> int:
         args.hidden = [32]
     args.hidden = tuple(args.hidden)
 
-    seq_rps, seq_flat = timed_run(args, SequentialExecutor())
-    par_rps, par_flat = timed_run(args, make_executor(args.workers))
-    divergence = float(np.max(np.abs(seq_flat - par_flat)))
-    speedup = par_rps / seq_rps
+    engines = [
+        ("sequential", lambda: SequentialExecutor(), InProcessModelStore),
+        ("pool+pipes", lambda: make_executor(args.workers), InProcessModelStore),
+        ("pool+shm", lambda: make_executor(args.workers), SharedMemoryModelStore),
+    ]
+    results = {
+        name: timed_run(args, make_exec(), store_cls())
+        for name, make_exec, store_cls in engines
+    }
+    seq_rps, seq_flat, _ = results["sequential"]
+    model_bytes = seq_flat.nbytes
 
-    text = "\n".join([
-        "Parallel round engine: sequential vs process-pool throughput",
+    lines = [
+        "Parallel round engine: transport paths, throughput and equivalence",
         f"world: {args.clients} clients ({args.per_round}/round, "
         f"{args.epochs} local epochs, shard={args.shard}), "
-        f"{args.validators} validators, hidden={args.hidden}",
-        f"host: {os.cpu_count()} cpu core(s); measured over {args.rounds} rounds",
-        f"sequential : {seq_rps:7.3f} rounds/s",
-        f"parallel   : {par_rps:7.3f} rounds/s  ({args.workers} workers)",
-        f"speedup    : {speedup:7.2f}x",
-        f"max |seq - par| committed-weight divergence: {divergence:.1e}",
-    ])
+        f"{args.validators} validators, lookback={args.lookback}, "
+        f"hidden={args.hidden}",
+        f"host: {os.cpu_count()} cpu core(s); measured over {args.rounds} "
+        f"rounds after 1 warmup; model = {model_bytes} bytes (float64)",
+        f"{'engine':<11} {'rounds/s':>9} {'speedup':>8} "
+        f"{'transport B/round':>18} {'models/round':>13}",
+    ]
+    divergence = 0.0
+    for name, (rps, flat, transport) in results.items():
+        divergence = max(divergence, float(np.max(np.abs(seq_flat - flat))))
+        lines.append(
+            f"{name:<11} {rps:9.3f} {rps / seq_rps:7.2f}x "
+            f"{transport:18.1f} {transport / model_bytes:13.2f}"
+        )
+    lines.append(
+        f"max |seq - engine| committed-weight divergence: {divergence:.1e}"
+    )
+    shm_transport = results["pool+shm"][2]
+    lines.append(
+        "pool+shm ships "
+        f"{shm_transport / model_bytes:.2f} models/round regardless of "
+        "history length and fan-out width (O(1) new-model transport); "
+        "pool+pipes re-ships candidate + history per validator and the "
+        "global model per client."
+    )
+    text = "\n".join(lines)
     write_result("parallel_engine", text)
 
     if divergence != 0.0:
         print("FAIL: engines diverged — sequential/parallel equivalence broken")
+        return 1
+    if shm_transport > model_bytes + 4096:
+        print(
+            "FAIL: shared-memory transport exceeds one model per round "
+            f"({shm_transport:.0f} B vs model {model_bytes} B)"
+        )
         return 1
     return 0
 

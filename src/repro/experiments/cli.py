@@ -37,6 +37,7 @@ from repro.experiments.runner import (
     sweep_lookback,
     sweep_quorum,
 )
+from repro.fl.model_store import STORE_KINDS
 from repro.experiments.scenarios import run_early_scenario, run_error_trace
 
 
@@ -63,8 +64,11 @@ def cmd_detect(args: argparse.Namespace) -> None:
         quorum=args.quorum,
         mode=args.mode,
         workers=args.workers,
+        model_store=args.store,
     )
-    stats = run_detection_experiment(config, _seeds(args))
+    stats = run_detection_experiment(
+        config, _seeds(args), seed_workers=args.seed_workers
+    )
     print(
         f"{args.dataset} split={args.split} l={args.lookback} q={args.quorum} "
         f"mode={args.mode}: {stats}"
@@ -73,16 +77,26 @@ def cmd_detect(args: argparse.Namespace) -> None:
 
 def cmd_table1(args: argparse.Namespace) -> None:
     splits = _splits(args.dataset)
-    base = ExperimentConfig(dataset=args.dataset, workers=args.workers)
-    results = sweep_lookback(base, (10, 20, 30), splits, seeds=_seeds(args))
+    base = ExperimentConfig(
+        dataset=args.dataset, workers=args.workers, model_store=args.store
+    )
+    results = sweep_lookback(
+        base, (10, 20, 30), splits, seeds=_seeds(args),
+        seed_workers=args.seed_workers,
+    )
     print(format_table1(results, (10, 20, 30), splits, args.dataset))
 
 
 def cmd_fig3(args: argparse.Namespace) -> None:
     splits = _splits(args.dataset)
     quorums = tuple(range(3, 10))
-    base = ExperimentConfig(dataset=args.dataset, lookback=20, workers=args.workers)
-    results = sweep_quorum(base, quorums, splits, seeds=_seeds(args))
+    base = ExperimentConfig(
+        dataset=args.dataset, lookback=20, workers=args.workers,
+        model_store=args.store,
+    )
+    results = sweep_quorum(
+        base, quorums, splits, seeds=_seeds(args), seed_workers=args.seed_workers
+    )
     for split in splits:
         print(format_quorum_series(results, quorums, split, args.dataset))
         print()
@@ -93,9 +107,11 @@ def cmd_table2(args: argparse.Namespace) -> None:
     for split in CIFAR_SPLITS:
         config = ExperimentConfig(
             dataset="cifar", client_share=split, adaptive_max_trials=8,
-            workers=args.workers,
+            workers=args.workers, model_store=args.store,
         )
-        results[split] = run_adaptive_experiment(config, _seeds(args))
+        results[split] = run_adaptive_experiment(
+            config, _seeds(args), seed_workers=args.seed_workers
+        )
     print(format_table2(results))
     votes = {s: list(r.adaptive_reject_votes) for s, r in results.items()}
     print()
@@ -103,7 +119,9 @@ def cmd_table2(args: argparse.Namespace) -> None:
 
 
 def cmd_fig2(args: argparse.Namespace) -> None:
-    config = ExperimentConfig(dataset=args.dataset, workers=args.workers)
+    config = ExperimentConfig(
+        dataset=args.dataset, workers=args.workers, model_store=args.store
+    )
     # fig2 is a single paired clean/poisoned trace, not a seed sweep: a
     # fixed seed matches fig4's convention (--seeds used to leak in as the
     # literal rng seed here).
@@ -125,7 +143,9 @@ def cmd_fig2(args: argparse.Namespace) -> None:
 
 
 def cmd_fig4(args: argparse.Namespace) -> None:
-    config = ExperimentConfig(dataset=args.dataset, workers=args.workers)
+    config = ExperimentConfig(
+        dataset=args.dataset, workers=args.workers, model_store=args.store
+    )
     undefended = run_early_scenario(config, seed=0, defense_start=None)
     defended = run_early_scenario(config, seed=0, defense_start=106)
     print(
@@ -160,6 +180,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workers", type=int, default=0,
                        help="worker processes for the round engine "
                             "(0/1 = sequential; results are identical)")
+        p.add_argument("--seed-workers", type=int, default=0, dest="seed_workers",
+                       help="processes fanning out independent seeds "
+                            "(0/1 = serial; results are identical)")
+        p.add_argument("--store", choices=STORE_KINDS, default="auto",
+                       help="model-store backend moving weights to round "
+                            "workers (auto = shared memory when workers >= 2)")
         for flag, kwargs in extra_args.items():
             p.add_argument(flag, **kwargs)
         p.set_defaults(fn=fn)

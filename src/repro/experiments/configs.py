@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.fl.model_store import STORE_KINDS
+
 #: Client-server validation-data splits evaluated in Table I / Fig. 3.
 CIFAR_SPLITS = (0.90, 0.95, 0.99)
 FEMNIST_SPLITS = (0.99, 0.995, 0.999)
@@ -81,10 +83,14 @@ class ExperimentConfig:
     # Model.
     hidden: tuple[int, ...] = (64,)
     # Execution engine: worker processes for client training and validator
-    # votes (0/1 = in-process sequential).  Sequential and parallel runs
-    # commit bit-identical models, so this is a pure throughput knob and is
-    # deliberately excluded from ``environment_key``.
+    # votes (0/1 = in-process sequential), and the model-store backend
+    # moving weights to those workers ("auto" picks shared memory whenever
+    # a process pool exists, "inprocess"/"shared" force a backend).  All
+    # executor/store combinations commit bit-identical models, so both are
+    # pure throughput knobs and deliberately excluded from
+    # ``environment_key``.
     workers: int = 0
+    model_store: str = "auto"
 
     def __post_init__(self) -> None:
         if self.dataset not in _DATASETS:
@@ -105,6 +111,11 @@ class ExperimentConfig:
             )
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.model_store not in STORE_KINDS:
+            raise ValueError(
+                f"model_store must be one of {STORE_KINDS}, got "
+                f"{self.model_store!r}"
+            )
 
     def environment_key(self, seed: int) -> tuple:
         """Cache key for the (expensive) pretrained environment.

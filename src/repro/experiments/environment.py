@@ -22,6 +22,8 @@ from repro.data.synthetic_femnist import SyntheticFemnist
 from repro.experiments.configs import ExperimentConfig
 from repro.fl.client import HonestClient
 from repro.fl.config import FLConfig
+from repro.fl.model_store import make_model_store
+from repro.fl.parallel import make_executor
 from repro.fl.simulation import FederatedSimulation
 from repro.nn.models import make_mlp
 from repro.nn.network import Network
@@ -134,7 +136,14 @@ def _pretrain(
     num_classes: int,
     rng: np.random.Generator,
 ) -> Network:
-    """Clean federated training to (approximate) stability."""
+    """Clean federated training to (approximate) stability.
+
+    Pretraining is the expensive half of an experiment, so it runs on the
+    same executor/store setting as the defended phase
+    (``config.workers`` / ``config.model_store``).  Engines commit
+    bit-identical models, so the environment cache key stays
+    executor-independent.
+    """
     flat_dim = shards[0].x.shape[1]
     model = make_mlp(flat_dim, num_classes, rng, hidden=config.hidden)
     clients = [HonestClient(i, shard) for i, shard in enumerate(shards)]
@@ -145,6 +154,10 @@ def _pretrain(
         batch_size=config.batch_size,
         client_lr=config.pretrain_lr,
     )
-    sim = FederatedSimulation(model, clients, fl_config, rng)
-    sim.run(config.pretrain_rounds)
+    with make_model_store(config.workers, config.model_store) as store, \
+            make_executor(config.workers) as executor:
+        sim = FederatedSimulation(
+            model, clients, fl_config, rng, executor=executor, model_store=store
+        )
+        sim.run(config.pretrain_rounds)
     return sim.global_model

@@ -24,6 +24,7 @@ from repro.experiments.configs import ExperimentConfig
 from repro.experiments.environment import Environment, build_environment
 from repro.fl.client import Client, HonestClient
 from repro.fl.config import FLConfig
+from repro.fl.model_store import make_model_store
 from repro.fl.parallel import make_executor
 from repro.fl.selection import ScheduledSelector
 from repro.fl.simulation import FederatedSimulation, RoundRecord
@@ -93,7 +94,8 @@ def run_stable_scenario(
                 (m.predict(bd_eval.x) == target).mean()
             ),
         }
-    with make_executor(config.workers) as executor:
+    with make_model_store(config.workers, config.model_store) as store, \
+            make_executor(config.workers) as executor:
         sim = FederatedSimulation(
             env.stable_model.clone(),
             clients,
@@ -104,6 +106,7 @@ def run_stable_scenario(
             use_secure_agg=use_secure_agg,
             metric_hooks=hooks,
             executor=executor,
+            model_store=store,
         )
         records = sim.run(config.total_rounds)
 
@@ -203,7 +206,8 @@ def run_early_scenario(
     test = env.test_data
     bd_eval = env.backdoor.backdoor_test_instances(200, np.random.default_rng(seed))
     target = env.backdoor.target_label
-    with make_executor(config.workers) as executor:
+    with make_model_store(config.workers, config.model_store) as store, \
+            make_executor(config.workers) as executor:
         sim = FederatedSimulation(
             model,
             clients,
@@ -216,6 +220,7 @@ def run_early_scenario(
                 "backdoor_acc": lambda m: float((m.predict(bd_eval.x) == target).mean()),
             },
             executor=executor,
+            model_store=store,
         )
         records = sim.run(total_rounds)
     return EarlyRoundResult(
@@ -266,7 +271,8 @@ def run_error_trace(
             config.clients_per_round,
             {r: [env.attacker_id] for r in attack_rounds},
         )
-        with make_executor(config.workers) as executor:
+        with make_model_store(config.workers, config.model_store) as store, \
+                make_executor(config.workers) as executor:
             sim = FederatedSimulation(
                 env.stable_model.clone(),
                 clients,
@@ -274,6 +280,7 @@ def run_error_trace(
                 np.random.default_rng(np.random.SeedSequence((seed, 0xF16))),
                 selector=selector,
                 executor=executor,
+                model_store=store,
             )
             rows = []
             for _ in range(rounds):

@@ -30,6 +30,13 @@ from repro.fl.client import (
     local_train,
 )
 from repro.fl.config import FLConfig
+from repro.fl.model_store import (
+    InProcessModelStore,
+    ModelStore,
+    SharedMemoryModelStore,
+    ValidatorProfileTable,
+    make_model_store,
+)
 from repro.fl.parallel import (
     ProcessPoolRoundExecutor,
     RoundExecutor,
@@ -56,8 +63,10 @@ __all__ = [
     "FedAvgAggregator",
     "FederatedSimulation",
     "HonestClient",
+    "InProcessModelStore",
     "LocalTrainingConfig",
     "MaskedUpdate",
+    "ModelStore",
     "ProcessPoolRoundExecutor",
     "RngStreams",
     "RoundExecutor",
@@ -66,11 +75,14 @@ __all__ = [
     "SequentialExecutor",
     "SecureAggregator",
     "Selector",
+    "SharedMemoryModelStore",
     "UniformSelector",
+    "ValidatorProfileTable",
     "WeightedFedAvgAggregator",
     "apply_global_update",
     "clip_gradients",
     "local_train",
     "make_executor",
+    "make_model_store",
     "make_pairwise_masks",
 ]

@@ -16,23 +16,44 @@ them strictly sequentially on one core.
 
 Because every task's randomness comes from a keyed
 :class:`~repro.fl.rng.RngStreams` child (not a shared sequential stream),
-and weights travel as lossless float64 blobs via
-:mod:`repro.nn.serialization`, both executors commit **bit-identical**
-global models and round records for the same seed.
+and weights travel losslessly in float64, every executor/store combination
+commits **bit-identical** global models and round records for the same
+seed.
+
+Weight transport
+----------------
+Weights reach workers one of two ways, chosen by the bound
+:class:`~repro.fl.model_store.ModelStore`:
+
+- **Version keys** (shared-memory store): the server publishes each new
+  model into the store's ``multiprocessing.shared_memory`` arena exactly
+  once and ships only integer version keys per task.  Workers attach to
+  the arena in their initializer and resolve keys locally, so per-round
+  transport is O(1 new model) — independent of history length and of how
+  many clients or validators fan out.
+- **Pickle-pipe blobs** (in-process store): the legacy path; candidate,
+  global and history weights are serialized per task via
+  :mod:`repro.nn.serialization`, costing
+  O(model x (clients + validators x history)) per round.
+
+Either way the executor counts the model-weight bytes it moves across
+process boundaries; :class:`~repro.fl.simulation.FederatedSimulation`
+surfaces the per-round figure in its round records
+(``RoundRecord.transport_bytes``).
 
 Worker-side state
 -----------------
 Workers are initialized once per pool with the (parallel-safe) client and
-validator populations plus a structural template network; per task only the
-candidate/history *weights* and a picklable seed sequence travel.  Worker
-processes keep their own per-version model and error-profile caches, so a
-validator vote costs one forward pass per model *new to that worker*.  The
-caches are per worker copy: a validator's successive votes may land on
-different workers, and the commit-time profile reuse
-(``note_committed``) only reaches the parent's validator objects — so
-parallel validation spends up to one extra forward pass per validator per
-round compared to the sequential path (see the ROADMAP's shared-memory
-open item).
+validator populations, a structural template network, and the store's
+attachment handle.  Worker processes keep per-version model caches and
+arena attachments, both evicted as the server retires versions (the
+server's minimum live version travels with each task as the eviction
+floor).  Validator error profiles are shared through the server's
+:class:`~repro.fl.model_store.ValidatorProfileTable`: tasks return the
+profiles they compute, the server files them under committed versions, and
+future tasks receive them as hints — so a profile is computed once
+process-wide and the commit-time reuse (``note_committed``) reaches
+workers.
 
 Entities that are stateful across rounds in ways the parent must observe
 (e.g. the adaptive attacker, which reads the live defense history and
@@ -50,6 +71,11 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.fl.client import Client, LocalTrainingConfig
+from repro.fl.model_store import (
+    ModelStore,
+    ShmWorkerView,
+    ValidatorProfileTable,
+)
 from repro.fl.rng import RngStreams
 from repro.nn.network import Network
 from repro.nn.serialization import params_from_bytes, params_to_bytes
@@ -66,6 +92,13 @@ def _is_parallel_safe(obj: object) -> bool:
     return bool(getattr(obj, "parallel_safe", False))
 
 
+#: A picklable reference to one model's weights: ``(version, blob)`` where
+#: a ``None`` blob means "resolve ``version`` from the shared arena" and a
+#: present blob carries the serialized weights through the pipe (version
+#: ``None`` for unversioned one-shot models like blob-path candidates).
+ModelRef = tuple[int | None, bytes | None]
+
+
 class RoundExecutor:
     """Strategy interface for executing one round's independent tasks.
 
@@ -80,8 +113,15 @@ class RoundExecutor:
         clients: Sequence[Client] | None = None,
         validator_pool: "ValidatorPool | None" = None,
         template: Network | None = None,
+        store: ModelStore | None = None,
+        profile_table: ValidatorProfileTable | None = None,
     ) -> None:
-        """Register the populations this executor will fan out over."""
+        """Register the populations and stores this executor fans out over."""
+
+    @property
+    def transport_bytes(self) -> int:
+        """Cumulative model-weight bytes moved across process boundaries."""
+        return 0
 
     def run_clients(
         self,
@@ -156,69 +196,121 @@ _W_CLIENTS: dict[int, Client] = {}
 _W_VALIDATORS: dict[int, Validator] = {}
 _W_TEMPLATE: Network | None = None
 _W_MODELS: dict[int, Network] = {}
+_W_STORE: ShmWorkerView | None = None
 
 
 def _init_worker(
     clients: dict[int, Client],
     validators: dict[int, Validator],
     template: Network | None,
+    store_handle,
 ) -> None:
-    global _W_TEMPLATE
+    global _W_TEMPLATE, _W_STORE
     _W_CLIENTS.clear()
     _W_CLIENTS.update(clients)
     _W_VALIDATORS.clear()
     _W_VALIDATORS.update(validators)
     _W_MODELS.clear()
     _W_TEMPLATE = template
+    _W_STORE = store_handle.attach() if store_handle is not None else None
 
 
-def _materialize(blob: bytes) -> Network:
+def _materialize(ref: ModelRef, cache_attachment: bool = True) -> Network:
+    """A fresh ``Network`` carrying the referenced weights.
+
+    ``cache_attachment=False`` marks one-shot versions (candidates): their
+    arena segments are read without keeping an attachment, since a rejected
+    candidate's version never reappears and would otherwise pin unlinked
+    memory until the eviction floor catches up.
+    """
     assert _W_TEMPLATE is not None, "worker used before initialization"
     model = _W_TEMPLATE.clone()
-    params_from_bytes(model, blob)
+    version, blob = ref
+    if blob is not None:
+        params_from_bytes(model, blob)
+    else:
+        assert _W_STORE is not None, "version ref without an attached store"
+        assert version is not None
+        model.set_flat(
+            _W_STORE.get(version, _W_TEMPLATE.num_parameters, cache=cache_attachment)
+        )
     return model
+
+
+def _evict_retired(live_floor: int | None) -> None:
+    """Drop cached attachments for versions the server has retired."""
+    if _W_STORE is not None:
+        _W_STORE.evict_below(live_floor)
 
 
 def _client_task(
     client_id: int,
-    weights_blob: bytes,
+    model_ref: ModelRef,
     config: LocalTrainingConfig,
     round_idx: int,
     seed_seq: np.random.SeedSequence,
+    live_floor: int | None,
 ) -> np.ndarray:
-    model = _materialize(weights_blob)
+    _evict_retired(live_floor)
+    model = _materialize(model_ref)
     rng = np.random.default_rng(seed_seq)
     return _W_CLIENTS[client_id].produce_update(model, config, round_idx, rng)
 
 
 def _validator_task(
     validator_id: int,
-    candidate_blob: bytes,
-    history_blobs: Sequence[tuple[int, bytes]],
+    candidate_ref: ModelRef,
+    history_refs: Sequence[ModelRef],
     round_idx: int,
     seed_seq: np.random.SeedSequence,
-) -> int:
+    profile_hints: Mapping[int, object],
+    live_floor: int | None,
+) -> tuple[int, dict[int, object], object | None]:
+    """One validator vote; returns ``(vote, new_profiles, candidate_profile)``.
+
+    ``new_profiles`` are the history-version profiles this task computed
+    beyond the server's hints, ``candidate_profile`` is the (yet
+    uncommitted) candidate's profile — both flow back into the server's
+    shared :class:`~repro.fl.model_store.ValidatorProfileTable`.
+    """
     from repro.core.validation import ValidationContext
 
+    _evict_retired(live_floor)
     # Per-version model cache: across rounds the history shifts by one
-    # entry, so all but one model are already materialized (and their
-    # error profiles already cached inside the validator objects).  An
-    # empty history (defense active before any model was accepted) must
-    # fall through to the validator, which abstains on it — exactly like
-    # the sequential path.
-    for version, blob in history_blobs:
+    # entry, so all but one model are already materialized.  An empty
+    # history (defense active before any model was accepted) must fall
+    # through to the validator, which abstains on it — exactly like the
+    # sequential path.
+    history_versions = [version for version, _ in history_refs]
+    for ref in history_refs:
+        version = ref[0]
+        assert version is not None  # history entries are always versioned
         if version not in _W_MODELS:
-            _W_MODELS[version] = _materialize(blob)
-    if history_blobs:
-        oldest = min(version for version, _ in history_blobs)
+            _W_MODELS[version] = _materialize(ref)
+    if history_versions:
+        oldest = min(history_versions)
         for version in [v for v in _W_MODELS if v < oldest]:
             del _W_MODELS[version]
+
+    validator = _W_VALIDATORS[validator_id]
+    seed_cache = getattr(validator, "seed_profile_cache", None)
+    if callable(seed_cache) and profile_hints:
+        seed_cache(profile_hints)
     context = ValidationContext(
-        candidate=_materialize(candidate_blob),
-        history=[(version, _W_MODELS[version]) for version, _ in history_blobs],
+        candidate=_materialize(candidate_ref, cache_attachment=False),
+        history=[(v, _W_MODELS[v]) for v in history_versions],
     )
     rng = np.random.default_rng(seed_seq)
-    return _W_VALIDATORS[validator_id].vote(context, rng)
+    vote = validator.vote(context, rng)
+
+    new_profiles: dict[int, object] = {}
+    cached = getattr(validator, "cached_profiles", None)
+    if callable(cached):
+        missing = [v for v in history_versions if v not in profile_hints]
+        new_profiles = cached(missing)
+    take_pending = getattr(validator, "take_pending_profile", None)
+    candidate_profile = take_pending() if callable(take_pending) else None
+    return vote, new_profiles, candidate_profile
 
 
 class ProcessPoolRoundExecutor(RoundExecutor):
@@ -241,8 +333,12 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         self._clients: dict[int, Client] = {}
         self._validators: dict[int, Validator] = {}
         self._template: Network | None = None
+        self._store: ModelStore | None = None
+        self._profile_table: ValidatorProfileTable | None = None
         self._bound: set[str] = set()
         self._pool: ProcessPoolExecutor | None = None
+        self._held_global: int | None = None
+        self._pipe_bytes = 0
 
     # ------------------------------------------------------------------
     # Population binding / pool lifecycle
@@ -252,6 +348,8 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         clients: Sequence[Client] | None = None,
         validator_pool: "ValidatorPool | None" = None,
         template: Network | None = None,
+        store: ModelStore | None = None,
+        profile_table: ValidatorProfileTable | None = None,
     ) -> None:
         if self._pool is not None:
             raise RuntimeError("cannot bind populations after the pool started")
@@ -263,6 +361,8 @@ class ProcessPoolRoundExecutor(RoundExecutor):
             ("clients", clients),
             ("validator_pool", validator_pool),
             ("template", template),
+            ("store", store),
+            ("profile_table", profile_table),
         ):
             if provided is not None and field in self._bound:
                 raise RuntimeError(
@@ -284,6 +384,26 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         if template is not None:
             self._bound.add("template")
             self._template = template
+        if store is not None:
+            self._bound.add("store")
+            self._store = store
+        if profile_table is not None:
+            self._bound.add("profile_table")
+            self._profile_table = profile_table
+
+    @property
+    def _use_store(self) -> bool:
+        """Ship version keys (shared arena) instead of pickled blobs?"""
+        return self._store is not None and self._store.shareable
+
+    @property
+    def transport_bytes(self) -> int:
+        total = self._pipe_bytes
+        if self._use_store:
+            # Every byte copied into the shared arena is readable by all
+            # workers at once — that copy *is* the transport.
+            total += self._store.bytes_published
+        return total
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -293,11 +413,13 @@ class ProcessPoolRoundExecutor(RoundExecutor):
                     "first (FederatedSimulation does this automatically)"
                 )
             # The template travels once, as a pickled Network (float64
-            # arrays pickle losslessly); per-round weights travel as blobs.
+            # arrays pickle losslessly); per-round weights travel as store
+            # version keys or, without a shareable store, as blobs.
+            handle = self._store.worker_handle() if self._use_store else None
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_init_worker,
-                initargs=(self._clients, self._validators, self._template),
+                initargs=(self._clients, self._validators, self._template, handle),
             )
         return self._pool
 
@@ -305,10 +427,31 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._held_global is not None:
+            if self._store is not None and self._held_global in self._store:
+                self._store.release(self._held_global)
+            self._held_global = None
 
     # ------------------------------------------------------------------
     # Round fan-out
     # ------------------------------------------------------------------
+    def _global_model_ref(self, global_model: Network) -> tuple[ModelRef, int]:
+        """Reference for this round's global model + per-task pipe cost."""
+        if self._use_store:
+            # Content-deduplicated publish: right after a committed round
+            # the global model *is* the latest history entry, so this
+            # usually resolves to an already-live version and ships zero
+            # new bytes.  The executor keeps one reference so undefended
+            # runs (no history holding the version) stay resolvable, and
+            # trades it for the next round's version.
+            version = self._store.publish(global_model.get_flat())
+            if self._held_global is not None:
+                self._store.release(self._held_global)
+            self._held_global = version
+            return (version, None), 0
+        blob = params_to_bytes(global_model, dtype=np.float64)
+        return (None, blob), len(blob)
+
     def run_clients(
         self,
         clients: Sequence[Client],
@@ -319,19 +462,22 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         streams: RngStreams,
     ) -> list[np.ndarray]:
         pool = self._ensure_pool()
-        weights_blob = params_to_bytes(global_model, dtype=np.float64)
+        remote_ids = [cid for cid in contributor_ids if cid in self._clients]
+        model_ref, pipe_cost = self._global_model_ref(global_model)
+        live_floor = self._store.min_live_version() if self._use_store else None
         futures: dict[int, Future] = {
             cid: pool.submit(
                 _client_task,
                 cid,
-                weights_blob,
+                model_ref,
                 config,
                 round_idx,
                 streams.client_seq(round_idx, cid),
+                live_floor,
             )
-            for cid in contributor_ids
-            if cid in self._clients
+            for cid in remote_ids
         }
+        self._pipe_bytes += pipe_cost * len(futures)
         # Entities that must run in the parent (stateful / unpicklable)
         # overlap with the workers' wall-clock, then everything is gathered
         # in contributor order so results are order-deterministic.
@@ -356,23 +502,57 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         streams: RngStreams,
     ) -> dict[int, int]:
         executor_pool = self._ensure_pool()
-        candidate_blob = params_to_bytes(context.candidate, dtype=np.float64)
-        history_blobs = [
-            (version, params_to_bytes(model, dtype=np.float64))
-            for version, model in context.history
-        ]
+        history_versions = [version for version, _ in context.history]
+        ephemeral_candidate: int | None = None
+        if self._use_store:
+            candidate_version = context.candidate_version
+            if candidate_version is None or candidate_version not in self._store:
+                # Standalone contexts (defense not staged through a store)
+                # publish the candidate here and release it after the round.
+                candidate_version = self._store.publish_new(
+                    context.candidate.get_flat()
+                )
+                ephemeral_candidate = candidate_version
+            candidate_ref: ModelRef = (candidate_version, None)
+            history_refs: list[ModelRef] = []
+            per_task_pipe = 0
+            for version, model in context.history:
+                if version in self._store:
+                    history_refs.append((version, None))
+                else:
+                    # Same standalone case for the history: a version the
+                    # arena cannot resolve travels as a blob (keyed by its
+                    # history version so worker caches stay correct).
+                    blob = params_to_bytes(model, dtype=np.float64)
+                    history_refs.append((version, blob))
+                    per_task_pipe += len(blob)
+        else:
+            candidate_blob = params_to_bytes(context.candidate, dtype=np.float64)
+            history_blobs = [
+                params_to_bytes(model, dtype=np.float64)
+                for _, model in context.history
+            ]
+            candidate_ref = (None, candidate_blob)
+            history_refs = list(zip(history_versions, history_blobs))
+            per_task_pipe = len(candidate_blob) + sum(map(len, history_blobs))
+        live_floor = self._store.min_live_version() if self._use_store else None
+
+        table = self._profile_table
         futures: dict[int, Future] = {
             vid: executor_pool.submit(
                 _validator_task,
                 vid,
-                candidate_blob,
-                history_blobs,
+                candidate_ref,
+                history_refs,
                 round_idx,
                 streams.validator_seq(round_idx, vid),
+                table.hints(vid, history_versions) if table is not None else {},
+                live_floor,
             )
             for vid in validator_ids
             if vid in self._validators
         }
+        self._pipe_bytes += per_task_pipe * len(futures)
         # As in run_clients: parent-side (non-parallel-safe) votes run while
         # the workers chew, then everything is gathered in id order.
         local: dict[int, int] = {
@@ -380,10 +560,23 @@ class ProcessPoolRoundExecutor(RoundExecutor):
             for vid in validator_ids
             if vid not in futures
         }
-        return {
-            vid: futures[vid].result() if vid in futures else local[vid]
-            for vid in validator_ids
-        }
+        votes: dict[int, int] = {}
+        try:
+            for vid in validator_ids:
+                if vid not in futures:
+                    votes[vid] = local[vid]
+                    continue
+                vote, new_profiles, candidate_profile = futures[vid].result()
+                votes[vid] = vote
+                if table is not None:
+                    for version, profile in new_profiles.items():
+                        table.put(vid, version, profile)
+                    if candidate_profile is not None:
+                        table.stage(vid, candidate_profile)
+        finally:
+            if ephemeral_candidate is not None:
+                self._store.release(ephemeral_candidate)
+        return votes
 
 
 def make_executor(workers: int) -> RoundExecutor:

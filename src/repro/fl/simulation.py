@@ -21,6 +21,7 @@ import numpy as np
 from repro.fl.aggregation import Aggregator, FedAvgAggregator, apply_global_update
 from repro.fl.client import Client, LocalTrainingConfig
 from repro.fl.config import FLConfig
+from repro.fl.model_store import InProcessModelStore, ModelStore
 from repro.fl.parallel import RoundExecutor, SequentialExecutor
 from repro.fl.rng import RngStreams
 from repro.fl.secure_agg import SecureAggregator
@@ -70,6 +71,11 @@ class RoundRecord:
     accepted: bool
     decision: DefenseDecision
     metrics: dict[str, float] = field(default_factory=dict)
+    #: Model-weight bytes the executor moved across process boundaries this
+    #: round: 0 for in-process execution, pickled blob bytes for the
+    #: pipe-transport pool, bytes newly copied into the shared-memory arena
+    #: for a store-backed pool (O(1 new model) per round).
+    transport_bytes: int = 0
 
 
 class FederatedSimulation:
@@ -105,6 +111,13 @@ class FederatedSimulation:
         The :class:`~repro.fl.parallel.RoundExecutor` that fans out client
         training and validator votes; defaults to in-process sequential
         execution.  The caller owns the executor's lifecycle.
+    model_store:
+        The :class:`~repro.fl.model_store.ModelStore` holding the round
+        loop's weight vectors (global model, candidate, defense history).
+        Defaults to an in-process store; pass a
+        :class:`~repro.fl.model_store.SharedMemoryModelStore` so a process
+        pool ships version keys instead of weight blobs.  The caller owns
+        the store's lifecycle (close it after the executor).
     """
 
     def __init__(
@@ -119,6 +132,7 @@ class FederatedSimulation:
         defense: Defense | None = None,
         metric_hooks: Mapping[str, Callable[[Network], float]] | None = None,
         executor: RoundExecutor | None = None,
+        model_store: ModelStore | None = None,
     ) -> None:
         if len(clients) != config.num_clients:
             raise ValueError(
@@ -144,11 +158,18 @@ class FederatedSimulation:
         self.defense = defense
         self.metric_hooks = dict(metric_hooks or {})
         self.streams = RngStreams.from_rng(rng)
+        self.model_store = model_store or InProcessModelStore()
         self.executor = executor or SequentialExecutor()
-        self.executor.bind(clients=self.clients, template=global_model.clone())
+        self.executor.bind(
+            clients=self.clients,
+            template=global_model.clone(),
+            store=self.model_store,
+        )
         bind_runtime = getattr(defense, "bind_runtime", None)
         if callable(bind_runtime):
-            bind_runtime(executor=self.executor, streams=self.streams)
+            bind_runtime(
+                executor=self.executor, streams=self.streams, store=self.model_store
+            )
         self.round_idx = 0
         self.history: list[RoundRecord] = []
 
@@ -158,6 +179,7 @@ class FederatedSimulation:
     def run_round(self) -> RoundRecord:
         """Execute one full round and return its record."""
         round_idx = self.round_idx
+        transport_before = self.executor.transport_bytes
         contributor_ids = self.selector.select(round_idx, self.rng)
         local_cfg = LocalTrainingConfig(
             epochs=self.config.local_epochs,
@@ -212,6 +234,7 @@ class FederatedSimulation:
             metrics={
                 name: hook(self.global_model) for name, hook in self.metric_hooks.items()
             },
+            transport_bytes=self.executor.transport_bytes - transport_before,
         )
         self.history.append(record)
         self.round_idx += 1

@@ -42,6 +42,16 @@ def tiny_mlp(rng: np.random.Generator):
     return make_mlp(2, 3, rng, hidden=(8,))
 
 
+def shm_entries(prefix: str) -> list[str]:
+    """Utility: /dev/shm entries under a prefix (the shm leak checks)."""
+    import os
+
+    try:
+        return [f for f in os.listdir("/dev/shm") if f.startswith(prefix)]
+    except FileNotFoundError:  # pragma: no cover - non-tmpfs platforms
+        return []
+
+
 def train_briefly(model, dataset, rng, epochs=30, lr=0.1):
     """Utility: a few epochs of full-batch SGD (used by several tests)."""
     from repro.nn.losses import SoftmaxCrossEntropy

@@ -29,6 +29,13 @@ class TestRunDetectionExperiment:
         parallel = run_detection_experiment(fast_config, seeds=(0,), workers=2)
         assert parallel == sequential
 
+    def test_seed_fanout_is_a_pure_throughput_knob(self, fast_config):
+        """Per-seed process fan-out must aggregate identically to a serial
+        seed loop (seeds are independent and deterministic)."""
+        serial = run_detection_experiment(fast_config, seeds=(0, 1))
+        fanned = run_detection_experiment(fast_config, seeds=(0, 1), seed_workers=2)
+        assert fanned == serial
+
 
 class TestSweeps:
     def test_sweep_lookback_covers_grid(self, fast_config):
@@ -37,6 +44,15 @@ class TestSweeps:
             seeds=(0,),
         )
         assert set(results) == {(6, 0.9, "clients"), (8, 0.9, "clients")}
+
+    def test_sweep_seed_fanout_matches_serial(self, fast_config):
+        """Grid-level seed fan-out must reproduce the serial sweep."""
+        kwargs = dict(
+            lookbacks=(6, 8), splits=(0.9,), modes=("clients",), seeds=(0, 1)
+        )
+        serial = sweep_lookback(fast_config, **kwargs)
+        fanned = sweep_lookback(fast_config, **kwargs, seed_workers=2)
+        assert fanned == serial
 
     def test_sweep_quorum_replicates_server_stats(self, fast_config):
         results = sweep_quorum(

@@ -17,6 +17,10 @@ from repro.data.dataset import Dataset
 from repro.data.partition import iid_partition
 from repro.fl.client import HonestClient, LocalTrainingConfig
 from repro.fl.config import FLConfig
+from repro.fl.model_store import (
+    InProcessModelStore,
+    SharedMemoryModelStore,
+)
 from repro.fl.parallel import (
     ProcessPoolRoundExecutor,
     SequentialExecutor,
@@ -54,14 +58,22 @@ def make_world(seed: int = 7, num_clients: int = 6, home_client: int | None = No
 
 
 def build_defended_sim(
-    executor, seed: int = 7, home_client: int | None = None, prime: bool = True
+    executor,
+    seed: int = 7,
+    home_client: int | None = None,
+    prime: bool = True,
+    store=None,
+    lookback: int = 4,
+    num_validators: int = 3,
 ):
     model, clients, server_data, config = make_world(seed, home_client=home_client)
     validator_pool = ValidatorPool.from_datasets(
         {c.client_id: c.dataset for c in clients}, min_history=4
     )
     defense = BaffleDefense(
-        BaffleConfig(lookback=4, quorum=2, num_validators=3, mode="both"),
+        BaffleConfig(
+            lookback=lookback, quorum=2, num_validators=num_validators, mode="both"
+        ),
         validator_pool,
         MisclassificationValidator(server_data, min_history=4),
     )
@@ -69,7 +81,7 @@ def build_defended_sim(
         defense.prime(model)
     return FederatedSimulation(
         model.clone(), clients, config, np.random.default_rng(seed + 1),
-        defense=defense, executor=executor,
+        defense=defense, executor=executor, model_store=store,
     )
 
 
@@ -244,3 +256,218 @@ class TestExecutorLifecycle:
         executor = make_executor(2)
         executor.close()
         executor.close()
+
+
+def shm_leftovers(store) -> list[str]:
+    from tests.conftest import shm_entries
+
+    return shm_entries(store.name_prefix)
+
+
+class TestStoreExecutorEquivalenceMatrix:
+    """The spine of the refactor: every {executor} x {store} x {workers}
+    combination commits bit-identical models and round records."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize(
+        "store_cls", [InProcessModelStore, SharedMemoryModelStore]
+    )
+    def test_bit_identical_commits(self, workers, store_cls):
+        baseline_flat, baseline_records = run_and_snapshot(
+            build_defended_sim(SequentialExecutor(), store=InProcessModelStore())
+        )
+        store = store_cls()
+        with store, make_executor(workers) as executor:
+            flat, records = run_and_snapshot(
+                build_defended_sim(executor, store=store)
+            )
+        np.testing.assert_array_equal(baseline_flat, flat)
+        assert baseline_records == records
+        if isinstance(store, SharedMemoryModelStore):
+            assert shm_leftovers(store) == []
+
+
+class TestTransportAccounting:
+    def test_sequential_moves_no_bytes(self):
+        sim = build_defended_sim(SequentialExecutor(), store=InProcessModelStore())
+        records = sim.run(4)
+        assert all(r.transport_bytes == 0 for r in records)
+
+    def test_shared_memory_ships_one_model_per_round(self):
+        """O(1) new-model transport: each round copies exactly the staged
+        candidate into the arena — the global model deduplicates against
+        the latest committed history entry."""
+        store = SharedMemoryModelStore()
+        with store, make_executor(2) as executor:
+            sim = build_defended_sim(executor, store=store)
+            model_bytes = sim.global_model.get_flat().nbytes
+            records = sim.run(6)
+        assert [r.transport_bytes for r in records] == [model_bytes] * 6
+
+    def test_shared_memory_transport_independent_of_history_and_fanout(self):
+        """The acceptance criterion: shm bytes/round do not grow with the
+        look-back window or the validator count (pipe bytes do)."""
+        per_round = {}
+        for label, lookback, validators in (
+            ("small", 4, 2),
+            ("large", 6, 5),
+        ):
+            store = SharedMemoryModelStore()
+            with store, make_executor(2) as executor:
+                sim = build_defended_sim(
+                    executor, store=store, lookback=lookback,
+                    num_validators=validators,
+                )
+                records = sim.run(8)
+            per_round[label] = [r.transport_bytes for r in records]
+        assert per_round["small"] == per_round["large"]
+
+    def test_pipe_transport_grows_with_history(self):
+        with make_executor(2) as executor:
+            sim = build_defended_sim(executor, store=InProcessModelStore())
+            model_bytes = sim.global_model.get_flat().nbytes
+            records = sim.run(6)
+        pipe_bytes = [r.transport_bytes for r in records]
+        # Per round: the global model per remote client plus, once voting
+        # starts, (candidate + history) per remote validator.
+        assert all(b >= model_bytes for b in pipe_bytes)
+        assert pipe_bytes[-1] > pipe_bytes[0]  # history growth shows up
+
+    def test_pipes_ship_more_than_shared_memory(self):
+        totals = {}
+        for label, store_cls in (
+            ("pipes", InProcessModelStore),
+            ("shm", SharedMemoryModelStore),
+        ):
+            store = store_cls()
+            with store, make_executor(2) as executor:
+                sim = build_defended_sim(executor, store=store)
+                records = sim.run(6)
+            totals[label] = sum(r.transport_bytes for r in records)
+        assert totals["shm"] < totals["pipes"]
+
+
+class TestSharedProfileTable:
+    def test_table_profiles_stay_within_retained_history(self):
+        """Satellite regression: profiles of rejected candidates and of
+        evicted history versions never accumulate in the shared table."""
+        store = SharedMemoryModelStore()
+        with store, make_executor(2) as executor:
+            sim = build_defended_sim(executor, store=store)
+            sim.run(8)
+            defense = sim.defense
+            retained = set(defense.history.versions())
+            table_versions = {key[1] for key in defense.profile_table._profiles}
+            assert table_versions <= retained
+            assert defense.profile_table.staged_count == 0
+
+    def test_sequential_run_keeps_table_empty(self):
+        """The sequential path reuses validators' own caches; the shared
+        table only collects worker-computed profiles."""
+        sim = build_defended_sim(SequentialExecutor(), store=InProcessModelStore())
+        sim.run(8)
+        assert len(sim.defense.profile_table) == 0
+
+
+class TestWorkerTaskProfileFlow:
+    """Exercise the worker-side task function in-process: hints suppress
+    recomputation, computed profiles flow back, caches evict retired
+    versions."""
+
+    def _worker_world(self):
+        from repro.fl import parallel as parallel_mod
+
+        model, clients, server_data, _ = make_world()
+        validator = MisclassificationValidator(server_data, min_history=4)
+        parallel_mod._init_worker({}, {0: validator}, model.clone(), None)
+        return parallel_mod, model, validator
+
+    def _refs(self, model, versions, rng):
+        from repro.nn.serialization import params_to_bytes
+
+        refs = []
+        for version in versions:
+            perturbed = model.clone()
+            flat = perturbed.get_flat()
+            perturbed.set_flat(flat + rng.normal(0.0, 1e-3, size=flat.shape))
+            refs.append((version, params_to_bytes(perturbed, dtype=np.float64)))
+        return refs
+
+    def test_hints_suppress_recomputation_and_new_profiles_return(self, rng):
+        from repro.core import validation as validation_mod
+        from repro.nn.serialization import params_to_bytes
+
+        parallel_mod, model, validator = self._worker_world()
+        history = self._refs(model, range(6), rng)
+        candidate = (None, params_to_bytes(model, dtype=np.float64))
+        seed = np.random.SeedSequence(0)
+
+        vote, new_profiles, candidate_profile = parallel_mod._validator_task(
+            0, candidate, history, 0, seed, {}, None
+        )
+        assert vote in (0, 1)
+        assert set(new_profiles) == set(range(6))
+        assert candidate_profile is not None
+
+        # Second vote over the same history, hints supplied: nothing new to
+        # compute, and no forward passes beyond the fresh candidate's.
+        profiled = []
+        real = validation_mod.model_error_profile
+
+        def counting(m, dataset, normalize="dataset"):
+            profiled.append(m)
+            return real(m, dataset, normalize=normalize)
+
+        validator._profile_cache.clear()
+        validation_mod.model_error_profile = counting
+        try:
+            _, second_new, _ = parallel_mod._validator_task(
+                0, candidate, history, 1, seed, new_profiles, None
+            )
+        finally:
+            validation_mod.model_error_profile = real
+        assert second_new == {}
+        assert len(profiled) == 1  # the candidate only
+
+    def test_worker_caches_evict_retired_versions(self, rng):
+        from repro.nn.serialization import params_to_bytes
+
+        parallel_mod, model, validator = self._worker_world()
+        candidate = (None, params_to_bytes(model, dtype=np.float64))
+        seed = np.random.SeedSequence(0)
+        parallel_mod._validator_task(
+            0, candidate, self._refs(model, range(6), rng), 0, seed, {}, None
+        )
+        # The window slides forward by two versions.
+        parallel_mod._validator_task(
+            0, candidate, self._refs(model, range(2, 8), rng), 1, seed, {}, None
+        )
+        assert set(parallel_mod._W_MODELS) == set(range(2, 8))
+        assert set(validator._profile_cache) <= set(range(2, 8))
+
+
+class TestStandaloneContextOnSharedStore:
+    def test_unstaged_history_falls_back_to_blob_transport(self):
+        """Regression: a context whose candidate/history never touched the
+        executor's shared store (defense bound without a store) must still
+        validate — unresolvable versions travel as blobs, not as dangling
+        arena keys."""
+        from repro.core.validation import ValidationContext
+
+        model, clients, server_data, config = make_world()
+        validator_pool = ValidatorPool.from_datasets(
+            {c.client_id: c.dataset for c in clients}, min_history=4
+        )
+        history = [(v, model.clone()) for v in range(6)]
+        context = ValidationContext(candidate=model.clone(), history=history)
+        store = SharedMemoryModelStore()
+        with store, make_executor(2) as executor:
+            executor.bind(
+                clients=clients, template=model.clone(), store=store,
+                validator_pool=validator_pool,
+            )
+            votes = executor.run_validators(
+                validator_pool, [0, 1], context, 0, RngStreams.from_seed(0)
+            )
+            assert set(votes) == {0, 1}
+            assert store.versions() == []  # ephemeral candidate released
