@@ -1,6 +1,6 @@
-"""Round-throughput benchmark: transport paths of the execution engine.
+"""Round-throughput benchmark: transport paths and execution modes.
 
-Runs one defended federated world three times —
+Runs one defended federated world four times —
 
 - ``sequential``: in-process :class:`SequentialExecutor` (no transport);
 - ``pool+pipes``: :class:`ProcessPoolRoundExecutor` over an
@@ -8,11 +8,22 @@ Runs one defended federated world three times —
   through pipes: O(model x (clients + validators x history)) per round;
 - ``pool+shm``: the same pool over a :class:`SharedMemoryModelStore`,
   shipping version keys into a shared-memory arena: O(1 new model) per
-  round, independent of history length and fan-out width —
+  round, independent of history length and fan-out width;
+- ``pipelined+shm``: the shared-memory pool under the pipelined round
+  loop — the server commits optimistically and overlaps round ``r + 1``
+  client training with round ``r`` validator votes, taking validation
+  latency off the training critical path —
 
-and reports rounds/second, per-round transport bytes, and the max absolute
+and reports rounds/second, per-round transport bytes, mean acceptance lag
+(rounds between aggregation and quorum resolution), and the max absolute
 committed-weight divergence against the sequential run (which must be 0.0:
-all engine/store combinations commit bit-identical models by construction).
+all engine/store/mode combinations commit bit-identical models by
+construction — including the pipelined engine, whose rollbacks replay).
+
+A final fault-injection pass forces quorum rejections mid-pipeline and
+audits the store afterwards: every version outside the retained history —
+withdrawn commits, straggler references, parked evictions — must be
+released (refcount audit).
 
 Usage::
 
@@ -23,7 +34,8 @@ Usage::
 Speedup scales with physical cores; on a single-core host the parallel
 engine pays process-pool overhead for no gain and the report will say so —
 the number to quote comes from a multi-core machine (the acceptance target
-is >= 1.5x at 4 workers).  The transport numbers are host-independent.
+is >= 1.5x at 4 workers, and pipelined wall-clock <= the synchronous
+pool's).  The transport numbers are host-independent.
 """
 
 from __future__ import annotations
@@ -42,7 +54,12 @@ sys.path.insert(
 )
 from _common import write_result  # noqa: E402  (benchmarks/ helper)
 
-from repro.core.baffle import BaffleConfig, BaffleDefense, ValidatorPool
+from repro.core.baffle import (
+    BaffleConfig,
+    BaffleDefense,
+    ForcedRejectDefense,
+    ValidatorPool,
+)
 from repro.core.validation import MisclassificationValidator
 from repro.data.partition import iid_partition
 from repro.data.synthetic_cifar import SyntheticCifar
@@ -59,7 +76,10 @@ from repro.nn.models import make_mlp
 
 
 def build_sim(
-    args: argparse.Namespace, executor: RoundExecutor, store: ModelStore
+    args: argparse.Namespace,
+    executor: RoundExecutor,
+    store: ModelStore,
+    reject_rounds: tuple[int, ...] = (),
 ) -> FederatedSimulation:
     rng = np.random.default_rng(0)
     task = SyntheticCifar()
@@ -72,7 +92,9 @@ def build_sim(
     validator_pool = ValidatorPool.from_datasets(
         {i: shards[i] for i in range(args.clients)}, min_history=4
     )
-    defense = BaffleDefense(
+    defense_cls = ForcedRejectDefense if reject_rounds else BaffleDefense
+    defense_kwargs = {"reject_rounds": reject_rounds} if reject_rounds else {}
+    defense = defense_cls(
         BaffleConfig(
             lookback=args.lookback,
             quorum=max(2, args.validators // 2),
@@ -81,6 +103,7 @@ def build_sim(
         ),
         validator_pool,
         MisclassificationValidator(shards[args.clients], min_history=4),
+        **defense_kwargs,
     )
     defense.prime(model)
     config = FLConfig(
@@ -98,8 +121,8 @@ def build_sim(
 
 def timed_run(
     args: argparse.Namespace, executor: RoundExecutor, store: ModelStore
-) -> tuple[float, np.ndarray, float]:
-    """(rounds/s, committed weights, mean transport bytes/round), after warmup."""
+) -> tuple[float, np.ndarray, float, float]:
+    """(rounds/s, committed weights, transport B/round, mean acceptance lag)."""
     with store, executor:
         sim = build_sim(args, executor, store)
         sim.run_round()  # warmup: process-pool startup, caches, JIT-ish costs
@@ -107,7 +130,60 @@ def timed_run(
         records = sim.run(args.rounds)
         elapsed = time.perf_counter() - start
         transport = float(np.mean([r.transport_bytes for r in records]))
-        return args.rounds / elapsed, sim.global_model.get_flat(), transport
+        lag = float(np.mean([r.validation_lag for r in records]))
+        return args.rounds / elapsed, sim.global_model.get_flat(), transport, lag
+
+
+def rollback_audit(args: argparse.Namespace) -> list[str]:
+    """Force rollbacks mid-pipeline; audit store refcounts afterwards.
+
+    Returns failure lines (empty = pass): after a pipelined run containing
+    forced quorum rejections, the store must hold exactly the retained
+    history versions, each at refcount 1 — no withdrawn commit, straggler
+    reference, staged profile or parked eviction may leak.
+    """
+    reject_rounds = (2, 4)
+    store = SharedMemoryModelStore()
+    failures: list[str] = []
+    with store:
+        executor = make_executor(
+            args.workers, store=store, mode="pipelined",
+            pipeline_depth=args.pipeline_depth,
+        )
+        with executor:
+            sim = build_sim(args, executor, store, reject_rounds=reject_rounds)
+            records = sim.run(max(6, args.rounds))
+            replays = sum(r.rollback_count for r in records)
+            rejected = sum(1 for r in records if not r.accepted)
+            # Depth 0 resolves every round before a successor builds on it,
+            # so rejections legitimately cause no replays there.
+            if replays == 0 and args.pipeline_depth > 0:
+                failures.append(
+                    "rollback audit: forced rejections triggered no replays"
+                )
+            executor.close()  # drops the executor's held global reference
+            history_versions = sim.defense.history.versions()
+            live = store.versions()
+            if live != history_versions:
+                failures.append(
+                    f"rollback audit: leaked store versions {live} vs "
+                    f"history {history_versions}"
+                )
+            over_referenced = [
+                v for v in history_versions if store.refcount(v) != 1
+            ]
+            if over_referenced:
+                failures.append(
+                    f"rollback audit: dangling references on {over_referenced}"
+                )
+            if sim.defense.profile_table.staged_count:
+                failures.append("rollback audit: staged profiles leaked")
+    if not failures:
+        print(
+            f"rollback audit: {rejected} forced rejections, {replays} round "
+            "replays, store clean (refcount audit passed)"
+        )
+    return failures
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -126,6 +202,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--shard", type=int, default=100,
                         help="samples per client shard")
     parser.add_argument("--hidden", type=int, nargs="+", default=[128])
+    parser.add_argument("--pipeline-depth", type=int, default=2,
+                        dest="pipeline_depth",
+                        help="speculation depth of the pipelined engine")
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke setting: tiny world, 2 workers")
     args = parser.parse_args(argv)
@@ -139,40 +218,53 @@ def main(argv: list[str] | None = None) -> int:
         args.hidden = [32]
     args.hidden = tuple(args.hidden)
 
-    engines = [
-        ("sequential", lambda: SequentialExecutor(), InProcessModelStore),
-        ("pool+pipes", lambda: make_executor(args.workers), InProcessModelStore),
-        ("pool+shm", lambda: make_executor(args.workers), SharedMemoryModelStore),
-    ]
-    results = {
-        name: timed_run(args, make_exec(), store_cls())
-        for name, make_exec, store_cls in engines
-    }
-    seq_rps, seq_flat, _ = results["sequential"]
+    def store_for(name):
+        return (
+            InProcessModelStore()
+            if name in ("sequential", "pool+pipes")
+            else SharedMemoryModelStore()
+        )
+
+    def executor_for(name, store):
+        if name == "sequential":
+            return SequentialExecutor()
+        mode = "pipelined" if name.startswith("pipelined") else "sync"
+        return make_executor(
+            args.workers, store=store, mode=mode,
+            pipeline_depth=args.pipeline_depth,
+        )
+
+    results = {}
+    for name in ("sequential", "pool+pipes", "pool+shm", "pipelined+shm"):
+        store = store_for(name)
+        results[name] = timed_run(args, executor_for(name, store), store)
+    seq_rps, seq_flat, _, _ = results["sequential"]
     model_bytes = seq_flat.nbytes
 
     lines = [
-        "Parallel round engine: transport paths, throughput and equivalence",
+        "Parallel round engine: transport paths, execution modes, equivalence",
         f"world: {args.clients} clients ({args.per_round}/round, "
         f"{args.epochs} local epochs, shard={args.shard}), "
         f"{args.validators} validators, lookback={args.lookback}, "
-        f"hidden={args.hidden}",
+        f"hidden={args.hidden}, pipeline_depth={args.pipeline_depth}",
         f"host: {os.cpu_count()} cpu core(s); measured over {args.rounds} "
         f"rounds after 1 warmup; model = {model_bytes} bytes (float64)",
-        f"{'engine':<11} {'rounds/s':>9} {'speedup':>8} "
-        f"{'transport B/round':>18} {'models/round':>13}",
+        f"{'engine':<14} {'rounds/s':>9} {'speedup':>8} "
+        f"{'transport B/round':>18} {'models/round':>13} {'mean lag':>9}",
     ]
     divergence = 0.0
-    for name, (rps, flat, transport) in results.items():
+    for name, (rps, flat, transport, lag) in results.items():
         divergence = max(divergence, float(np.max(np.abs(seq_flat - flat))))
         lines.append(
-            f"{name:<11} {rps:9.3f} {rps / seq_rps:7.2f}x "
-            f"{transport:18.1f} {transport / model_bytes:13.2f}"
+            f"{name:<14} {rps:9.3f} {rps / seq_rps:7.2f}x "
+            f"{transport:18.1f} {transport / model_bytes:13.2f} {lag:9.2f}"
         )
     lines.append(
         f"max |seq - engine| committed-weight divergence: {divergence:.1e}"
     )
     shm_transport = results["pool+shm"][2]
+    sync_rps = results["pool+shm"][0]
+    pipelined_rps = results["pipelined+shm"][0]
     lines.append(
         "pool+shm ships "
         f"{shm_transport / model_bytes:.2f} models/round regardless of "
@@ -180,19 +272,43 @@ def main(argv: list[str] | None = None) -> int:
         "pool+pipes re-ships candidate + history per validator and the "
         "global model per client."
     )
+    lines.append(
+        f"pipelined vs sync pool wall-clock: {pipelined_rps / sync_rps:.2f}x "
+        f"(validation overlapped with next-round training, mean acceptance "
+        f"lag {results['pipelined+shm'][3]:.2f} rounds)"
+    )
     text = "\n".join(lines)
     write_result("parallel_engine", text)
 
+    failures = rollback_audit(args)
     if divergence != 0.0:
-        print("FAIL: engines diverged — sequential/parallel equivalence broken")
-        return 1
+        failures.append(
+            "engines diverged — sequential/parallel/pipelined equivalence "
+            "broken"
+        )
     if shm_transport > model_bytes + 4096:
-        print(
-            "FAIL: shared-memory transport exceeds one model per round "
+        failures.append(
+            "shared-memory transport exceeds one model per round "
             f"({shm_transport:.0f} B vs model {model_bytes} B)"
         )
-        return 1
-    return 0
+    # Wall-clock gate: pipelined must not lose to the synchronous pool in
+    # the default bench world.  Skipped under --quick (a tiny world on a
+    # loaded CI box is noise) and on single-core hosts, where there is no
+    # idle worker to overlap validation into — the same caveat as the
+    # pool-speedup target; the gate binds on multi-core machines.
+    if args.quick or (os.cpu_count() or 1) < 2:
+        print(
+            "note: pipelined wall-clock gate skipped "
+            f"(quick={args.quick}, cpus={os.cpu_count()})"
+        )
+    elif pipelined_rps < 0.95 * sync_rps:
+        failures.append(
+            f"pipelined wall-clock regressed vs sync pool "
+            f"({pipelined_rps:.3f} vs {sync_rps:.3f} rounds/s)"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

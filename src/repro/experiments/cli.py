@@ -38,6 +38,7 @@ from repro.experiments.runner import (
     sweep_quorum,
 )
 from repro.fl.model_store import STORE_KINDS
+from repro.fl.parallel import DEFAULT_PIPELINE_DEPTH, EXECUTION_MODES
 from repro.experiments.scenarios import run_early_scenario, run_error_trace
 
 
@@ -65,6 +66,8 @@ def cmd_detect(args: argparse.Namespace) -> None:
         mode=args.mode,
         workers=args.workers,
         model_store=args.store,
+        execution_mode=args.exec_mode,
+        pipeline_depth=args.pipeline_depth,
     )
     stats = run_detection_experiment(
         config, _seeds(args), seed_workers=args.seed_workers
@@ -78,7 +81,8 @@ def cmd_detect(args: argparse.Namespace) -> None:
 def cmd_table1(args: argparse.Namespace) -> None:
     splits = _splits(args.dataset)
     base = ExperimentConfig(
-        dataset=args.dataset, workers=args.workers, model_store=args.store
+        dataset=args.dataset, workers=args.workers, model_store=args.store,
+        execution_mode=args.exec_mode, pipeline_depth=args.pipeline_depth,
     )
     results = sweep_lookback(
         base, (10, 20, 30), splits, seeds=_seeds(args),
@@ -93,6 +97,8 @@ def cmd_fig3(args: argparse.Namespace) -> None:
     base = ExperimentConfig(
         dataset=args.dataset, lookback=20, workers=args.workers,
         model_store=args.store,
+        execution_mode=args.exec_mode,
+        pipeline_depth=args.pipeline_depth,
     )
     results = sweep_quorum(
         base, quorums, splits, seeds=_seeds(args), seed_workers=args.seed_workers
@@ -108,6 +114,7 @@ def cmd_table2(args: argparse.Namespace) -> None:
         config = ExperimentConfig(
             dataset="cifar", client_share=split, adaptive_max_trials=8,
             workers=args.workers, model_store=args.store,
+            execution_mode=args.exec_mode, pipeline_depth=args.pipeline_depth,
         )
         results[split] = run_adaptive_experiment(
             config, _seeds(args), seed_workers=args.seed_workers
@@ -120,7 +127,8 @@ def cmd_table2(args: argparse.Namespace) -> None:
 
 def cmd_fig2(args: argparse.Namespace) -> None:
     config = ExperimentConfig(
-        dataset=args.dataset, workers=args.workers, model_store=args.store
+        dataset=args.dataset, workers=args.workers, model_store=args.store,
+        execution_mode=args.exec_mode, pipeline_depth=args.pipeline_depth,
     )
     # fig2 is a single paired clean/poisoned trace, not a seed sweep: a
     # fixed seed matches fig4's convention (--seeds used to leak in as the
@@ -144,7 +152,8 @@ def cmd_fig2(args: argparse.Namespace) -> None:
 
 def cmd_fig4(args: argparse.Namespace) -> None:
     config = ExperimentConfig(
-        dataset=args.dataset, workers=args.workers, model_store=args.store
+        dataset=args.dataset, workers=args.workers, model_store=args.store,
+        execution_mode=args.exec_mode, pipeline_depth=args.pipeline_depth,
     )
     undefended = run_early_scenario(config, seed=0, defense_start=None)
     defended = run_early_scenario(config, seed=0, defense_start=106)
@@ -186,6 +195,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--store", choices=STORE_KINDS, default="auto",
                        help="model-store backend moving weights to round "
                             "workers (auto = shared memory when workers >= 2)")
+        p.add_argument("--exec-mode", choices=EXECUTION_MODES, default="sync",
+                       dest="exec_mode",
+                       help="round loop: sync blocks each round on its "
+                            "validator quorum; pipelined commits "
+                            "optimistically and overlaps validation with "
+                            "the next round (results are identical)")
+        p.add_argument("--pipeline-depth", type=int,
+                       default=DEFAULT_PIPELINE_DEPTH, dest="pipeline_depth",
+                       help="rounds the pipelined mode may run ahead of "
+                            "open quorums (0 = synchronous semantics)")
         for flag, kwargs in extra_args.items():
             p.add_argument(flag, **kwargs)
         p.set_defaults(fn=fn)

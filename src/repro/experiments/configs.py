@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.fl.model_store import STORE_KINDS
+from repro.fl.parallel import DEFAULT_PIPELINE_DEPTH, EXECUTION_MODES
 
 #: Client-server validation-data splits evaluated in Table I / Fig. 3.
 CIFAR_SPLITS = (0.90, 0.95, 0.99)
@@ -85,12 +86,17 @@ class ExperimentConfig:
     # Execution engine: worker processes for client training and validator
     # votes (0/1 = in-process sequential), and the model-store backend
     # moving weights to those workers ("auto" picks shared memory whenever
-    # a process pool exists, "inprocess"/"shared" force a backend).  All
-    # executor/store combinations commit bit-identical models, so both are
-    # pure throughput knobs and deliberately excluded from
-    # ``environment_key``.
+    # a process pool exists, "inprocess"/"shared" force a backend).
+    # ``execution_mode`` selects the round loop: "sync" blocks each round
+    # on its validator quorum, "pipelined" commits optimistically and runs
+    # up to ``pipeline_depth`` rounds ahead of their open quorums (late
+    # rejections roll back and replay).  Every executor/store/mode/depth
+    # combination commits bit-identical models, so all four are pure
+    # throughput knobs and deliberately excluded from ``environment_key``.
     workers: int = 0
     model_store: str = "auto"
+    execution_mode: str = "sync"
+    pipeline_depth: int = DEFAULT_PIPELINE_DEPTH
 
     def __post_init__(self) -> None:
         if self.dataset not in _DATASETS:
@@ -115,6 +121,15 @@ class ExperimentConfig:
             raise ValueError(
                 f"model_store must be one of {STORE_KINDS}, got "
                 f"{self.model_store!r}"
+            )
+        if self.execution_mode not in EXECUTION_MODES:
+            raise ValueError(
+                f"execution_mode must be one of {EXECUTION_MODES}, got "
+                f"{self.execution_mode!r}"
+            )
+        if self.pipeline_depth < 0:
+            raise ValueError(
+                f"pipeline_depth must be >= 0, got {self.pipeline_depth}"
             )
 
     def environment_key(self, seed: int) -> tuple:

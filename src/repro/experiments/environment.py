@@ -22,8 +22,7 @@ from repro.data.synthetic_femnist import SyntheticFemnist
 from repro.experiments.configs import ExperimentConfig
 from repro.fl.client import HonestClient
 from repro.fl.config import FLConfig
-from repro.fl.model_store import make_model_store
-from repro.fl.parallel import make_executor
+from repro.fl.parallel import make_engine
 from repro.fl.simulation import FederatedSimulation
 from repro.nn.models import make_mlp
 from repro.nn.network import Network
@@ -154,10 +153,13 @@ def _pretrain(
         batch_size=config.batch_size,
         client_lr=config.pretrain_lr,
     )
-    with make_model_store(config.workers, config.model_store) as store, \
-            make_executor(config.workers) as executor:
+    # Pretraining is undefended — there is no quorum to overlap, so the
+    # pipelined mode would degenerate anyway; it always runs "sync" on the
+    # configured workers/store (one factory decides the transport path).
+    with make_engine(config.workers, store=config.model_store) as engine:
         sim = FederatedSimulation(
-            model, clients, fl_config, rng, executor=executor, model_store=store
+            model, clients, fl_config, rng,
+            executor=engine.executor, model_store=engine.store,
         )
         sim.run(config.pretrain_rounds)
     return sim.global_model

@@ -122,6 +122,46 @@ def format_series(
     return "\n".join(lines)
 
 
+def format_execution_report(records: Sequence["object"]) -> str:
+    """Render the round loop's execution telemetry (pipelined or sync).
+
+    Summarizes the :class:`~repro.fl.simulation.RoundRecord` fields the
+    pipelined engine fills in: per-round acceptance lag (rounds of training
+    that ran between a candidate's aggregation and its quorum resolution),
+    replay counts from rollbacks, and transport volume.  A synchronous run
+    reports all-zero lag and rollbacks.
+    """
+    if not records:
+        return "execution report: no rounds"
+    lags = [r.validation_lag for r in records]
+    rollbacks = [r.rollback_count for r in records]
+    rejected = [r for r in records if not r.accepted]
+    transport = [r.transport_bytes for r in records]
+    lines = [
+        "Execution report",
+        f"rounds: {len(records)} "
+        f"({len(records) - len(rejected)} accepted, {len(rejected)} rejected)",
+        f"validation lag (rounds): mean {np.mean(lags):.2f}, "
+        f"max {max(lags)}",
+        f"rollback replays: {sum(rollbacks)} "
+        f"(rounds replayed at least once: {sum(1 for c in rollbacks if c)})",
+        f"transport: {np.mean(transport):.0f} B/round mean",
+    ]
+    laggy = [r for r in records if r.validation_lag or r.rollback_count]
+    if laggy:
+        lines.append(
+            f"{'round':>6} {'accepted':>9} {'resolved@':>10} {'lag':>4} "
+            f"{'replays':>8}"
+        )
+        for r in laggy:
+            lines.append(
+                f"{r.round_idx:>6} {str(r.accepted):>9} "
+                f"{r.accepted_at_round:>10} {r.validation_lag:>4} "
+                f"{r.rollback_count:>8}"
+            )
+    return "\n".join(lines)
+
+
 def _rate(stats: AggregateStats | None, which: str) -> str:
     if stats is None:
         return f"{'-':>13}"

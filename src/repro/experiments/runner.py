@@ -69,21 +69,39 @@ def _run_grid(
     }
 
 
+def _engine_overrides(
+    config: ExperimentConfig,
+    workers: int | None,
+    execution_mode: str | None,
+    pipeline_depth: int | None,
+) -> ExperimentConfig:
+    """Apply the executor knobs without the caller rebuilding the config."""
+    changes = {}
+    if workers is not None:
+        changes["workers"] = workers
+    if execution_mode is not None:
+        changes["execution_mode"] = execution_mode
+    if pipeline_depth is not None:
+        changes["pipeline_depth"] = pipeline_depth
+    return config.with_updates(**changes) if changes else config
+
+
 def run_detection_experiment(
     config: ExperimentConfig,
     seeds: Sequence[int] = DEFAULT_SEEDS,
     workers: int | None = None,
     seed_workers: int = 0,
+    execution_mode: str | None = None,
+    pipeline_depth: int | None = None,
 ) -> AggregateStats:
     """One table/figure cell: FP/FN rates averaged over repeated runs.
 
-    ``workers`` overrides ``config.workers`` (the parallel-engine knob)
-    without the caller rebuilding the config; ``seed_workers >= 2`` runs
-    the seeds in that many processes.  Results are bit-identical for any
-    combination of the two knobs.
+    ``workers`` / ``execution_mode`` / ``pipeline_depth`` override the
+    config's parallel-engine knobs without the caller rebuilding it;
+    ``seed_workers >= 2`` runs the seeds in that many processes.  Results
+    are bit-identical for any combination of the knobs.
     """
-    if workers is not None:
-        config = config.with_updates(workers=workers)
+    config = _engine_overrides(config, workers, execution_mode, pipeline_depth)
     runs = _map_over_seeds(_detection_seed_task, config, seeds, seed_workers)
     return aggregate_stats(runs)
 
@@ -176,10 +194,11 @@ def run_adaptive_experiment(
     seeds: Sequence[int] = DEFAULT_SEEDS,
     workers: int | None = None,
     seed_workers: int = 0,
+    execution_mode: str | None = None,
+    pipeline_depth: int | None = None,
 ) -> AdaptiveExperimentResult:
     """Compare the defense against non-adaptive vs adaptive injections."""
-    if workers is not None:
-        config = config.with_updates(workers=workers)
+    config = _engine_overrides(config, workers, execution_mode, pipeline_depth)
     non_adaptive_runs: list[DetectionStats] = []
     adaptive_runs: list[DetectionStats] = []
     votes: list[int] = []

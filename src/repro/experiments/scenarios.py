@@ -24,8 +24,7 @@ from repro.experiments.configs import ExperimentConfig
 from repro.experiments.environment import Environment, build_environment
 from repro.fl.client import Client, HonestClient
 from repro.fl.config import FLConfig
-from repro.fl.model_store import make_model_store
-from repro.fl.parallel import make_executor
+from repro.fl.parallel import make_engine
 from repro.fl.selection import ScheduledSelector
 from repro.fl.simulation import FederatedSimulation, RoundRecord
 from repro.nn.metrics import accuracy, confusion_matrix, source_focused_errors
@@ -94,8 +93,7 @@ def run_stable_scenario(
                 (m.predict(bd_eval.x) == target).mean()
             ),
         }
-    with make_model_store(config.workers, config.model_store) as store, \
-            make_executor(config.workers) as executor:
+    with _engine(config) as engine:
         sim = FederatedSimulation(
             env.stable_model.clone(),
             clients,
@@ -105,8 +103,8 @@ def run_stable_scenario(
             defense=defense,
             use_secure_agg=use_secure_agg,
             metric_hooks=hooks,
-            executor=executor,
-            model_store=store,
+            executor=engine.executor,
+            model_store=engine.store,
         )
         records = sim.run(config.total_rounds)
 
@@ -206,8 +204,7 @@ def run_early_scenario(
     test = env.test_data
     bd_eval = env.backdoor.backdoor_test_instances(200, np.random.default_rng(seed))
     target = env.backdoor.target_label
-    with make_model_store(config.workers, config.model_store) as store, \
-            make_executor(config.workers) as executor:
+    with _engine(config) as engine:
         sim = FederatedSimulation(
             model,
             clients,
@@ -219,8 +216,8 @@ def run_early_scenario(
                 "main_acc": lambda m: accuracy(test.y, m.predict(test.x)),
                 "backdoor_acc": lambda m: float((m.predict(bd_eval.x) == target).mean()),
             },
-            executor=executor,
-            model_store=store,
+            executor=engine.executor,
+            model_store=engine.store,
         )
         records = sim.run(total_rounds)
     return EarlyRoundResult(
@@ -271,16 +268,15 @@ def run_error_trace(
             config.clients_per_round,
             {r: [env.attacker_id] for r in attack_rounds},
         )
-        with make_model_store(config.workers, config.model_store) as store, \
-                make_executor(config.workers) as executor:
+        with _engine(config) as engine:
             sim = FederatedSimulation(
                 env.stable_model.clone(),
                 clients,
                 fl_config,
                 np.random.default_rng(np.random.SeedSequence((seed, 0xF16))),
                 selector=selector,
-                executor=executor,
-                model_store=store,
+                executor=engine.executor,
+                model_store=engine.store,
             )
             rows = []
             for _ in range(rounds):
@@ -301,6 +297,21 @@ def run_error_trace(
 # ----------------------------------------------------------------------
 # Shared builders
 # ----------------------------------------------------------------------
+def _engine(config: ExperimentConfig):
+    """The round-execution engine a scenario config asks for.
+
+    One factory decides workers, store backend and execution mode together
+    (:func:`repro.fl.parallel.make_engine`), so a process pool can never
+    silently run on pipe transport because the store was built elsewhere.
+    """
+    return make_engine(
+        config.workers,
+        store=config.model_store,
+        mode=config.execution_mode,
+        pipeline_depth=config.pipeline_depth,
+    )
+
+
 def _build_defense(config: ExperimentConfig, env: Environment) -> BaffleDefense:
     validator_kwargs = {
         "normalize": config.validator_normalize,

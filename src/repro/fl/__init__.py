@@ -38,9 +38,15 @@ from repro.fl.model_store import (
     make_model_store,
 )
 from repro.fl.parallel import (
+    DEFAULT_PIPELINE_DEPTH,
+    EXECUTION_MODES,
+    PendingVotes,
+    PipelinedRoundExecutor,
     ProcessPoolRoundExecutor,
+    RoundEngine,
     RoundExecutor,
     SequentialExecutor,
+    make_engine,
     make_executor,
 )
 from repro.fl.rng import RngStreams
@@ -57,8 +63,10 @@ from repro.fl.simulation import (
 __all__ = [
     "Aggregator",
     "Client",
+    "DEFAULT_PIPELINE_DEPTH",
     "Defense",
     "DefenseDecision",
+    "EXECUTION_MODES",
     "FLConfig",
     "FedAvgAggregator",
     "FederatedSimulation",
@@ -67,8 +75,11 @@ __all__ = [
     "LocalTrainingConfig",
     "MaskedUpdate",
     "ModelStore",
+    "PendingVotes",
+    "PipelinedRoundExecutor",
     "ProcessPoolRoundExecutor",
     "RngStreams",
+    "RoundEngine",
     "RoundExecutor",
     "RoundRecord",
     "ScheduledSelector",
@@ -82,6 +93,7 @@ __all__ = [
     "apply_global_update",
     "clip_gradients",
     "local_train",
+    "make_engine",
     "make_executor",
     "make_model_store",
     "make_pairwise_masks",

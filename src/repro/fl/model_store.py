@@ -167,7 +167,16 @@ class ModelStore:
         return sorted(self._refs)
 
     def min_live_version(self) -> int | None:
-        """The oldest live version (workers' attachment-eviction floor)."""
+        """The oldest live version (workers' attachment-eviction floor).
+
+        Rollback safety: every consumer that ships a version key to a
+        worker first ``acquire``-s that version and releases it only after
+        the worker task completed (see
+        :class:`~repro.fl.parallel.PendingVotes`).  The floor is therefore
+        always <= any version an in-flight task may still resolve, even
+        while a rollback is releasing the history's own references to a
+        withdrawn suffix — eviction can never race a straggler.
+        """
         return min(self._refs) if self._refs else None
 
     @property
@@ -206,6 +215,11 @@ class ModelStore:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` already ran (releases become no-ops)."""
+        return self._closed
+
     def worker_handle(self):
         """Picklable handle for worker-process attachment (None here)."""
         return None
@@ -441,18 +455,24 @@ class ValidatorProfileTable:
     The parent-process side of cross-worker profile reuse.  Worker tasks
     return the profiles they compute; the executor files committed-version
     profiles directly (:meth:`put`) and *stages* candidate profiles
-    (:meth:`stage`) until the server decides the round.  On acceptance the
-    defense calls :meth:`commit_staged` with the committed version — the
-    next round ships those profiles back to whichever worker votes for that
-    validator, saving the forward pass ``note_committed`` saves on the
-    sequential path.  On rejection :meth:`discard_staged` drops them, and
-    :meth:`evict_version` follows the history's eviction so rejected or
-    retired profiles never accumulate (in-process or shared path alike).
+    (:meth:`stage`) until the server decides the round.  Staged entries are
+    keyed by the candidate's staged store version, so several rounds may be
+    pending at once (the pipelined engine overlaps validation of round
+    ``r`` with round ``r + 1``) without their candidate profiles
+    cross-filing.  On acceptance the defense calls :meth:`commit_staged`
+    with that version — commit is a refcount-style key transfer, the staged
+    version *is* the committed history version — and the next round ships
+    those profiles back to whichever worker votes for that validator,
+    saving the forward pass ``note_committed`` saves on the sequential
+    path.  On rejection (or rollback of an optimistic commit)
+    :meth:`discard_staged` drops that round's entries, and
+    :meth:`evict_version` follows the history's eviction/rollback so
+    rejected, rolled-back or retired profiles never accumulate.
     """
 
     def __init__(self) -> None:
         self._profiles: dict[tuple[int, int], object] = {}
-        self._staged: dict[int, object] = {}
+        self._staged: dict[tuple[int, int], object] = {}
 
     def __len__(self) -> int:
         return len(self._profiles)
@@ -464,35 +484,50 @@ class ValidatorProfileTable:
         self._profiles[(validator_id, version)] = profile
 
     def hints(self, validator_id: int, versions: Iterable[int]) -> dict[int, object]:
-        """Known profiles of ``validator_id`` for the given versions."""
+        """Known profiles of ``validator_id`` for the given versions.
+
+        Staged entries count as known: a staged profile is a deterministic
+        function of the weight bytes stored under its (unique) version, so
+        a pipelined round whose history contains a still-pending optimistic
+        commit reuses the pending candidate's profile instead of
+        recomputing it per validator.
+        """
         hints: dict[int, object] = {}
         for version in versions:
             profile = self._profiles.get((validator_id, version))
+            if profile is None:
+                profile = self._staged.get((validator_id, version))
             if profile is not None:
                 hints[version] = profile
         return hints
 
-    def stage(self, validator_id: int, profile) -> None:
-        """Hold a candidate profile until the round is decided."""
-        self._staged[validator_id] = profile
+    def stage(self, validator_id: int, version: int, profile) -> None:
+        """Hold a candidate profile (staged under ``version``) until the
+        round is decided."""
+        self._staged[(validator_id, version)] = profile
 
     @property
     def staged_count(self) -> int:
         return len(self._staged)
 
     def commit_staged(self, version: int) -> None:
-        """File every staged profile under the committed ``version``."""
-        for validator_id, profile in self._staged.items():
-            self._profiles[(validator_id, version)] = profile
-        self._staged.clear()
+        """File the profiles staged under ``version`` as committed."""
+        for key in [k for k in self._staged if k[1] == version]:
+            self._profiles[key] = self._staged.pop(key)
 
-    def discard_staged(self) -> None:
-        self._staged.clear()
+    def discard_staged(self, version: int | None = None) -> None:
+        """Drop staged profiles of ``version`` (``None`` = every round)."""
+        if version is None:
+            self._staged.clear()
+            return
+        for key in [k for k in self._staged if k[1] == version]:
+            del self._staged[key]
 
     def evict_version(self, version: int) -> None:
         """Drop all profiles of a version no longer retained by the history."""
         for key in [k for k in self._profiles if k[1] == version]:
             del self._profiles[key]
+        self.discard_staged(version)
 
     def clear(self) -> None:
         self._profiles.clear()

@@ -12,7 +12,24 @@ them strictly sequentially on one core.
 - :class:`SequentialExecutor` (default) runs everything in-process, in
   deterministic order — byte-for-byte the classic behavior;
 - :class:`ProcessPoolRoundExecutor` fans tasks out over a
-  ``concurrent.futures.ProcessPoolExecutor``.
+  ``concurrent.futures.ProcessPoolExecutor``;
+- :class:`PipelinedRoundExecutor` wraps either of the above for the
+  pipelined simulation loop: validator votes are *submitted*
+  (:meth:`RoundExecutor.submit_validators`) rather than awaited, so round
+  ``r + 1`` client tasks overlap round ``r`` validator tasks in the same
+  worker pool, bounded by its ``pipeline_depth`` knob.
+
+Asynchronous validation
+-----------------------
+:meth:`RoundExecutor.submit_validators` returns a :class:`PendingVotes`
+handle instead of blocking on the votes.  For a process pool the tasks are
+genuinely in flight; the handle holds a store reference for every version
+it shipped to workers, so a later rollback (which releases the history's
+own references) can never unlink a shared-memory segment a straggler task
+is still reading — references drop only when the handle is collected, or,
+for abandoned handles (rolled-back rounds), when their last task finishes
+(a deferred-release list the executor reaps opportunistically and drains
+on ``close``).
 
 Because every task's randomness comes from a keyed
 :class:`~repro.fl.rng.RngStreams` child (not a shared sequential stream),
@@ -75,6 +92,7 @@ from repro.fl.model_store import (
     ModelStore,
     ShmWorkerView,
     ValidatorProfileTable,
+    make_model_store,
 )
 from repro.fl.rng import RngStreams
 from repro.nn.network import Network
@@ -87,9 +105,88 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard: this module is
     from repro.core.validation import ValidationContext, Validator
 
 
+#: Round-loop execution modes accepted by :func:`make_executor` /
+#: :func:`make_engine` (also the config validation set and the CLI
+#: ``--exec-mode`` choices).
+EXECUTION_MODES = ("sync", "pipelined")
+
+#: Default speculation depth of the pipelined mode: how many rounds may
+#: run ahead of their unresolved validator quorums (0 = synchronous).
+DEFAULT_PIPELINE_DEPTH = 1
+
+
 def _is_parallel_safe(obj: object) -> bool:
     """Whether an entity may run in a worker process (opt-in attribute)."""
     return bool(getattr(obj, "parallel_safe", False))
+
+
+class PendingVotes:
+    """Handle for one round's in-flight (or deferred) validator votes.
+
+    ``collect()`` blocks until every vote is available, files the computed
+    profiles, releases the handle's store references and returns the vote
+    dict — calling it is exactly the second half of the synchronous
+    ``run_validators``.  ``abandon()`` discards a handle whose round was
+    rolled back: the result is dropped, but the store references stay
+    alive until every in-flight task finished (``reap()`` / the executor's
+    deferred-release list), so straggler workers never read an unlinked
+    segment.
+    """
+
+    def __init__(self, gather, futures=(), cleanup=None, on_abandon=None) -> None:
+        self._gather = gather
+        self._futures = list(futures)
+        self._cleanup = cleanup
+        self._on_abandon = on_abandon
+        self._votes: dict[int, int] | None = None
+        self.abandoned = False
+
+    def done(self) -> bool:
+        """Whether no task of this handle is still executing."""
+        return all(future.done() for future in self._futures)
+
+    def collect(self) -> dict[int, int]:
+        """Votes ``{validator_id: vote}`` (blocks; idempotent)."""
+        if self.abandoned:
+            raise RuntimeError("cannot collect abandoned votes")
+        if self._votes is None:
+            try:
+                self._votes = self._gather()
+            finally:
+                self._release()
+        return self._votes
+
+    def abandon(self) -> None:
+        """Discard the result; defer reference release until tasks finish."""
+        if self.abandoned or self._votes is not None:
+            self.abandoned = True
+            return
+        self.abandoned = True
+        if self.done():
+            self._release()
+        elif self._on_abandon is not None:
+            self._on_abandon(self)
+        # else: no deferral channel — wait so references cannot outlive us.
+        else:  # pragma: no cover - defensive; executors always pass one
+            self.wait()
+
+    def reap(self) -> bool:
+        """Release an abandoned handle's references if its tasks finished."""
+        if not self.done():
+            return False
+        self._release()
+        return True
+
+    def wait(self) -> None:
+        """Block until every task finished, then release references."""
+        for future in self._futures:
+            future.exception()  # waits; an abandoned task's error is moot
+        self._release()
+
+    def _release(self) -> None:
+        cleanup, self._cleanup = self._cleanup, None
+        if cleanup is not None:
+            cleanup()
 
 
 #: A picklable reference to one model's weights: ``(version, blob)`` where
@@ -122,6 +219,31 @@ class RoundExecutor:
     def transport_bytes(self) -> int:
         """Cumulative model-weight bytes moved across process boundaries."""
         return 0
+
+    @property
+    def store(self) -> ModelStore | None:
+        """The model store bound to this executor (None = unbound)."""
+        return None
+
+    def submit_validators(
+        self,
+        pool: "ValidatorPool",
+        validator_ids: Sequence[int],
+        context: ValidationContext,
+        round_idx: int,
+        streams: RngStreams,
+    ) -> PendingVotes:
+        """Launch one round's votes without waiting for them.
+
+        The base implementation defers the whole computation into
+        ``collect()`` (an in-process executor has nothing to overlap);
+        process pools override it with genuine task submission.
+        """
+        return PendingVotes(
+            gather=lambda: self.run_validators(
+                pool, validator_ids, context, round_idx, streams
+            )
+        )
 
     def run_clients(
         self,
@@ -157,7 +279,33 @@ class RoundExecutor:
 
 
 class SequentialExecutor(RoundExecutor):
-    """In-process execution in deterministic order (the default)."""
+    """In-process execution in deterministic order (the default).
+
+    Execution never crosses a process boundary, so the store is not used
+    for transport — but a store bound here (by :func:`make_executor`) is
+    still exposed through :attr:`store` so
+    :class:`~repro.fl.simulation.FederatedSimulation` adopts it for the
+    defense history instead of silently defaulting to a fresh in-process
+    store the caller never sees.
+    """
+
+    def __init__(self) -> None:
+        self._store: ModelStore | None = None
+
+    def bind(
+        self,
+        clients: Sequence[Client] | None = None,
+        validator_pool: "ValidatorPool | None" = None,
+        template: Network | None = None,
+        store: ModelStore | None = None,
+        profile_table: ValidatorProfileTable | None = None,
+    ) -> None:
+        if store is not None:
+            self._store = store
+
+    @property
+    def store(self) -> ModelStore | None:
+        return self._store
 
     def run_clients(
         self,
@@ -339,6 +487,9 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         self._pool: ProcessPoolExecutor | None = None
         self._held_global: int | None = None
         self._pipe_bytes = 0
+        #: Deferred-release list: abandoned vote handles whose tasks are
+        #: still in flight; their store references drop at the next reap.
+        self._abandoned: list[PendingVotes] = []
 
     # ------------------------------------------------------------------
     # Population binding / pool lifecycle
@@ -397,6 +548,10 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         return self._store is not None and self._store.shareable
 
     @property
+    def store(self) -> ModelStore | None:
+        return self._store
+
+    @property
     def transport_bytes(self) -> int:
         total = self._pipe_bytes
         if self._use_store:
@@ -427,10 +582,19 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        for pending in self._abandoned:  # all tasks done after shutdown
+            pending.wait()
+        self._abandoned.clear()
         if self._held_global is not None:
             if self._store is not None and self._held_global in self._store:
                 self._store.release(self._held_global)
             self._held_global = None
+
+    def _defer_release(self, pending: PendingVotes) -> None:
+        self._abandoned.append(pending)
+
+    def _reap_abandoned(self) -> None:
+        self._abandoned = [p for p in self._abandoned if not p.reap()]
 
     # ------------------------------------------------------------------
     # Round fan-out
@@ -461,6 +625,7 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         round_idx: int,
         streams: RngStreams,
     ) -> list[np.ndarray]:
+        self._reap_abandoned()
         pool = self._ensure_pool()
         remote_ids = [cid for cid in contributor_ids if cid in self._clients]
         model_ref, pipe_cost = self._global_model_ref(global_model)
@@ -493,31 +658,41 @@ class ProcessPoolRoundExecutor(RoundExecutor):
             for cid in contributor_ids
         ]
 
-    def run_validators(
+    def submit_validators(
         self,
         pool: "ValidatorPool",
         validator_ids: Sequence[int],
         context: ValidationContext,
         round_idx: int,
         streams: RngStreams,
-    ) -> dict[int, int]:
+    ) -> PendingVotes:
+        self._reap_abandoned()
         executor_pool = self._ensure_pool()
         history_versions = [version for version, _ in context.history]
-        ephemeral_candidate: int | None = None
+        held_versions: list[int] = []
         if self._use_store:
             candidate_version = context.candidate_version
             if candidate_version is None or candidate_version not in self._store:
                 # Standalone contexts (defense not staged through a store)
-                # publish the candidate here and release it after the round.
+                # publish the candidate here; the initial publish reference
+                # is the hold, released with the handle.
                 candidate_version = self._store.publish_new(
                     context.candidate.get_flat()
                 )
-                ephemeral_candidate = candidate_version
+            else:
+                self._store.acquire(candidate_version)
+            held_versions.append(candidate_version)
             candidate_ref: ModelRef = (candidate_version, None)
             history_refs: list[ModelRef] = []
             per_task_pipe = 0
             for version, model in context.history:
                 if version in self._store:
+                    # Hold every version shipped by key: a rollback may
+                    # release the history's reference while these tasks are
+                    # still in flight; this hold keeps the segment mapped
+                    # (and the worker eviction floor below it) until then.
+                    self._store.acquire(version)
+                    held_versions.append(version)
                     history_refs.append((version, None))
                 else:
                     # Same standalone case for the history: a version the
@@ -553,15 +728,18 @@ class ProcessPoolRoundExecutor(RoundExecutor):
             if vid in self._validators
         }
         self._pipe_bytes += per_task_pipe * len(futures)
-        # As in run_clients: parent-side (non-parallel-safe) votes run while
-        # the workers chew, then everything is gathered in id order.
-        local: dict[int, int] = {
-            vid: pool.get(vid).vote(context, streams.validator_rng(round_idx, vid))
-            for vid in validator_ids
-            if vid not in futures
-        }
-        votes: dict[int, int] = {}
-        try:
+
+        def gather() -> dict[int, int]:
+            # Parent-side (non-parallel-safe) votes run while the workers
+            # chew, then everything is gathered in id order.
+            local: dict[int, int] = {
+                vid: pool.get(vid).vote(
+                    context, streams.validator_rng(round_idx, vid)
+                )
+                for vid in validator_ids
+                if vid not in futures
+            }
+            votes: dict[int, int] = {}
             for vid in validator_ids:
                 if vid not in futures:
                     votes[vid] = local[vid]
@@ -571,18 +749,162 @@ class ProcessPoolRoundExecutor(RoundExecutor):
                 if table is not None:
                     for version, profile in new_profiles.items():
                         table.put(vid, version, profile)
-                    if candidate_profile is not None:
-                        table.stage(vid, candidate_profile)
-        finally:
-            if ephemeral_candidate is not None:
-                self._store.release(ephemeral_candidate)
-        return votes
+                    if candidate_profile is not None and (
+                        context.candidate_version is not None
+                    ):
+                        table.stage(
+                            vid, context.candidate_version, candidate_profile
+                        )
+            return votes
+
+        def cleanup() -> None:
+            if self._store is None or self._store.closed:
+                return
+            for version in held_versions:
+                self._store.release(version)
+
+        return PendingVotes(
+            gather=gather,
+            futures=futures.values(),
+            cleanup=cleanup,
+            on_abandon=self._defer_release,
+        )
+
+    def run_validators(
+        self,
+        pool: "ValidatorPool",
+        validator_ids: Sequence[int],
+        context: ValidationContext,
+        round_idx: int,
+        streams: RngStreams,
+    ) -> dict[int, int]:
+        return self.submit_validators(
+            pool, validator_ids, context, round_idx, streams
+        ).collect()
 
 
-def make_executor(workers: int) -> RoundExecutor:
-    """Executor for a worker count: 0/1 -> sequential, N>=2 -> process pool."""
+class PipelinedRoundExecutor(RoundExecutor):
+    """Executor for the pipelined round loop: overlap rounds ``r`` and ``r+1``.
+
+    Wraps an inner executor (sequential or process pool) and exposes
+    ``pipeline_depth`` — the number of rounds
+    :class:`~repro.fl.simulation.FederatedSimulation` may run ahead of
+    their unresolved validator quorums.  The simulation detects this
+    attribute and switches to its pipelined loop: round ``r``'s votes are
+    *submitted* (:meth:`submit_validators`), round ``r + 1``'s client tasks
+    are then fed into the same pool, so both kinds of task interleave on
+    the workers; ``pipeline_depth = 0`` degenerates to today's synchronous
+    semantics and commits bit-identical models.
+    """
+
+    def __init__(self, inner: RoundExecutor, pipeline_depth: int = DEFAULT_PIPELINE_DEPTH) -> None:
+        if pipeline_depth < 0:
+            raise ValueError(
+                f"pipeline_depth must be >= 0, got {pipeline_depth}"
+            )
+        if isinstance(inner, PipelinedRoundExecutor):
+            raise ValueError("cannot nest pipelined executors")
+        self.inner = inner
+        self.pipeline_depth = pipeline_depth
+
+    def bind(self, **populations) -> None:
+        self.inner.bind(**populations)
+
+    @property
+    def transport_bytes(self) -> int:
+        return self.inner.transport_bytes
+
+    @property
+    def store(self) -> ModelStore | None:
+        return self.inner.store
+
+    def run_clients(self, *args, **kwargs) -> list[np.ndarray]:
+        return self.inner.run_clients(*args, **kwargs)
+
+    def run_validators(self, *args, **kwargs) -> dict[int, int]:
+        return self.inner.run_validators(*args, **kwargs)
+
+    def submit_validators(self, *args, **kwargs) -> PendingVotes:
+        return self.inner.submit_validators(*args, **kwargs)
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+def make_executor(
+    workers: int,
+    store: ModelStore | None = None,
+    mode: str = "sync",
+    pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
+) -> RoundExecutor:
+    """Executor for a worker count: 0/1 -> sequential, N>=2 -> process pool.
+
+    ``store`` binds the configured model store at construction, so a pool
+    executor can never silently fall back to pickle-pipe transport because
+    a caller forgot to connect the two (the historical failure mode: store
+    and executor were built by separate factories and only met inside
+    ``FederatedSimulation``).  ``mode="pipelined"`` wraps the executor for
+    the pipelined round loop with the given speculation depth.
+    """
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
+    if mode not in EXECUTION_MODES:
+        raise ValueError(
+            f"mode must be one of {EXECUTION_MODES}, got {mode!r}"
+        )
+    executor: RoundExecutor
     if workers <= 1:
-        return SequentialExecutor()
-    return ProcessPoolRoundExecutor(workers)
+        executor = SequentialExecutor()
+    else:
+        executor = ProcessPoolRoundExecutor(workers)
+    if store is not None:
+        executor.bind(store=store)
+    if mode == "pipelined":
+        executor = PipelinedRoundExecutor(executor, pipeline_depth)
+    return executor
+
+
+class RoundEngine:
+    """A matched (executor, store) pair from :func:`make_engine`.
+
+    Context manager closing both in the safe order — executor first (its
+    shutdown waits for in-flight tasks and drains the deferred-release
+    list), store second (unlinking any remaining segments).
+    """
+
+    def __init__(self, executor: RoundExecutor, store: ModelStore) -> None:
+        self.executor = executor
+        self.store = store
+
+    def __enter__(self) -> "RoundEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self.executor.close()
+        finally:
+            self.store.close()
+
+
+def make_engine(
+    workers: int,
+    store: str = "auto",
+    mode: str = "sync",
+    pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
+) -> RoundEngine:
+    """The one factory for a round-execution engine.
+
+    Builds the model store for the worker count (``store`` is a
+    :data:`~repro.fl.model_store.STORE_KINDS` name) and an executor with
+    that store pre-bound, so the transport path is decided here, in one
+    place, instead of emerging from whether two separately constructed
+    objects happened to meet.
+    """
+    model_store = make_model_store(workers, store)
+    executor = make_executor(
+        workers, store=model_store, mode=mode, pipeline_depth=pipeline_depth
+    )
+    return RoundEngine(executor, model_store)

@@ -30,6 +30,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_execution_mode_flags(self):
+        args = build_parser().parse_args(
+            ["detect", "--exec-mode", "pipelined", "--pipeline-depth", "3"]
+        )
+        assert args.exec_mode == "pipelined"
+        assert args.pipeline_depth == 3
+        assert build_parser().parse_args(["detect"]).exec_mode == "sync"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["detect", "--exec-mode", "warp"])
+
 
 class TestExecution:
     def test_detect_runs_and_prints(self, capsys):

@@ -31,11 +31,23 @@ class TestExperimentConfig:
             {"client_share": 1.0},
             {"defense_start": 50, "total_rounds": 50},
             {"attack_rounds": (99,)},
+            {"execution_mode": "turbo"},
+            {"pipeline_depth": -1},
+            {"model_store": "quantum"},
         ],
     )
     def test_invalid_rejected(self, kwargs):
         with pytest.raises(ValueError):
             ExperimentConfig(**kwargs)
+
+    def test_environment_key_ignores_engine_knobs(self):
+        """workers/store/mode/depth are pure throughput knobs: engines
+        commit bit-identical models, so cached environments are shared."""
+        base = ExperimentConfig()
+        assert base.environment_key(0) == base.with_updates(
+            workers=4, model_store="shared",
+            execution_mode="pipelined", pipeline_depth=3,
+        ).environment_key(0)
 
     def test_with_updates_returns_modified_copy(self):
         config = ExperimentConfig()

@@ -298,8 +298,8 @@ class TestValidatorProfileTable:
 
     def test_staged_profiles_commit_under_version(self):
         table = ValidatorProfileTable()
-        table.stage(1, "c1")
-        table.stage(2, "c2")
+        table.stage(1, 7, "c1")
+        table.stage(2, 7, "c2")
         assert table.staged_count == 2
         table.commit_staged(version=7)
         assert table.staged_count == 0
@@ -308,10 +308,32 @@ class TestValidatorProfileTable:
 
     def test_rejected_candidates_are_discarded(self):
         table = ValidatorProfileTable()
-        table.stage(1, "c1")
+        table.stage(1, 7, "c1")
         table.discard_staged()
         table.commit_staged(version=7)
         assert len(table) == 0
+
+    def test_concurrent_rounds_stage_independently(self):
+        """Pipelined rounds overlap: staging is keyed by candidate version,
+        so resolving round r must not touch round r+1's staged profiles."""
+        table = ValidatorProfileTable()
+        table.stage(1, 7, "r-candidate")
+        table.stage(1, 8, "r+1-candidate")
+        table.commit_staged(version=7)
+        assert table.get(1, 7) == "r-candidate"
+        assert table.staged_count == 1
+        table.discard_staged(version=8)
+        assert table.staged_count == 0
+        assert table.get(1, 8) is None
+
+    def test_staged_profiles_serve_as_hints(self):
+        """A still-pending optimistic commit's profile is reusable by the
+        next round's validators (versions are unique, content is fixed)."""
+        table = ValidatorProfileTable()
+        table.stage(1, 7, "pending")
+        assert table.hints(1, [7]) == {7: "pending"}
+        table.put(1, 7, "committed")
+        assert table.hints(1, [7]) == {7: "committed"}
 
     def test_eviction_tracks_history(self):
         table = ValidatorProfileTable()

@@ -24,6 +24,7 @@ from repro.fl.model_store import (
 from repro.fl.parallel import (
     ProcessPoolRoundExecutor,
     SequentialExecutor,
+    make_engine,
     make_executor,
 )
 from repro.fl.rng import RngStreams
@@ -95,6 +96,11 @@ def run_and_snapshot(sim, rounds: int = 8):
             r.decision.reject_votes,
             dict(r.decision.client_votes),
             r.decision.server_vote,
+            # Telemetry must agree too: a sync run and a depth-0 pipelined
+            # run both resolve every round within itself.
+            r.accepted_at_round,
+            r.validation_lag,
+            r.rollback_count,
         )
         for r in records
     ]
@@ -258,6 +264,80 @@ class TestExecutorLifecycle:
         executor.close()
 
 
+class TestEngineFactory:
+    """make_executor / make_engine route the store through one factory, so
+    a pool can no longer silently fall back to pipe transport."""
+
+    def test_make_executor_prebinds_store(self):
+        store = SharedMemoryModelStore()
+        with store, make_executor(2, store=store) as executor:
+            assert executor.store is store
+
+    def test_make_executor_prebinds_store_on_sequential_too(self):
+        """A store passed for a 0/1-worker engine must not be dropped: the
+        simulation adopts it from the executor for the defense history."""
+        store = InProcessModelStore()
+        executor = make_executor(1, store=store)
+        assert executor.store is store
+        model, clients, _, config = make_world()
+        sim = FederatedSimulation(
+            model.clone(), clients, config,
+            np.random.default_rng(3), executor=executor,
+        )
+        assert sim.model_store is store
+
+    def test_make_engine_pairs_executor_and_store(self):
+        from repro.fl.parallel import RoundEngine
+
+        with make_engine(2, store="shared") as engine:
+            assert isinstance(engine, RoundEngine)
+            assert engine.executor.store is engine.store
+            assert isinstance(engine.store, SharedMemoryModelStore)
+        assert engine.store.closed
+
+    def test_make_engine_auto_matches_worker_count(self):
+        with make_engine(0) as engine:
+            assert isinstance(engine.store, InProcessModelStore)
+            assert isinstance(engine.executor, SequentialExecutor)
+        with make_engine(2) as engine:
+            assert isinstance(engine.store, SharedMemoryModelStore)
+            assert isinstance(engine.executor, ProcessPoolRoundExecutor)
+
+    def test_simulation_adopts_executor_store(self):
+        model, clients, _, config = make_world()
+        store = SharedMemoryModelStore()
+        with store, make_executor(2, store=store) as executor:
+            sim = FederatedSimulation(
+                model.clone(), clients, config,
+                np.random.default_rng(3), executor=executor,
+            )
+            assert sim.model_store is store
+
+    def test_simulation_rejects_conflicting_store(self):
+        model, clients, _, config = make_world()
+        store = SharedMemoryModelStore()
+        with store, make_executor(2, store=store) as executor:
+            with pytest.raises(ValueError, match="different model store"):
+                FederatedSimulation(
+                    model.clone(), clients, config,
+                    np.random.default_rng(3), executor=executor,
+                    model_store=InProcessModelStore(),
+                )
+
+    def test_pipelined_mode_wraps_and_validates(self):
+        from repro.fl.parallel import PipelinedRoundExecutor
+
+        executor = make_executor(0, mode="pipelined", pipeline_depth=2)
+        assert isinstance(executor, PipelinedRoundExecutor)
+        assert executor.pipeline_depth == 2
+        with pytest.raises(ValueError, match="mode"):
+            make_executor(0, mode="warp")
+        with pytest.raises(ValueError, match="pipeline_depth"):
+            make_executor(0, mode="pipelined", pipeline_depth=-1)
+        with pytest.raises(ValueError, match="nest"):
+            PipelinedRoundExecutor(executor)
+
+
 def shm_leftovers(store) -> list[str]:
     from tests.conftest import shm_entries
 
@@ -265,19 +345,27 @@ def shm_leftovers(store) -> list[str]:
 
 
 class TestStoreExecutorEquivalenceMatrix:
-    """The spine of the refactor: every {executor} x {store} x {workers}
-    combination commits bit-identical models and round records."""
+    """The spine of the refactor: every {executor mode} x {store} x
+    {workers} combination commits bit-identical models and round records.
 
+    ``pipelined`` runs with ``pipeline_depth=0`` here — the degenerate
+    setting that must reproduce synchronous semantics exactly (the
+    deeper-pipeline equivalence lives in tests/fl/test_pipelined.py).
+    """
+
+    @pytest.mark.parametrize("mode", ["sync", "pipelined"])
     @pytest.mark.parametrize("workers", [1, 2, 4])
     @pytest.mark.parametrize(
         "store_cls", [InProcessModelStore, SharedMemoryModelStore]
     )
-    def test_bit_identical_commits(self, workers, store_cls):
+    def test_bit_identical_commits(self, workers, store_cls, mode):
         baseline_flat, baseline_records = run_and_snapshot(
             build_defended_sim(SequentialExecutor(), store=InProcessModelStore())
         )
         store = store_cls()
-        with store, make_executor(workers) as executor:
+        with store, make_executor(
+            workers, store=store, mode=mode, pipeline_depth=0
+        ) as executor:
             flat, records = run_and_snapshot(
                 build_defended_sim(executor, store=store)
             )
