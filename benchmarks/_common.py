@@ -40,6 +40,22 @@ def write_result(name: str, text: str) -> Path:
     return path
 
 
+def write_json(name: str, payload) -> Path:
+    """Archive a machine-readable benchmark result (perf trajectory file).
+
+    Unlike the human-readable text archives, these are meant to be
+    committed (``benchmarks/results/BENCH_*.json`` is exempted from the
+    results .gitignore) so the perf trajectory is tracked across PRs.
+    """
+    import json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[machine-readable result archived to {path}]")
+    return path
+
+
 def once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)

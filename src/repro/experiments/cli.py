@@ -37,6 +37,7 @@ from repro.experiments.runner import (
     sweep_lookback,
     sweep_quorum,
 )
+from repro.fl.compression import codec_names
 from repro.fl.model_store import STORE_KINDS
 from repro.fl.parallel import DEFAULT_PIPELINE_DEPTH, EXECUTION_MODES
 from repro.experiments.scenarios import run_early_scenario, run_error_trace
@@ -68,6 +69,8 @@ def cmd_detect(args: argparse.Namespace) -> None:
         model_store=args.store,
         execution_mode=args.exec_mode,
         pipeline_depth=args.pipeline_depth,
+        codec=args.codec,
+        allow_lossy=args.allow_lossy,
     )
     stats = run_detection_experiment(
         config, _seeds(args), seed_workers=args.seed_workers
@@ -83,6 +86,7 @@ def cmd_table1(args: argparse.Namespace) -> None:
     base = ExperimentConfig(
         dataset=args.dataset, workers=args.workers, model_store=args.store,
         execution_mode=args.exec_mode, pipeline_depth=args.pipeline_depth,
+        codec=args.codec, allow_lossy=args.allow_lossy,
     )
     results = sweep_lookback(
         base, (10, 20, 30), splits, seeds=_seeds(args),
@@ -99,6 +103,7 @@ def cmd_fig3(args: argparse.Namespace) -> None:
         model_store=args.store,
         execution_mode=args.exec_mode,
         pipeline_depth=args.pipeline_depth,
+        codec=args.codec, allow_lossy=args.allow_lossy,
     )
     results = sweep_quorum(
         base, quorums, splits, seeds=_seeds(args), seed_workers=args.seed_workers
@@ -115,6 +120,7 @@ def cmd_table2(args: argparse.Namespace) -> None:
             dataset="cifar", client_share=split, adaptive_max_trials=8,
             workers=args.workers, model_store=args.store,
             execution_mode=args.exec_mode, pipeline_depth=args.pipeline_depth,
+            codec=args.codec, allow_lossy=args.allow_lossy,
         )
         results[split] = run_adaptive_experiment(
             config, _seeds(args), seed_workers=args.seed_workers
@@ -129,6 +135,7 @@ def cmd_fig2(args: argparse.Namespace) -> None:
     config = ExperimentConfig(
         dataset=args.dataset, workers=args.workers, model_store=args.store,
         execution_mode=args.exec_mode, pipeline_depth=args.pipeline_depth,
+        codec=args.codec, allow_lossy=args.allow_lossy,
     )
     # fig2 is a single paired clean/poisoned trace, not a seed sweep: a
     # fixed seed matches fig4's convention (--seeds used to leak in as the
@@ -154,6 +161,7 @@ def cmd_fig4(args: argparse.Namespace) -> None:
     config = ExperimentConfig(
         dataset=args.dataset, workers=args.workers, model_store=args.store,
         execution_mode=args.exec_mode, pipeline_depth=args.pipeline_depth,
+        codec=args.codec, allow_lossy=args.allow_lossy,
     )
     undefended = run_early_scenario(config, seed=0, defense_start=None)
     defended = run_early_scenario(config, seed=0, defense_start=106)
@@ -204,7 +212,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--pipeline-depth", type=int,
                        default=DEFAULT_PIPELINE_DEPTH, dest="pipeline_depth",
                        help="rounds the pipelined mode may run ahead of "
-                            "open quorums (0 = synchronous semantics)")
+                            "open quorums (>= 1; use --exec-mode sync for "
+                            "synchronous semantics)")
+        p.add_argument("--codec", choices=codec_names(), default="identity",
+                       help="weight-compression codec on the store "
+                            "transport path (lossless: identity, float16; "
+                            "lossy codecs additionally need --allow-lossy)")
+        p.add_argument("--allow-lossy", action="store_true", dest="allow_lossy",
+                       help="admit a lossy codec (quantized, topk): trades "
+                            "the bit-identical engine-equivalence guarantee "
+                            "for ~5-10x transport reduction")
         for flag, kwargs in extra_args.items():
             p.add_argument(flag, **kwargs)
         p.set_defaults(fn=fn)

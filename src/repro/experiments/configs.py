@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.fl.compression import codec_names, make_codec
 from repro.fl.model_store import STORE_KINDS
 from repro.fl.parallel import DEFAULT_PIPELINE_DEPTH, EXECUTION_MODES
 
@@ -97,6 +98,14 @@ class ExperimentConfig:
     model_store: str = "auto"
     execution_mode: str = "sync"
     pipeline_depth: int = DEFAULT_PIPELINE_DEPTH
+    # Weight-compression codec on the store transport path
+    # (repro.fl.compression).  Unlike the engine knobs above, a
+    # non-identity codec is *not* a pure throughput knob — it changes the
+    # committed trajectory — so it participates in ``environment_key``.
+    # Lossy codecs additionally void the cross-engine bit-identity
+    # guarantee and must be opted into via ``allow_lossy``.
+    codec: str = "identity"
+    allow_lossy: bool = False
 
     def __post_init__(self) -> None:
         if self.dataset not in _DATASETS:
@@ -127,9 +136,25 @@ class ExperimentConfig:
                 f"execution_mode must be one of {EXECUTION_MODES}, got "
                 f"{self.execution_mode!r}"
             )
-        if self.pipeline_depth < 0:
+        # Fail here, not deep inside make_engine: a depth-0 "pipelined"
+        # config is pure overhead (it degenerates to sync semantics), and
+        # an unknown or unauthorized codec should abort before any
+        # environment is pretrained.
+        if self.pipeline_depth < 1:
             raise ValueError(
-                f"pipeline_depth must be >= 0, got {self.pipeline_depth}"
+                f"pipeline_depth must be >= 1, got {self.pipeline_depth} "
+                "(a depth below 1 degenerates to execution_mode='sync'; "
+                "use that instead)"
+            )
+        if self.codec not in codec_names():
+            raise ValueError(
+                f"codec must be one of {codec_names()}, got {self.codec!r}"
+            )
+        if not self.allow_lossy and not make_codec(self.codec).lossless:
+            raise ValueError(
+                f"codec {self.codec!r} is lossy (committed models are no "
+                "longer bit-identical across engines); set allow_lossy=True "
+                "(CLI: --allow-lossy) to admit it for scale runs"
             )
 
     def environment_key(self, seed: int) -> tuple:
@@ -138,9 +163,13 @@ class ExperimentConfig:
         Everything that influences the stable model and data layout — but
         *not* the defense parameters, which only affect the cheap defended
         phase.  Experiments sweeping l / q / mode over one environment reuse
-        the pretraining.
+        the pretraining.  The codec *is* part of the key: a non-identity
+        codec canonicalizes committed models (or, for lossy transport,
+        perturbs what workers train on), so environments pretrained under
+        different codecs are not interchangeable.
         """
         return (
+            self.codec,
             self.dataset,
             self.client_share,
             self.num_clients,

@@ -155,8 +155,15 @@ def _pretrain(
     )
     # Pretraining is undefended — there is no quorum to overlap, so the
     # pipelined mode would degenerate anyway; it always runs "sync" on the
-    # configured workers/store (one factory decides the transport path).
-    with make_engine(config.workers, store=config.model_store) as engine:
+    # configured workers/store/codec (one factory decides the transport
+    # path).  The codec matters here: a non-identity codec changes the
+    # pretrained model, which is why environment_key includes it.
+    with make_engine(
+        config.workers,
+        store=config.model_store,
+        codec=config.codec,
+        require_lossless=not config.allow_lossy,
+    ) as engine:
         sim = FederatedSimulation(
             model, clients, fl_config, rng,
             executor=engine.executor, model_store=engine.store,

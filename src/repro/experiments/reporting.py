@@ -137,6 +137,9 @@ def format_execution_report(records: Sequence["object"]) -> str:
     rollbacks = [r.rollback_count for r in records]
     rejected = [r for r in records if not r.accepted]
     transport = [r.transport_bytes for r in records]
+    raw = [getattr(r, "raw_transport_bytes", r.transport_bytes) for r in records]
+    codec = getattr(records[0], "codec", "identity")
+    ratio = (sum(raw) / sum(transport)) if sum(transport) else 1.0
     lines = [
         "Execution report",
         f"rounds: {len(records)} "
@@ -145,7 +148,9 @@ def format_execution_report(records: Sequence["object"]) -> str:
         f"max {max(lags)}",
         f"rollback replays: {sum(rollbacks)} "
         f"(rounds replayed at least once: {sum(1 for c in rollbacks if c)})",
-        f"transport: {np.mean(transport):.0f} B/round mean",
+        f"transport: {np.mean(transport):.0f} B/round mean "
+        f"(codec {codec}: {np.mean(raw):.0f} B/round raw, "
+        f"{ratio:.2f}x compression)",
     ]
     laggy = [r for r in records if r.validation_lag or r.rollback_count]
     if laggy:

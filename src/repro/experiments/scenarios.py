@@ -309,6 +309,8 @@ def _engine(config: ExperimentConfig):
         store=config.model_store,
         mode=config.execution_mode,
         pipeline_depth=config.pipeline_depth,
+        codec=config.codec,
+        require_lossless=not config.allow_lossy,
     )
 
 

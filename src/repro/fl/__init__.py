@@ -29,6 +29,18 @@ from repro.fl.client import (
     clip_gradients,
     local_train,
 )
+from repro.fl.compression import (
+    CompressedSegment,
+    Float16Codec,
+    IdentityCodec,
+    QuantizedCodec,
+    TopKDeltaCodec,
+    WeightCodec,
+    codec_names,
+    decode_segment,
+    make_codec,
+    register_codec,
+)
 from repro.fl.config import FLConfig
 from repro.fl.model_store import (
     InProcessModelStore,
@@ -63,11 +75,17 @@ from repro.fl.simulation import (
 __all__ = [
     "Aggregator",
     "Client",
+    "CompressedSegment",
     "DEFAULT_PIPELINE_DEPTH",
     "Defense",
     "DefenseDecision",
     "EXECUTION_MODES",
     "FLConfig",
+    "Float16Codec",
+    "IdentityCodec",
+    "QuantizedCodec",
+    "TopKDeltaCodec",
+    "WeightCodec",
     "FedAvgAggregator",
     "FederatedSimulation",
     "HonestClient",
@@ -92,8 +110,12 @@ __all__ = [
     "WeightedFedAvgAggregator",
     "apply_global_update",
     "clip_gradients",
+    "codec_names",
+    "decode_segment",
     "local_train",
+    "make_codec",
     "make_engine",
+    "register_codec",
     "make_executor",
     "make_model_store",
     "make_pairwise_masks",

@@ -1,0 +1,485 @@
+"""Pluggable weight-compression codecs for the model-store transport path.
+
+BaFFLe's feasibility argument (Sec. VI-D) budgets for roughly 10x model
+compression on the wire: the candidate and the ``l + 1``-model history move
+to every validating client each round, and at realistic client counts the
+raw float64 bytes dominate the round cost.  The
+:class:`~repro.fl.model_store.ModelStore` publish/attach seam is the one
+place all of that traffic flows through, so compression lives here as a
+*codec* the store applies when a vector is published and inverts when a
+consumer resolves a version key.
+
+Codec contract
+--------------
+A :class:`WeightCodec` turns a flat float64 vector into a
+:class:`CompressedSegment` (``encode``) and back (``decode``).  Delta
+codecs (``needs_parent = True``) may encode against a *parent* vector —
+the store picks a live version, pins it with a reference, and records it
+in the segment so any consumer (including worker processes attaching to
+shared memory) can reconstruct the chain.
+
+Two capability flags drive the engine's gating:
+
+``lossless``
+    The codec reconstructs **bit-exactly** every vector in its *canonical
+    domain* — the image of :meth:`WeightCodec.canonicalize`.  The round
+    loop canonicalizes each aggregated candidate before it is reviewed or
+    committed (see :meth:`~repro.fl.simulation.FederatedSimulation`), so
+    everything a lossless codec is ever asked to transport round-trips
+    exactly and the cross-engine bit-identical equivalence guarantee
+    survives: every {executor} x {store} combination running the same
+    lossless codec commits identical models.  :class:`IdentityCodec`
+    (canonicalize is the identity, so the guarantee extends to the
+    no-codec baseline) and :class:`Float16Codec` (canonical domain =
+    float16-representable vectors; runs agree with each other, not with
+    the identity baseline) are lossless under this definition.
+    :class:`QuantizedCodec` and :class:`TopKDeltaCodec` are not — their
+    reconstruction error is bounded (see each class) but nonzero, so they
+    are admitted only when the caller explicitly opts out of the
+    equivalence guarantee (``require_lossless=False`` /
+    ``ExperimentConfig.allow_lossy``).
+
+``transparent``
+    ``canonicalize`` is the identity, i.e. the codec never perturbs the
+    committed trajectory.  Non-transparent codecs change the models a run
+    commits (by design — that is the accuracy cost of compression), so
+    the experiment layer keys its pretrained-environment cache on the
+    codec name.
+
+Segments are self-describing: :meth:`CompressedSegment.to_bytes` prefixes
+a fixed header (codec name, element count, payload length, parent
+version), and :func:`decode_segment` dispatches on the embedded codec
+name through the process-global registry — a worker that attaches to a
+shared-memory segment needs no out-of-band metadata to reconstruct the
+weights, and decoding never depends on the encoding instance's
+constructor parameters.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Fixed per-segment header: codec name (16 bytes, NUL-padded ascii),
+#: element count, payload byte length, parent version (-1 = none).
+SEGMENT_HEADER = struct.Struct("<16sqqq")
+
+#: Longest delta chain a store will build before re-basing on a dense
+#: segment: bounds worker-side reconstruction cost and the number of
+#: parent versions a single segment can transitively pin.
+MAX_DELTA_CHAIN = 8
+
+
+@dataclass
+class CompressedSegment:
+    """One codec-encoded weight vector, ready for storage or the wire.
+
+    ``payload`` may be ``bytes`` or a zero-copy ``memoryview`` into a
+    shared-memory buffer; ``parent_version`` is the store version the
+    payload is a delta against (``None`` for self-contained segments).
+    """
+
+    codec: str
+    num_params: int
+    payload: bytes | memoryview
+    parent_version: int | None = None
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes (the compressed size; headers excluded)."""
+        return len(self.payload)
+
+    def to_bytes(self) -> bytes:
+        """Header + payload, the storage/wire representation."""
+        name = self.codec.encode("ascii")
+        if len(name) > 16:
+            raise ValueError(f"codec name too long for segment header: {self.codec!r}")
+        header = SEGMENT_HEADER.pack(
+            name,
+            self.num_params,
+            len(self.payload),
+            -1 if self.parent_version is None else self.parent_version,
+        )
+        return header + bytes(self.payload)
+
+    @classmethod
+    def from_buffer(cls, buf) -> "CompressedSegment":
+        """Parse a segment from a buffer (zero-copy payload view)."""
+        view = memoryview(buf)
+        name, num_params, payload_len, parent = SEGMENT_HEADER.unpack_from(view, 0)
+        payload = view[SEGMENT_HEADER.size : SEGMENT_HEADER.size + payload_len]
+        return cls(
+            codec=name.rstrip(b"\x00").decode("ascii"),
+            num_params=num_params,
+            payload=payload,
+            parent_version=None if parent < 0 else parent,
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        """Header + payload bytes (what a storage backend must hold)."""
+        return SEGMENT_HEADER.size + len(self.payload)
+
+
+def _as_flat64(flat: np.ndarray) -> np.ndarray:
+    flat = np.ascontiguousarray(flat, dtype=np.float64)
+    if flat.ndim != 1:
+        raise ValueError(f"codecs operate on flat vectors, got shape {flat.shape}")
+    return flat
+
+
+def _read_only(flat: np.ndarray) -> np.ndarray:
+    if flat.flags.writeable:
+        flat.flags.writeable = False
+    return flat
+
+
+class WeightCodec:
+    """Strategy interface for weight-vector compression.
+
+    ``encode``/``decode`` must be deterministic pure functions (engine
+    equivalence and pipelined replay both rely on it), and ``decode`` must
+    depend only on the segment content — never on this instance's
+    constructor parameters — so any process holding the registry can
+    reconstruct any segment.
+    """
+
+    #: Registry key; also stored in every segment header.
+    name: str = "abstract"
+    #: Bit-exact on the canonical domain (see module docstring).
+    lossless: bool = False
+    #: ``canonicalize`` is the identity (trajectory-preserving codec).
+    transparent: bool = False
+    #: ``encode`` can exploit a parent vector (delta compression).
+    needs_parent: bool = False
+
+    def encode(
+        self,
+        flat: np.ndarray,
+        parent: np.ndarray | None = None,
+        parent_version: int | None = None,
+    ) -> CompressedSegment:
+        """Compress ``flat``; delta codecs may use ``parent`` and record
+        ``parent_version`` in the returned segment."""
+        raise NotImplementedError
+
+    def decode(
+        self, segment: CompressedSegment, parent: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Reconstruct the (read-only) float64 vector of ``segment``."""
+        raise NotImplementedError
+
+    def canonicalize(self, flat: np.ndarray) -> np.ndarray:
+        """Project ``flat`` onto the codec's exactly-representable domain.
+
+        The default is one parentless encode/decode round trip; transparent
+        codecs override this with the identity.
+        """
+        return np.asarray(self.decode(self.encode(_as_flat64(flat))))
+
+
+class IdentityCodec(WeightCodec):
+    """Raw float64 passthrough — the default, zero-loss, zero-gain codec."""
+
+    name = "identity"
+    lossless = True
+    transparent = True
+
+    def encode(self, flat, parent=None, parent_version=None) -> CompressedSegment:
+        flat = _as_flat64(flat)
+        return CompressedSegment(self.name, flat.shape[0], flat.tobytes())
+
+    def decode(self, segment, parent=None) -> np.ndarray:
+        # Zero-copy when the payload is a view into a (shared-memory)
+        # buffer; ``frombuffer`` over immutable bytes is already read-only.
+        flat = np.frombuffer(segment.payload, dtype=np.float64)
+        if flat.flags.writeable:
+            flat = flat.view()
+            flat.flags.writeable = False
+        return flat
+
+    def canonicalize(self, flat: np.ndarray) -> np.ndarray:
+        return _as_flat64(flat)
+
+
+class Float16Codec(WeightCodec):
+    """Half-precision transport: 4x smaller, exact on float16 vectors.
+
+    ``canonicalize`` rounds to the nearest float16 (relative error at most
+    ``2**-11`` for in-range values; magnitudes above ~65504 overflow to
+    ``inf``, which the round loop's finiteness check then rejects).  Once
+    the engine canonicalizes candidates, every vector this codec carries
+    is float16-representable and the ``float16 -> float64 -> float16``
+    round trip is bit-exact — hence ``lossless = True`` under the
+    canonical-domain definition, and all engines running this codec commit
+    bit-identical models (to each other; the trajectory differs from the
+    identity baseline because commits are rounded).
+    """
+
+    name = "float16"
+    lossless = True
+
+    def encode(self, flat, parent=None, parent_version=None) -> CompressedSegment:
+        flat = _as_flat64(flat)
+        with np.errstate(over="ignore"):  # out-of-range -> inf, by design
+            half = flat.astype(np.float16)
+        return CompressedSegment(self.name, flat.shape[0], half.tobytes())
+
+    def decode(self, segment, parent=None) -> np.ndarray:
+        half = np.frombuffer(bytes(segment.payload), dtype=np.float16)
+        return _read_only(half.astype(np.float64))
+
+    def canonicalize(self, flat: np.ndarray) -> np.ndarray:
+        with np.errstate(over="ignore"):  # out-of-range -> inf, by design
+            return _as_flat64(flat).astype(np.float16).astype(np.float64)
+
+
+class QuantizedCodec(WeightCodec):
+    """Uniform int8 quantization with per-chunk float32 scale/offset.
+
+    Each ``chunk``-sized slice is affinely mapped onto the 0..255 grid
+    spanned by its own min/max, costing 1 byte per weight plus 8 bytes per
+    chunk — ~7.9x compression at the default chunk size.  The absolute
+    reconstruction error of a weight is bounded by one quantization step
+    of its chunk, ``(max - min) / 255`` (half a step from rounding, plus
+    at most half a step more from the float32 scale/offset storage).  Not
+    idempotent, therefore lossy: runs using it trade the bit-identical
+    equivalence guarantee for the measured transport reduction.
+    """
+
+    name = "quantized"
+    _LEVELS = 255
+
+    def __init__(self, chunk: int = 4096) -> None:
+        if chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {chunk}")
+        self.chunk = chunk
+
+    def encode(self, flat, parent=None, parent_version=None) -> CompressedSegment:
+        flat = _as_flat64(flat)
+        n = flat.shape[0]
+        chunk = min(self.chunk, n) if n else self.chunk
+        if n:
+            starts = np.arange(0, n, chunk)
+            lo = np.minimum.reduceat(flat, starts).astype(np.float32)
+            hi = np.maximum.reduceat(flat, starts).astype(np.float32)
+            scale = (hi.astype(np.float64) - lo.astype(np.float64)) / self._LEVELS
+            scale = scale.astype(np.float32)
+            per_elem_lo = np.repeat(lo.astype(np.float64), chunk)[:n]
+            per_elem_scale = np.repeat(scale.astype(np.float64), chunk)[:n]
+            safe = np.where(per_elem_scale > 0.0, per_elem_scale, 1.0)
+            levels = np.rint((flat - per_elem_lo) / safe)
+            quantized = np.clip(levels, 0, self._LEVELS).astype(np.uint8)
+        else:
+            lo = np.empty(0, dtype=np.float32)
+            scale = np.empty(0, dtype=np.float32)
+            quantized = np.empty(0, dtype=np.uint8)
+        payload = b"".join(
+            (
+                struct.pack("<q", chunk),
+                lo.tobytes(),
+                scale.tobytes(),
+                quantized.tobytes(),
+            )
+        )
+        return CompressedSegment(self.name, n, payload)
+
+    def decode(self, segment, parent=None) -> np.ndarray:
+        payload = bytes(segment.payload)
+        n = segment.num_params
+        (chunk,) = struct.unpack_from("<q", payload, 0)
+        num_chunks = -(-n // chunk) if n else 0
+        offset = 8
+        lo = np.frombuffer(payload, dtype=np.float32, count=num_chunks, offset=offset)
+        offset += lo.nbytes
+        scale = np.frombuffer(payload, dtype=np.float32, count=num_chunks, offset=offset)
+        offset += scale.nbytes
+        quantized = np.frombuffer(payload, dtype=np.uint8, count=n, offset=offset)
+        if not n:
+            return _read_only(np.empty(0, dtype=np.float64))
+        per_elem_lo = np.repeat(lo.astype(np.float64), chunk)[:n]
+        per_elem_scale = np.repeat(scale.astype(np.float64), chunk)[:n]
+        return _read_only(quantized.astype(np.float64) * per_elem_scale + per_elem_lo)
+
+    def max_error_bound(self, flat: np.ndarray) -> float:
+        """Documented per-vector bound: one quantization step of the worst
+        chunk, plus the float32 rounding of the stored offset (which is
+        what remains when a chunk is constant and the step is zero)."""
+        flat = _as_flat64(flat)
+        n = flat.shape[0]
+        if not n:
+            return 0.0
+        chunk = min(self.chunk, n)
+        starts = np.arange(0, n, chunk)
+        lo = np.minimum.reduceat(flat, starts)
+        spread = np.maximum.reduceat(flat, starts) - lo
+        offset_rounding = float(np.max(np.abs(lo))) * float(
+            np.finfo(np.float32).eps
+        )
+        return float(spread.max()) / self._LEVELS + offset_rounding
+
+
+class TopKDeltaCodec(WeightCodec):
+    """Sparse top-k delta against a parent store version.
+
+    Keeps only the ``k = ceil(k_ratio * n)`` coordinates where the vector
+    moved farthest from its parent, storing their *absolute* values (exact
+    at the kept coordinates; elsewhere the parent's value is reused, so
+    the reconstruction error at a dropped coordinate is exactly the
+    magnitude of its dropped delta — bounded by the k-th largest
+    ``|delta|``).  Costs 12 bytes per kept coordinate (int32 index +
+    float64 value): ~6.7x compression at the default ``k_ratio = 0.1``.
+
+    Without a usable parent (first publish, length mismatch, or the chain
+    depth cap forcing a re-base) the segment falls back to a dense, exact
+    float64 payload.  ``canonicalize`` is the identity — loss happens only
+    on the transport of the dropped delta mass, never on the server's own
+    committed trajectory — so the codec is *transparent* but not lossless.
+    """
+
+    name = "topk"
+    transparent = True
+    needs_parent = True
+
+    def __init__(self, k_ratio: float = 0.1) -> None:
+        if not 0.0 < k_ratio <= 1.0:
+            raise ValueError(f"k_ratio must be in (0, 1], got {k_ratio}")
+        self.k_ratio = k_ratio
+
+    def encode(self, flat, parent=None, parent_version=None) -> CompressedSegment:
+        flat = _as_flat64(flat)
+        n = flat.shape[0]
+        k = int(np.ceil(self.k_ratio * n)) if n else 0
+        usable = (
+            parent is not None
+            and parent_version is not None
+            and len(parent) == n
+            and 0 < k < n
+        )
+        if not usable:
+            payload = struct.pack("<b", 1) + flat.tobytes()
+            return CompressedSegment(self.name, n, payload)
+        if n > np.iinfo(np.int32).max:
+            raise ValueError("topk codec indexes with int32; vector too long")
+        delta = np.abs(flat - parent)
+        indices = np.sort(np.argpartition(delta, n - k)[n - k :]).astype(np.int32)
+        values = flat[indices]
+        payload = b"".join(
+            (struct.pack("<b", 0), indices.tobytes(), values.tobytes())
+        )
+        return CompressedSegment(self.name, n, payload, parent_version=parent_version)
+
+    def decode(self, segment, parent=None) -> np.ndarray:
+        payload = bytes(segment.payload)
+        (dense,) = struct.unpack_from("<b", payload, 0)
+        if dense:
+            return _read_only(
+                np.frombuffer(payload, dtype=np.float64, offset=1).copy()
+            )
+        if parent is None:
+            raise ValueError(
+                "topk delta segment needs its parent vector to decode "
+                f"(parent version {segment.parent_version})"
+            )
+        k = (len(payload) - 1) // 12
+        indices = np.frombuffer(payload, dtype=np.int32, count=k, offset=1)
+        values = np.frombuffer(payload, dtype=np.float64, count=k, offset=1 + 4 * k)
+        flat = np.array(parent, dtype=np.float64)
+        flat[indices] = values
+        return _read_only(flat)
+
+    def canonicalize(self, flat: np.ndarray) -> np.ndarray:
+        return _as_flat64(flat)
+
+    def max_error_bound(self, flat: np.ndarray, parent: np.ndarray) -> float:
+        """Documented bound: the largest dropped ``|delta|`` coordinate."""
+        flat, parent = _as_flat64(flat), _as_flat64(parent)
+        n = flat.shape[0]
+        k = int(np.ceil(self.k_ratio * n)) if n else 0
+        if k >= n:
+            return 0.0
+        delta = np.sort(np.abs(flat - parent))
+        return float(delta[n - k - 1]) if n - k >= 1 else 0.0
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+#: Codec factories by name.  Worker processes decode through this registry
+#: (segments embed their codec name), so custom codecs must be registered
+#: at import time — before the process pool forks — to be decodable in
+#: workers.
+CODECS: dict[str, type[WeightCodec] | object] = {}
+
+
+def register_codec(factory, name: str | None = None) -> None:
+    """Register a codec factory (class or zero-arg callable) by name."""
+    codec_name = name or factory.name
+    if not codec_name or codec_name == "abstract":
+        raise ValueError("codec factory must define a concrete name")
+    CODECS[codec_name] = factory
+
+
+register_codec(IdentityCodec)
+register_codec(Float16Codec)
+register_codec(QuantizedCodec)
+register_codec(TopKDeltaCodec)
+
+
+def codec_names() -> tuple[str, ...]:
+    """Registered codec names (config validation / CLI choices)."""
+    return tuple(CODECS)
+
+
+def make_codec(spec: "str | WeightCodec | None") -> WeightCodec:
+    """Resolve a codec instance from a name, an instance, or ``None``.
+
+    ``None`` means the identity codec; instances pass through unchanged
+    (so callers can hand a parameterized codec straight to a store).
+    """
+    if spec is None:
+        return IdentityCodec()
+    if isinstance(spec, WeightCodec):
+        return spec
+    factory = CODECS.get(spec)
+    if factory is None:
+        raise ValueError(
+            f"unknown weight codec {spec!r}; registered: {sorted(CODECS)}"
+        )
+    return factory()
+
+
+def decode_segment(
+    segment: CompressedSegment, parent: np.ndarray | None = None
+) -> np.ndarray:
+    """Decode via the registry, dispatching on the segment's codec name.
+
+    This is how consumers that did not encode the segment (worker
+    processes, migrated stores) reconstruct weights: decoding depends only
+    on the segment content, never on the encoder's parameters.
+    """
+    factory = CODECS.get(segment.codec)
+    if factory is None:
+        raise ValueError(
+            f"segment encoded with unregistered codec {segment.codec!r}"
+        )
+    return factory().decode(segment, parent)
+
+
+__all__ = [
+    "CODECS",
+    "CompressedSegment",
+    "Float16Codec",
+    "IdentityCodec",
+    "MAX_DELTA_CHAIN",
+    "QuantizedCodec",
+    "SEGMENT_HEADER",
+    "TopKDeltaCodec",
+    "WeightCodec",
+    "codec_names",
+    "decode_segment",
+    "make_codec",
+    "register_codec",
+]

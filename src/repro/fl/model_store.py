@@ -40,6 +40,20 @@ and a shared-memory segment is unlinked the moment its count reaches zero.
 unlinks every live segment, so a crashed *worker* never leaks ``/dev/shm``
 entries: workers only attach, the owning process is the only creator.
 
+Weight compression rides on the publish/attach seam: every store applies a
+:class:`~repro.fl.compression.WeightCodec` when a vector is published and
+decodes on :meth:`~ModelStore.get`, so compressed transport needs no
+second code path — the arena simply holds codec-encoded segments (a
+self-describing header plus payload, see
+:class:`~repro.fl.compression.CompressedSegment`) and workers decode
+locally after attaching.  Delta codecs pin their parent versions with
+store references (released in cascade on eviction), so a rolled-back or
+evicted child can never leave a straggler with an unresolvable chain;
+:data:`~repro.fl.compression.MAX_DELTA_CHAIN` bounds the chain length by
+re-basing on a dense segment.  ``bytes_published`` counts *compressed*
+payload bytes (what transport actually moves); ``raw_bytes_published``
+keeps the uncompressed figure for the compression-ratio telemetry.
+
 :class:`ValidatorProfileTable` rides along: a table of validator error
 profiles keyed by ``(validator_id, version)``.  Profiles are deterministic
 functions of (model, dataset), so the parent collects the profiles workers
@@ -60,6 +74,14 @@ from collections.abc import Iterable
 from multiprocessing import shared_memory
 
 import numpy as np
+
+from repro.fl.compression import (
+    MAX_DELTA_CHAIN,
+    CompressedSegment,
+    WeightCodec,
+    decode_segment,
+    make_codec,
+)
 
 #: Prefix shared by every shared-memory segment this package creates; the
 #: CI leak check greps ``/dev/shm`` for it.
@@ -90,14 +112,26 @@ class ModelStore:
     #: (:meth:`worker_handle` returns a picklable handle).
     shareable = False
 
-    def __init__(self) -> None:
+    def __init__(self, codec: "WeightCodec | str | None" = None) -> None:
+        #: The transport codec applied at publish time (identity default).
+        self.codec: WeightCodec = make_codec(codec)
         self._refs: dict[int, int] = {}
         #: ``digest -> live versions holding that content`` (``publish_new``
         #: can legitimately create several); dedup resolves to the newest.
         self._digests: dict[bytes, list[int]] = {}
         self._by_version_digest: dict[int, bytes] = {}
+        #: Exact vector lengths per version (delta-parent eligibility, and
+        #: ``segment.size`` is page-rounded on some platforms).
+        self._lengths: dict[int, int] = {}
+        #: ``child version -> parent version`` pins for delta segments; the
+        #: child holds one reference on its parent until it is evicted.
+        self._parents: dict[int, int] = {}
+        #: Delta-chain depth per version (0 = dense); bounded by
+        #: :data:`~repro.fl.compression.MAX_DELTA_CHAIN` via re-basing.
+        self._chain_depth: dict[int, int] = {}
         self._next_version = 0
         self._bytes_published = 0
+        self._raw_bytes_published = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -147,17 +181,72 @@ class ModelStore:
     def _publish_at(self, version: int, flat: np.ndarray, digest: bytes) -> int:
         if self._closed:
             raise RuntimeError("model store is closed")
-        self._bytes_published += self._write(version, flat)
+        segment = self._encode(flat)
+        self._write(version, segment)
+        self._bytes_published += segment.nbytes
+        self._raw_bytes_published += flat.nbytes
         self._refs[version] = 1
         self._digests.setdefault(digest, []).append(version)
         self._by_version_digest[version] = digest
+        self._lengths[version] = flat.shape[0]
+        if segment.parent_version is not None:
+            # Delta segment: pin the parent so the chain stays decodable
+            # for any consumer (including stragglers holding this version
+            # after a rollback) until this child itself is evicted.
+            self.acquire(segment.parent_version)
+            self._parents[version] = segment.parent_version
+            self._chain_depth[version] = (
+                self._chain_depth.get(segment.parent_version, 0) + 1
+            )
+        else:
+            self._chain_depth[version] = 0
         return version
 
+    def _encode(self, flat: np.ndarray) -> CompressedSegment:
+        """Codec-encode ``flat``, choosing a delta parent when eligible.
+
+        The returned segment records the parent version iff the codec
+        actually encoded against it.
+        """
+        parent_version = None
+        parent = None
+        if self.codec.needs_parent:
+            parent_version = self._pick_parent(flat.shape[0])
+            if parent_version is not None:
+                parent = self.get(parent_version)
+        return self.codec.encode(flat, parent, parent_version)
+
+    def _pick_parent(self, num_params: int) -> int | None:
+        """Newest live version usable as a delta parent (or None).
+
+        The newest same-length version is the only candidate (it is the
+        closest base, so deltas stay small); when its chain depth reaches
+        :data:`~repro.fl.compression.MAX_DELTA_CHAIN` the publish re-bases
+        on a dense segment instead — bounding reconstruction cost and the
+        transitive parent pins a single segment can hold.
+        """
+        for version in sorted(self._refs, reverse=True):
+            if self._lengths.get(version) == num_params:
+                if self._chain_depth.get(version, 0) < MAX_DELTA_CHAIN:
+                    return version
+                return None
+        return None
+
     def get(self, version: int) -> np.ndarray:
-        """Read-only flat weight vector stored under ``version``."""
+        """Read-only flat weight vector stored under ``version``.
+
+        Decodes the stored segment through the codec registry, resolving
+        delta parents recursively (chains are bounded by the re-base cap).
+        """
         if version not in self._refs:
             raise KeyError(f"version {version} is not live in this store")
-        return self._read(version)
+        segment = self._read(version)
+        parent = (
+            self.get(segment.parent_version)
+            if segment.parent_version is not None
+            else None
+        )
+        return decode_segment(segment, parent)
 
     def __contains__(self, version: int) -> bool:
         return version in self._refs
@@ -181,8 +270,21 @@ class ModelStore:
 
     @property
     def bytes_published(self) -> int:
-        """Cumulative bytes copied into the store (dedup hits cost 0)."""
+        """Cumulative *compressed* payload bytes copied into the store
+        (dedup hits cost 0; the identity codec makes this the raw figure)."""
         return self._bytes_published
+
+    @property
+    def raw_bytes_published(self) -> int:
+        """Cumulative uncompressed float64 bytes published (dedup = 0)."""
+        return self._raw_bytes_published
+
+    @property
+    def compression_ratio(self) -> float:
+        """``raw / compressed`` bytes published so far (1.0 when empty)."""
+        if not self._bytes_published:
+            return 1.0
+        return self._raw_bytes_published / self._bytes_published
 
     # ------------------------------------------------------------------
     # Refcounting
@@ -194,7 +296,12 @@ class ModelStore:
         self._refs[version] += 1
 
     def release(self, version: int) -> None:
-        """Drop a reference; the entry is evicted when none remain."""
+        """Drop a reference; the entry is evicted when none remain.
+
+        Evicting a delta segment releases its pinned parent in turn, so a
+        chain whose last external consumer disappears unwinds completely
+        (and a parent still referenced elsewhere survives the cascade).
+        """
         count = self._refs.get(version)
         if count is None:
             raise KeyError(f"version {version} is not live in this store")
@@ -207,7 +314,12 @@ class ModelStore:
         live.remove(version)
         if not live:
             del self._digests[digest]
+        self._lengths.pop(version, None)
+        self._chain_depth.pop(version, None)
         self._delete(version)
+        parent = self._parents.pop(version, None)
+        if parent is not None:
+            self.release(parent)
 
     def refcount(self, version: int) -> int:
         return self._refs.get(version, 0)
@@ -232,6 +344,9 @@ class ModelStore:
         self._refs.clear()
         self._digests.clear()
         self._by_version_digest.clear()
+        self._lengths.clear()
+        self._parents.clear()
+        self._chain_depth.clear()
         self._delete_all()
 
     def __enter__(self) -> "ModelStore":
@@ -249,11 +364,11 @@ class ModelStore:
     # ------------------------------------------------------------------
     # Storage primitives
     # ------------------------------------------------------------------
-    def _write(self, version: int, flat: np.ndarray) -> int:
-        """Copy ``flat`` into storage; return the bytes copied."""
+    def _write(self, version: int, segment: CompressedSegment) -> None:
+        """Copy the codec-encoded ``segment`` into storage."""
         raise NotImplementedError
 
-    def _read(self, version: int) -> np.ndarray:
+    def _read(self, version: int) -> CompressedSegment:
         raise NotImplementedError
 
     def _delete(self, version: int) -> None:
@@ -264,26 +379,26 @@ class ModelStore:
 
 
 class InProcessModelStore(ModelStore):
-    """Plain in-process storage: read-only arrays in a dict (the default)."""
+    """Plain in-process storage: codec segments in a dict (the default)."""
 
-    def __init__(self) -> None:
-        super().__init__()
-        self._arrays: dict[int, np.ndarray] = {}
+    def __init__(self, codec: "WeightCodec | str | None" = None) -> None:
+        super().__init__(codec)
+        self._segments: dict[int, CompressedSegment] = {}
 
-    def _write(self, version: int, flat: np.ndarray) -> int:
-        stored = flat.copy()
-        stored.flags.writeable = False
-        self._arrays[version] = stored
-        return stored.nbytes
+    def _write(self, version: int, segment: CompressedSegment) -> None:
+        # Pin the payload down as immutable bytes: encode may hand back a
+        # view into a caller-owned buffer.
+        segment.payload = bytes(segment.payload)
+        self._segments[version] = segment
 
-    def _read(self, version: int) -> np.ndarray:
-        return self._arrays[version]
+    def _read(self, version: int) -> CompressedSegment:
+        return self._segments[version]
 
     def _delete(self, version: int) -> None:
-        del self._arrays[version]
+        del self._segments[version]
 
     def _delete_all(self) -> None:
-        self._arrays.clear()
+        self._segments.clear()
 
 
 class SharedMemoryModelStore(ModelStore):
@@ -298,15 +413,16 @@ class SharedMemoryModelStore(ModelStore):
 
     shareable = True
 
-    def __init__(self, name_prefix: str | None = None) -> None:
-        super().__init__()
+    def __init__(
+        self,
+        name_prefix: str | None = None,
+        codec: "WeightCodec | str | None" = None,
+    ) -> None:
+        super().__init__(codec)
         self.name_prefix = name_prefix or (
             f"{SHM_NAME_PREFIX}-{os.getpid():x}-{secrets.token_hex(4)}"
         )
         self._segments: dict[int, shared_memory.SharedMemory] = {}
-        #: Exact vector lengths — ``segment.size`` is page-rounded on some
-        #: platforms (macOS), so it cannot be trusted for the count.
-        self._lengths: dict[int, int] = {}
 
     def segment_name(self, version: int) -> str:
         return f"{self.name_prefix}-{version}"
@@ -314,32 +430,27 @@ class SharedMemoryModelStore(ModelStore):
     def worker_handle(self) -> "ShmStoreHandle":
         return ShmStoreHandle(self.name_prefix)
 
-    def _write(self, version: int, flat: np.ndarray) -> int:
-        segment = shared_memory.SharedMemory(
-            name=self.segment_name(version), create=True, size=flat.nbytes
+    def _write(self, version: int, segment: CompressedSegment) -> None:
+        # The shared segment holds the self-describing wire form (header +
+        # payload): attached workers parse the header and decode locally,
+        # so no out-of-band metadata needs to travel per version.
+        raw = segment.to_bytes()
+        shm_segment = shared_memory.SharedMemory(
+            name=self.segment_name(version), create=True, size=len(raw)
         )
-        view = np.ndarray(flat.shape, dtype=np.float64, buffer=segment.buf)
-        view[:] = flat
-        self._segments[version] = segment
-        self._lengths[version] = flat.shape[0]
-        return flat.nbytes
+        shm_segment.buf[: len(raw)] = raw
+        self._segments[version] = shm_segment
 
-    def _read(self, version: int) -> np.ndarray:
-        segment = self._segments[version]
-        count = self._lengths[version]
-        view = np.ndarray((count,), dtype=np.float64, buffer=segment.buf)
-        view.flags.writeable = False
-        return view
+    def _read(self, version: int) -> CompressedSegment:
+        return CompressedSegment.from_buffer(self._segments[version].buf)
 
     def _delete(self, version: int) -> None:
-        del self._lengths[version]
         self._destroy(self._segments.pop(version))
 
     def _delete_all(self) -> None:
         for segment in self._segments.values():
             self._destroy(segment)
         self._segments.clear()
-        self._lengths.clear()
 
     @staticmethod
     def _destroy(segment: shared_memory.SharedMemory) -> None:
@@ -380,6 +491,12 @@ class ShmWorkerView:
     def get(self, version: int, num_params: int, cache: bool = True) -> np.ndarray:
         """Read-only flat vector for ``version`` (attaches on first use).
 
+        The attached segment is self-describing (codec header + payload):
+        the vector is decoded locally through the codec registry, and a
+        delta segment's parent chain is resolved recursively via cached
+        attachments (the owner pins parents with store references, so a
+        chain is always attachable while any child of it is in flight).
+
         ``cache=False`` is for one-shot versions (rejected candidates never
         come back): the attachment is closed immediately and a copy is
         returned, so short-lived segments are not pinned past the owner's
@@ -391,9 +508,7 @@ class ShmWorkerView:
                 name=f"{self.name_prefix}-{version}"
             )
             try:
-                flat = np.array(
-                    np.ndarray((num_params,), dtype=np.float64, buffer=one_shot.buf)
-                )
+                flat = np.array(self._decode(one_shot, num_params))
             finally:
                 self._close_segment(one_shot)
             flat.flags.writeable = False
@@ -410,9 +525,19 @@ class ShmWorkerView:
                 name=f"{self.name_prefix}-{version}"
             )
             self._segments[version] = segment
-        view = np.ndarray((num_params,), dtype=np.float64, buffer=segment.buf)
-        view.flags.writeable = False
-        return view
+        return self._decode(segment, num_params)
+
+    def _decode(
+        self, shm_segment: shared_memory.SharedMemory, num_params: int
+    ) -> np.ndarray:
+        """Decode one attached segment, resolving its parent chain."""
+        segment = CompressedSegment.from_buffer(shm_segment.buf)
+        parent = None
+        if segment.parent_version is not None:
+            # Parents are long-lived (the owner pins them), so resolve them
+            # through the caching path regardless of how the child is read.
+            parent = self.get(segment.parent_version, num_params)
+        return decode_segment(segment, parent)
 
     def evict_below(self, floor: int | None) -> None:
         """Close cached attachments for versions below ``floor``."""
@@ -434,19 +559,37 @@ class ShmWorkerView:
             pass
 
 
-def make_model_store(workers: int, kind: str = "auto") -> ModelStore:
+def make_model_store(
+    workers: int,
+    kind: str = "auto",
+    codec: "WeightCodec | str | None" = None,
+    require_lossless: bool = True,
+) -> ModelStore:
     """Store for an execution setting.
 
     ``"auto"`` picks shared memory whenever a process pool will exist
     (``workers >= 2``) and the cheap in-process store otherwise;
     ``"inprocess"``/``"shared"`` force a choice (the forced shared store is
     how the benchmarks compare transport paths at equal worker counts).
+
+    ``codec`` selects the transport compression
+    (:mod:`repro.fl.compression`).  ``require_lossless=True`` (default)
+    rejects lossy codecs: they void the cross-engine bit-identical
+    equivalence guarantee and must be admitted explicitly
+    (``require_lossless=False``; the experiment layer's ``allow_lossy``).
     """
     if kind not in STORE_KINDS:
         raise ValueError(f"store kind must be one of {STORE_KINDS}, got {kind!r}")
+    codec_obj = make_codec(codec)
+    if require_lossless and not codec_obj.lossless:
+        raise ValueError(
+            f"codec {codec_obj.name!r} is lossy and voids the bit-identical "
+            "equivalence guarantee; pass require_lossless=False (config/CLI: "
+            "allow_lossy / --allow-lossy) to admit it for scale runs"
+        )
     if kind == "shared" or (kind == "auto" and workers >= 2):
-        return SharedMemoryModelStore()
-    return InProcessModelStore()
+        return SharedMemoryModelStore(codec=codec_obj)
+    return InProcessModelStore(codec=codec_obj)
 
 
 class ValidatorProfileTable:

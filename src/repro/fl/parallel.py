@@ -217,7 +217,13 @@ class RoundExecutor:
 
     @property
     def transport_bytes(self) -> int:
-        """Cumulative model-weight bytes moved across process boundaries."""
+        """Cumulative model-weight bytes moved across process boundaries
+        (codec-compressed payload bytes on the store path)."""
+        return 0
+
+    @property
+    def raw_transport_bytes(self) -> int:
+        """What :attr:`transport_bytes` would be without compression."""
         return 0
 
     @property
@@ -556,8 +562,16 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         total = self._pipe_bytes
         if self._use_store:
             # Every byte copied into the shared arena is readable by all
-            # workers at once — that copy *is* the transport.
+            # workers at once — that copy *is* the transport (compressed
+            # payload bytes when the store runs a non-identity codec).
             total += self._store.bytes_published
+        return total
+
+    @property
+    def raw_transport_bytes(self) -> int:
+        total = self._pipe_bytes  # pipe blobs are always raw float64
+        if self._use_store:
+            total += self._store.raw_bytes_published
         return total
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -815,6 +829,10 @@ class PipelinedRoundExecutor(RoundExecutor):
         return self.inner.transport_bytes
 
     @property
+    def raw_transport_bytes(self) -> int:
+        return self.inner.raw_transport_bytes
+
+    @property
     def store(self) -> ModelStore | None:
         return self.inner.store
 
@@ -876,6 +894,11 @@ class RoundEngine:
         self.executor = executor
         self.store = store
 
+    @property
+    def codec(self):
+        """The store's transport codec (:mod:`repro.fl.compression`)."""
+        return self.store.codec
+
     def __enter__(self) -> "RoundEngine":
         return self
 
@@ -894,6 +917,8 @@ def make_engine(
     store: str = "auto",
     mode: str = "sync",
     pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
+    codec: str | None = None,
+    require_lossless: bool = True,
 ) -> RoundEngine:
     """The one factory for a round-execution engine.
 
@@ -902,8 +927,17 @@ def make_engine(
     that store pre-bound, so the transport path is decided here, in one
     place, instead of emerging from whether two separately constructed
     objects happened to meet.
+
+    ``codec`` selects the store's weight-compression codec
+    (:mod:`repro.fl.compression`; name or instance, default identity);
+    with ``require_lossless=True`` (the default) lossy codecs are rejected
+    here, before anything is built — the bit-identical equivalence matrix
+    only holds for lossless codecs, so admitting a lossy one for a scale
+    run is an explicit opt-out (``require_lossless=False``).
     """
-    model_store = make_model_store(workers, store)
+    model_store = make_model_store(
+        workers, store, codec=codec, require_lossless=require_lossless
+    )
     executor = make_executor(
         workers, store=model_store, mode=mode, pipeline_depth=pipeline_depth
     )

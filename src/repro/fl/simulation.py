@@ -102,8 +102,15 @@ class RoundRecord:
     #: Model-weight bytes the executor moved across process boundaries this
     #: round: 0 for in-process execution, pickled blob bytes for the
     #: pipe-transport pool, bytes newly copied into the shared-memory arena
-    #: for a store-backed pool (O(1 new model) per round).
+    #: for a store-backed pool (O(1 new model) per round).  Store-path
+    #: bytes are codec-*compressed* payload bytes.
     transport_bytes: int = 0
+    #: What ``transport_bytes`` would have been uncompressed (equal under
+    #: the identity codec; the basis of ``compression_ratio``).
+    raw_transport_bytes: int = 0
+    #: Name of the weight codec the round's model store ran
+    #: (:mod:`repro.fl.compression`).
+    codec: str = "identity"
     #: The highest round index already aggregated when this round's quorum
     #: resolved.  Synchronous rounds resolve within themselves
     #: (``accepted_at_round == round_idx``); pipelined rounds resolve up to
@@ -123,6 +130,20 @@ class RoundRecord:
     def __post_init__(self) -> None:
         if self.accepted_at_round < 0:
             self.accepted_at_round = self.round_idx
+
+    @property
+    def compressed_bytes(self) -> int:
+        """The round's transport volume after codec encoding (alias of
+        ``transport_bytes``, named for the compression telemetry)."""
+        return self.transport_bytes
+
+    @property
+    def compression_ratio(self) -> float:
+        """``raw / compressed`` transport bytes this round (1.0 when the
+        round moved nothing)."""
+        if not self.transport_bytes:
+            return 1.0
+        return self.raw_transport_bytes / self.transport_bytes
 
 
 @dataclass
@@ -147,6 +168,7 @@ class _SpeculativeRound:
     pending: object | None
     decision: DefenseDecision | None
     transport_bytes: int
+    raw_transport_bytes: int = 0
     rollback_count: int = 0
 
 
@@ -267,6 +289,18 @@ class FederatedSimulation:
                 "build both through make_engine() or pass the same store"
             )
         self.model_store = model_store or executor_store or InProcessModelStore()
+        #: The store's transport codec.  Non-transparent codecs project
+        #: every vector they are asked to carry onto their exactly
+        #: representable domain, so the simulation *canonicalizes* the
+        #: initial model and each aggregated candidate through the codec
+        #: before review/commit: everything transported then round-trips
+        #: bit-exactly for lossless codecs, preserving the cross-engine
+        #: equivalence guarantee (see repro.fl.compression).
+        self._codec = getattr(self.model_store, "codec", None)
+        if self._codec is not None and not self._codec.transparent:
+            self.global_model.set_flat(
+                self._codec.canonicalize(self.global_model.get_flat())
+            )
         bind_kwargs = {
             "clients": self.clients,
             "template": global_model.clone(),
@@ -303,6 +337,7 @@ class FederatedSimulation:
             return self._run_pipelined(1)[0]
         round_idx = self.round_idx
         transport_before = self.executor.transport_bytes
+        raw_before = self.executor.raw_transport_bytes
         contributor_ids = self.selector.select(round_idx, self.rng)
         updates = self.executor.run_clients(
             self.clients,
@@ -344,10 +379,15 @@ class FederatedSimulation:
                 name: hook(self.global_model) for name, hook in self.metric_hooks.items()
             },
             transport_bytes=self.executor.transport_bytes - transport_before,
+            raw_transport_bytes=self.executor.raw_transport_bytes - raw_before,
+            codec=self._codec_name(),
         )
         self.history.append(record)
         self.round_idx += 1
         return record
+
+    def _codec_name(self) -> str:
+        return self._codec.name if self._codec is not None else "identity"
 
     def run(self, num_rounds: int) -> list[RoundRecord]:
         """Run ``num_rounds`` rounds and return their records."""
@@ -441,6 +481,7 @@ class FederatedSimulation:
         """Run one round up to (and including) its optimistic commit."""
         base_model = self.global_model
         transport_before = self.executor.transport_bytes
+        raw_before = self.executor.raw_transport_bytes
         updates = self.executor.run_clients(
             self.clients,
             contributor_ids,
@@ -496,6 +537,7 @@ class FederatedSimulation:
             pending=pending,
             decision=decision,
             transport_bytes=self.executor.transport_bytes - transport_before,
+            raw_transport_bytes=self.executor.raw_transport_bytes - raw_before,
             rollback_count=rollback_count,
         )
 
@@ -547,6 +589,8 @@ class FederatedSimulation:
                 name: hook(model_after) for name, hook in self.metric_hooks.items()
             },
             transport_bytes=spec.transport_bytes,
+            raw_transport_bytes=spec.raw_transport_bytes,
+            codec=self._codec_name(),
             accepted_at_round=resolved_at,
             validation_lag=resolved_at - spec.round_idx,
             rollback_count=spec.rollback_count,
@@ -573,7 +617,14 @@ class FederatedSimulation:
         round_idx: int,
         rng: np.random.Generator,
     ) -> tuple[Network, np.ndarray]:
-        """Combine updates into the candidate global model."""
+        """Combine updates into the candidate global model.
+
+        With a non-transparent codec the candidate is canonicalized here —
+        the single point every downstream consumer (defense review,
+        history commit, next round's training base) inherits from — so the
+        committed trajectory is the codec's exactly-representable one and
+        identical across executors and stores.
+        """
         mean_update = self._combine(contributor_ids, updates, round_idx, rng)
         candidate_flat = apply_global_update(
             self.global_model.get_flat(),
@@ -582,6 +633,8 @@ class FederatedSimulation:
             global_lr=self.config.effective_global_lr,
             num_clients=self.config.num_clients,
         )
+        if self._codec is not None and not self._codec.transparent:
+            candidate_flat = self._codec.canonicalize(candidate_flat)
         candidate = self.global_model.clone()
         candidate.set_flat(candidate_flat)
         return candidate, candidate_flat

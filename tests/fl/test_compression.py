@@ -1,0 +1,492 @@
+"""Tests for the weight-compression codec subsystem.
+
+Four properties matter:
+
+1. codec round-trips: lossless codecs reconstruct their canonical domain
+   bit-exactly, lossy codecs respect their documented error bounds, and
+   both hold across arbitrary shapes (empty and odd-length included);
+2. store integration: every store encodes on publish / decodes on get,
+   counts compressed vs raw bytes, and — for delta codecs — pins parent
+   versions so rolled-back or evicted chains stay decodable and still
+   unlink completely once the last consumer is gone;
+3. the engine gate: lossy codecs are rejected wherever
+   ``require_lossless`` (or the config's ``allow_lossy=False``) demands
+   losslessness, and admitted codecs surface in the round telemetry;
+4. equivalence: with the identity codec the full engine matrix still
+   commits bit-identically to the no-codec baseline, and with float16
+   every engine commits bit-identically to every other float16 engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fl.compression import (
+    MAX_DELTA_CHAIN,
+    CompressedSegment,
+    Float16Codec,
+    IdentityCodec,
+    QuantizedCodec,
+    TopKDeltaCodec,
+    WeightCodec,
+    codec_names,
+    decode_segment,
+    make_codec,
+    register_codec,
+)
+from repro.fl.model_store import (
+    InProcessModelStore,
+    SharedMemoryModelStore,
+    make_model_store,
+)
+from repro.fl.parallel import SequentialExecutor, make_engine, make_executor
+from tests.conftest import shm_entries
+
+STORES = [InProcessModelStore, SharedMemoryModelStore]
+ALL_CODECS = ("identity", "float16", "quantized", "topk")
+
+#: Shapes the property tests sweep: empty, single element, odd lengths,
+#: one crossing the quantizer's chunk boundary.
+SHAPES = [0, 1, 3, 17, 256, 4097]
+
+
+def vectors(rng: np.random.Generator, n: int) -> np.ndarray:
+    return rng.normal(scale=0.5, size=n)
+
+
+class TestSegmentSerialization:
+    def test_header_roundtrip(self, rng):
+        flat = vectors(rng, 33)
+        segment = IdentityCodec().encode(flat)
+        segment.parent_version = 7
+        parsed = CompressedSegment.from_buffer(segment.to_bytes())
+        assert parsed.codec == "identity"
+        assert parsed.num_params == 33
+        assert parsed.parent_version == 7
+        np.testing.assert_array_equal(decode_segment(parsed, flat), flat)
+
+    def test_parentless_header(self, rng):
+        segment = Float16Codec().encode(vectors(rng, 4))
+        parsed = CompressedSegment.from_buffer(segment.to_bytes())
+        assert parsed.parent_version is None
+
+    def test_decode_segment_rejects_unregistered_codec(self):
+        segment = CompressedSegment("no-such-codec", 0, b"")
+        with pytest.raises(ValueError, match="unregistered"):
+            decode_segment(segment)
+
+
+class TestLosslessRoundTrips:
+    @pytest.mark.parametrize("n", SHAPES)
+    def test_identity_exact_on_everything(self, rng, n):
+        codec = IdentityCodec()
+        flat = vectors(rng, n)
+        np.testing.assert_array_equal(codec.decode(codec.encode(flat)), flat)
+        np.testing.assert_array_equal(codec.canonicalize(flat), flat)
+        assert codec.lossless and codec.transparent
+
+    @pytest.mark.parametrize("n", SHAPES)
+    def test_float16_exact_on_canonical_domain(self, rng, n):
+        """The lossless contract: bit-exact on canonicalized vectors."""
+        codec = Float16Codec()
+        canonical = codec.canonicalize(vectors(rng, n))
+        decoded = codec.decode(codec.encode(canonical))
+        np.testing.assert_array_equal(decoded, canonical)
+        # Canonicalization is a projection: applying it twice is a no-op.
+        np.testing.assert_array_equal(codec.canonicalize(canonical), canonical)
+        assert codec.lossless and not codec.transparent
+
+    def test_float16_canonicalization_error_bound(self, rng):
+        flat = vectors(rng, 512)
+        err = np.abs(Float16Codec().canonicalize(flat) - flat)
+        assert np.all(err <= np.abs(flat) * 2.0**-11 + 1e-12)
+
+    def test_float16_overflow_becomes_inf(self):
+        canon = Float16Codec().canonicalize(np.array([1e6, -1e6, 1.0]))
+        assert np.isinf(canon[0]) and np.isinf(canon[1])
+        assert np.isfinite(canon[2])
+
+
+class TestLossyBounds:
+    @pytest.mark.parametrize("n", SHAPES)
+    def test_quantized_respects_documented_bound(self, rng, n):
+        codec = QuantizedCodec(chunk=64)
+        flat = vectors(rng, n)
+        decoded = codec.decode(codec.encode(flat))
+        assert decoded.shape == flat.shape
+        bound = codec.max_error_bound(flat)
+        assert np.all(np.abs(decoded - flat) <= bound * 1.001 + 1e-9)
+        assert not codec.lossless
+
+    def test_quantized_constant_chunk_is_exact(self):
+        flat = np.full(100, 0.123)
+        decoded = QuantizedCodec(chunk=32).decode(
+            QuantizedCodec(chunk=32).encode(flat)
+        )
+        np.testing.assert_allclose(decoded, flat, atol=1e-7)
+
+    @pytest.mark.parametrize("n", SHAPES)
+    def test_topk_exact_at_kept_coordinates(self, rng, n):
+        codec = TopKDeltaCodec(k_ratio=0.25)
+        parent = vectors(rng, n)
+        flat = parent + rng.normal(scale=0.01, size=n)
+        segment = codec.encode(flat, parent, parent_version=0)
+        decoded = codec.decode(segment, parent)
+        assert decoded.shape == flat.shape
+        if n:
+            k = int(np.ceil(codec.k_ratio * n))
+            moved = np.argsort(np.abs(flat - parent))[-k:]
+            np.testing.assert_array_equal(decoded[moved], flat[moved])
+            bound = codec.max_error_bound(flat, parent)
+            assert np.all(np.abs(decoded - flat) <= bound + 1e-15)
+        assert not codec.lossless and codec.transparent
+
+    def test_topk_without_parent_is_dense_and_exact(self, rng):
+        codec = TopKDeltaCodec()
+        flat = vectors(rng, 101)
+        segment = codec.encode(flat)  # no parent: dense fallback
+        assert segment.parent_version is None
+        np.testing.assert_array_equal(codec.decode(segment), flat)
+
+    def test_topk_delta_needs_parent_to_decode(self, rng):
+        codec = TopKDeltaCodec()
+        parent = vectors(rng, 50)
+        segment = codec.encode(parent + 0.01, parent, parent_version=3)
+        assert segment.parent_version == 3
+        with pytest.raises(ValueError, match="parent"):
+            codec.decode(segment)
+
+    def test_topk_compresses(self, rng):
+        flat = vectors(rng, 10000)
+        parent = flat + vectors(rng, 10000) * 0.01
+        segment = TopKDeltaCodec(k_ratio=0.1).encode(flat, parent, 0)
+        assert segment.nbytes < flat.nbytes / 5
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=600),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    name=st.sampled_from(ALL_CODECS),
+)
+def test_property_roundtrip_over_random_shapes(n, seed, name):
+    """Any codec, any shape: decode(encode(x)) has the right shape/dtype,
+    lossless codecs are exact on their canonical domain, and serialized
+    segments decode identically to in-memory ones."""
+    rng = np.random.default_rng(seed)
+    codec = make_codec(name)
+    flat = rng.normal(size=n)
+    parent = rng.normal(size=n) if codec.needs_parent else None
+    parent_version = 0 if parent is not None else None
+    if codec.lossless:
+        flat = codec.canonicalize(flat)
+    segment = codec.encode(flat, parent, parent_version)
+    decoded = codec.decode(segment, parent)
+    assert decoded.shape == (n,)
+    assert decoded.dtype == np.float64
+    if codec.lossless:
+        np.testing.assert_array_equal(decoded, flat)
+    wire = CompressedSegment.from_buffer(segment.to_bytes())
+    np.testing.assert_array_equal(decode_segment(wire, parent), decoded)
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert set(ALL_CODECS) <= set(codec_names())
+
+    def test_make_codec_resolves_names_instances_and_none(self):
+        assert make_codec(None).name == "identity"
+        assert make_codec("float16").name == "float16"
+        custom = QuantizedCodec(chunk=128)
+        assert make_codec(custom) is custom
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ValueError, match="unknown weight codec"):
+            make_codec("middle-out")
+
+    def test_custom_codec_registration(self, rng):
+        class NegatingCodec(WeightCodec):
+            name = "test-negate"
+            lossless = True
+            transparent = True
+
+            def encode(self, flat, parent=None, parent_version=None):
+                flat = np.ascontiguousarray(flat, dtype=np.float64)
+                return CompressedSegment(self.name, len(flat), (-flat).tobytes())
+
+            def decode(self, segment, parent=None):
+                return -np.frombuffer(bytes(segment.payload), dtype=np.float64)
+
+        register_codec(NegatingCodec)
+        try:
+            flat = vectors(rng, 9)
+            with InProcessModelStore(codec="test-negate") as store:
+                version = store.publish(flat)
+                np.testing.assert_array_equal(store.get(version), flat)
+        finally:
+            from repro.fl.compression import CODECS
+
+            CODECS.pop("test-negate", None)
+
+
+@pytest.mark.parametrize("store_cls", STORES)
+class TestStoreCodecIntegration:
+    @pytest.mark.parametrize("name", ["identity", "float16"])
+    def test_lossless_publish_get_roundtrip(self, store_cls, name, rng):
+        codec = make_codec(name)
+        with store_cls(codec=codec) as store:
+            flat = codec.canonicalize(vectors(rng, 64))
+            version = store.publish(flat)
+            np.testing.assert_array_equal(store.get(version), flat)
+            assert not store.get(version).flags.writeable
+
+    def test_compressed_accounting(self, store_cls, rng):
+        with store_cls(codec="float16") as store:
+            flat = vectors(rng, 1000)
+            store.publish(flat)
+            assert store.raw_bytes_published == flat.nbytes
+            assert store.bytes_published == flat.nbytes // 4
+            assert store.compression_ratio == pytest.approx(4.0)
+
+    def test_dedup_still_costs_zero_bytes(self, store_cls, rng):
+        with store_cls(codec="quantized") as store:
+            flat = vectors(rng, 64)
+            first = store.publish(flat)
+            published = store.bytes_published
+            assert store.publish(flat.copy()) == first
+            assert store.bytes_published == published
+
+    def test_lossy_store_respects_codec_bound(self, store_cls, rng):
+        codec = QuantizedCodec()
+        with store_cls(codec=codec) as store:
+            flat = vectors(rng, 300)
+            version = store.publish(flat)
+            err = np.max(np.abs(store.get(version) - flat))
+            assert err <= codec.max_error_bound(flat) * 1.001 + 1e-9
+
+    def test_delta_parent_pinned_until_child_evicted(self, store_cls, rng):
+        """The rollback-decodability property: releasing a parent's last
+        *external* reference must not unlink it while a delta child (e.g.
+        a version a straggler validator still holds) depends on it."""
+        with store_cls(codec="topk") as store:
+            base = vectors(rng, 128)
+            child = base.copy()
+            child[:5] += 0.5  # sparse change, within the top-k budget
+            v0 = store.publish_new(base)
+            v1 = store.publish_new(child)  # delta against v0
+            assert store.refcount(v0) == 2  # publisher + child pin
+            store.release(v0)  # the "history rollback" drops its reference
+            assert v0 in store  # pinned by v1
+            np.testing.assert_array_equal(store.get(v1), child)
+            store.release(v1)  # last consumer gone: cascade eviction
+            assert v0 not in store and v1 not in store
+            assert store.versions() == []
+
+    def test_chain_depth_caps_with_dense_rebase(self, store_cls, rng):
+        with store_cls(codec="topk") as store:
+            flat = vectors(rng, 64)
+            versions = [store.publish_new(flat + 0.001 * i) for i in range(2 * MAX_DELTA_CHAIN + 2)]
+            depths = [store._chain_depth[v] for v in versions]
+            assert max(depths) <= MAX_DELTA_CHAIN
+            assert depths.count(0) >= 2  # at least one dense re-base happened
+            for version in versions:
+                assert store.get(version).shape == flat.shape
+
+    def test_length_mismatch_gets_no_parent(self, store_cls, rng):
+        with store_cls(codec="topk") as store:
+            store.publish_new(vectors(rng, 32))
+            v1 = store.publish_new(vectors(rng, 64))
+            assert store._parents.get(v1) is None
+
+
+class TestSharedMemoryCodecLifecycle:
+    def test_encode_evict_cycles_unlink_everything(self, rng):
+        """The codec leak gate: publish/evict churn with a delta codec,
+        including pinned parents, must leave /dev/shm clean."""
+        store = SharedMemoryModelStore(codec="topk")
+        with store:
+            live = []
+            for i in range(20):
+                live.append(store.publish_new(vectors(rng, 64)))
+                if len(live) > 3:
+                    store.release(live.pop(0))
+            assert len(shm_entries(store.name_prefix)) == len(store.versions())
+            for version in live:
+                store.release(version)
+            assert store.versions() == []
+            assert shm_entries(store.name_prefix) == []
+        assert shm_entries(store.name_prefix) == []
+
+    def test_close_unlinks_pinned_parents(self, rng):
+        store = SharedMemoryModelStore(codec="topk")
+        base = vectors(rng, 64)
+        store.publish_new(base)
+        store.publish_new(base + 0.01)
+        assert len(shm_entries(store.name_prefix)) == 2
+        store.close()
+        assert shm_entries(store.name_prefix) == []
+
+    def test_worker_view_decodes_delta_chain(self, rng):
+        with SharedMemoryModelStore(codec="topk") as store:
+            base = vectors(rng, 48)
+            v0 = store.publish_new(base)
+            v1 = store.publish_new(base + 0.005)
+            view = store.worker_handle().attach()
+            np.testing.assert_array_equal(view.get(v0, 48), store.get(v0))
+            np.testing.assert_array_equal(view.get(v1, 48), store.get(v1))
+            # One-shot (candidate-style) reads resolve parents too.
+            one_shot = view.get(v1, 48, cache=False)
+            np.testing.assert_array_equal(one_shot, store.get(v1))
+            view.close()
+
+    def test_worker_view_decodes_float16(self, rng):
+        codec = Float16Codec()
+        with SharedMemoryModelStore(codec=codec) as store:
+            flat = codec.canonicalize(vectors(rng, 32))
+            version = store.publish(flat)
+            view = store.worker_handle().attach()
+            np.testing.assert_array_equal(view.get(version, 32), flat)
+            view.close()
+
+
+class TestLosslessGating:
+    def test_make_model_store_rejects_lossy_by_default(self):
+        with pytest.raises(ValueError, match="lossy"):
+            make_model_store(0, "inprocess", codec="quantized")
+
+    def test_make_model_store_admits_lossy_explicitly(self):
+        with make_model_store(
+            0, "inprocess", codec="topk", require_lossless=False
+        ) as store:
+            assert store.codec.name == "topk"
+
+    def test_make_engine_rejects_lossy_by_default(self):
+        with pytest.raises(ValueError, match="lossy"):
+            make_engine(0, codec="topk")
+
+    def test_make_engine_carries_codec(self):
+        with make_engine(0, codec="float16") as engine:
+            assert engine.codec.name == "float16"
+            assert engine.store.codec.name == "float16"
+        with make_engine(
+            0, codec="quantized", require_lossless=False
+        ) as engine:
+            assert engine.codec.name == "quantized"
+
+    def test_config_rejects_unknown_codec(self):
+        from repro.experiments.configs import ExperimentConfig
+
+        with pytest.raises(ValueError, match="codec"):
+            ExperimentConfig(codec="middle-out")
+
+    def test_config_rejects_lossy_without_opt_in(self):
+        from repro.experiments.configs import ExperimentConfig
+
+        with pytest.raises(ValueError, match="allow_lossy"):
+            ExperimentConfig(codec="quantized")
+        config = ExperimentConfig(codec="quantized", allow_lossy=True)
+        assert config.codec == "quantized"
+
+    def test_config_rejects_sub_one_pipeline_depth(self):
+        from repro.experiments.configs import ExperimentConfig
+
+        with pytest.raises(ValueError, match="pipeline_depth"):
+            ExperimentConfig(pipeline_depth=0)
+
+    def test_environment_key_tracks_codec(self):
+        from repro.experiments.configs import ExperimentConfig
+
+        base = ExperimentConfig()
+        assert base.environment_key(0) != base.with_updates(
+            codec="float16"
+        ).environment_key(0)
+
+    def test_cli_exposes_codec_flags(self):
+        from repro.experiments.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["detect", "--codec", "topk", "--allow-lossy"]
+        )
+        assert args.codec == "topk" and args.allow_lossy
+        assert not build_parser().parse_args(["detect"]).allow_lossy
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["detect", "--codec", "middle-out"])
+
+
+class TestCodecEngineEquivalence:
+    """The codec axis of the equivalence matrix (acceptance criterion)."""
+
+    def _run(self, store, executor):
+        from tests.fl.test_parallel import build_defended_sim, run_and_snapshot
+
+        return run_and_snapshot(build_defended_sim(executor, store=store))
+
+    def test_identity_codec_matches_no_codec_baseline(self):
+        from tests.fl.test_parallel import build_defended_sim, run_and_snapshot
+
+        baseline_flat, baseline_records = run_and_snapshot(
+            build_defended_sim(SequentialExecutor(), store=InProcessModelStore())
+        )
+        for workers, store_cls in [
+            (2, SharedMemoryModelStore),
+            (2, InProcessModelStore),
+        ]:
+            store = store_cls(codec="identity")
+            with store, make_executor(workers, store=store) as executor:
+                flat, records = self._run(store, executor)
+            np.testing.assert_array_equal(baseline_flat, flat)
+            assert baseline_records == records
+
+    @pytest.mark.parametrize("name", ["float16"])
+    def test_lossless_codec_runs_agree_across_engines(self, name):
+        """float16 engines must agree with *each other* bit-for-bit (the
+        canonicalized trajectory), across executors, stores and modes."""
+        runs = {}
+        for label, workers, mode, store_cls in [
+            ("seq+inproc", 0, "sync", InProcessModelStore),
+            ("pool+shm", 2, "sync", SharedMemoryModelStore),
+            ("pipelined+shm", 2, "pipelined", SharedMemoryModelStore),
+        ]:
+            store = store_cls(codec=name)
+            with store:
+                if label == "seq+inproc":
+                    executor = SequentialExecutor()
+                    executor.bind(store=store)
+                else:
+                    executor = make_executor(
+                        workers, store=store, mode=mode, pipeline_depth=2
+                    )
+                with executor:
+                    runs[label] = self._run(store, executor)
+        base_flat, base_records = runs["seq+inproc"]
+        decisions = lambda records: [r[:6] for r in records]  # noqa: E731
+        for label, (flat, records) in runs.items():
+            np.testing.assert_array_equal(base_flat, flat)
+            assert decisions(records) == decisions(base_records), label
+
+    def test_round_records_surface_codec_telemetry(self):
+        from tests.fl.test_parallel import build_defended_sim
+
+        store = SharedMemoryModelStore(codec="float16")
+        with store, make_executor(2, store=store) as executor:
+            sim = build_defended_sim(executor, store=store)
+            records = sim.run(4)
+        assert all(r.codec == "float16" for r in records)
+        moved = [r for r in records if r.transport_bytes]
+        assert moved, "expected store transport in a pooled run"
+        for record in moved:
+            assert record.compressed_bytes == record.transport_bytes
+            assert record.raw_transport_bytes > record.transport_bytes
+            assert record.compression_ratio == pytest.approx(4.0, rel=0.01)
+
+    def test_execution_report_includes_codec(self):
+        from repro.experiments.reporting import format_execution_report
+        from tests.fl.test_parallel import build_defended_sim
+
+        store = InProcessModelStore(codec="float16")
+        sim = build_defended_sim(SequentialExecutor(), store=store)
+        report = format_execution_report(sim.run(3))
+        assert "codec float16" in report
