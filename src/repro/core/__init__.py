@@ -29,6 +29,7 @@ from repro.core.errors import (
     ErrorProfile,
     error_variation_vector,
     model_error_profile,
+    stacked_error_profiles,
 )
 from repro.core.history import ModelHistory
 from repro.core.lof import local_outlier_factor, lof_scores
@@ -63,6 +64,7 @@ __all__ = [
     "lof_scores",
     "max_tolerable_malicious",
     "model_error_profile",
+    "stacked_error_profiles",
     "quorum_bounds",
     "recommended_quorum",
 ]

@@ -36,10 +36,16 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.core.errors import ErrorProfile, error_variation_vector, model_error_profile
+from repro.core.errors import (
+    ErrorProfile,
+    error_variation_vector,
+    model_error_profile,
+    stacked_error_profiles,
+)
 from repro.core.lof import local_outlier_factor
 from repro.data.dataset import Dataset
 from repro.nn.network import Network
+from repro.nn.stacked import supports_stacking
 
 #: Fewer accepted models than this and Algorithm 2 lacks the trusted-LOF
 #: window it needs; the validator then abstains (votes "accept").
@@ -108,6 +114,14 @@ class MisclassificationValidator:
         Which error views feed the LOF feature vector: ``"both"`` (the
         paper's ``v = [v_s | v_t]``), ``"source"`` (eq. 2 only) or
         ``"target"`` (eq. 3 only).  Used by the ablation benchmarks.
+    stack_profiles:
+        Compute the profiles this validation is missing (cold cache: the
+        candidate plus up to ``l + 1`` history models) in one stacked
+        forward (:func:`repro.core.errors.stacked_error_profiles`) instead
+        of one per-model pass each.  Profiles — and therefore votes — are
+        bit-identical either way; unstackable architectures fall back to
+        the per-model path automatically, so this is a pure throughput
+        knob (on by default).
     """
 
     #: Algorithm 2 is a pure function of (context, dataset); the profile
@@ -122,6 +136,7 @@ class MisclassificationValidator:
         min_history: int = MIN_HISTORY_FOR_VOTE,
         threshold_slack: float = 1.15,
         features: str = "both",
+        stack_profiles: bool = True,
     ) -> None:
         if len(dataset) == 0:
             raise ValueError("validator needs a non-empty dataset")
@@ -138,6 +153,7 @@ class MisclassificationValidator:
         self.min_history = min_history
         self.threshold_slack = threshold_slack
         self.features = features
+        self.stack_profiles = stack_profiles
         self._profile_cache: dict[int, ErrorProfile] = {}
         #: The last candidate this validator profiled, kept one round so an
         #: accepted candidate's profile can be re-filed under its committed
@@ -160,10 +176,12 @@ class MisclassificationValidator:
         if len(history) < self.min_history:
             return ValidationReport(0, None, None, (), abstained=True)
 
+        candidate_profile = self._fill_profiles_stacked(context, history)
         profiles = [self._profile_for(version, model) for version, model in history]
-        candidate_profile = model_error_profile(
-            context.candidate, self.dataset, normalize=self.normalize
-        )
+        if candidate_profile is None:
+            candidate_profile = model_error_profile(
+                context.candidate, self.dataset, normalize=self.normalize
+            )
         self._pending_candidate = (context.candidate, candidate_profile)
         variations = [
             self._select_features(
@@ -207,6 +225,35 @@ class MisclassificationValidator:
         if self.features == "source":
             return variation[:half]
         return variation[half:]
+
+    def _fill_profiles_stacked(
+        self, context: ValidationContext, history: Sequence[tuple[int, Network]]
+    ) -> ErrorProfile | None:
+        """Profile every model this validation is missing in one stacked pass.
+
+        Fills the per-version cache for uncached history entries and
+        returns the candidate's profile — or ``None`` when stacking is
+        disabled, unsupported for this architecture, or there is nothing
+        to batch (warm cache: only the candidate is missing, where a
+        stack of one would be pure overhead).
+        """
+        if not self.stack_profiles:
+            return None
+        missing = [
+            (version, model)
+            for version, model in history
+            if version not in self._profile_cache
+        ]
+        if not missing or not supports_stacking(context.candidate):
+            return None
+        stacked = stacked_error_profiles(
+            [model for _, model in missing] + [context.candidate],
+            self.dataset,
+            normalize=self.normalize,
+        )
+        for (version, _), profile in zip(missing, stacked):
+            self._profile_cache[version] = profile
+        return stacked[-1]
 
     # ------------------------------------------------------------------
     # Profile caching

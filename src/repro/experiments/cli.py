@@ -69,6 +69,7 @@ def cmd_detect(args: argparse.Namespace) -> None:
         model_store=args.store,
         execution_mode=args.exec_mode,
         pipeline_depth=args.pipeline_depth,
+        cohort_size=args.cohort_size,
         codec=args.codec,
         allow_lossy=args.allow_lossy,
     )
@@ -86,6 +87,7 @@ def cmd_table1(args: argparse.Namespace) -> None:
     base = ExperimentConfig(
         dataset=args.dataset, workers=args.workers, model_store=args.store,
         execution_mode=args.exec_mode, pipeline_depth=args.pipeline_depth,
+        cohort_size=args.cohort_size,
         codec=args.codec, allow_lossy=args.allow_lossy,
     )
     results = sweep_lookback(
@@ -103,6 +105,7 @@ def cmd_fig3(args: argparse.Namespace) -> None:
         model_store=args.store,
         execution_mode=args.exec_mode,
         pipeline_depth=args.pipeline_depth,
+        cohort_size=args.cohort_size,
         codec=args.codec, allow_lossy=args.allow_lossy,
     )
     results = sweep_quorum(
@@ -120,7 +123,7 @@ def cmd_table2(args: argparse.Namespace) -> None:
             dataset="cifar", client_share=split, adaptive_max_trials=8,
             workers=args.workers, model_store=args.store,
             execution_mode=args.exec_mode, pipeline_depth=args.pipeline_depth,
-            codec=args.codec, allow_lossy=args.allow_lossy,
+            cohort_size=args.cohort_size, codec=args.codec, allow_lossy=args.allow_lossy,
         )
         results[split] = run_adaptive_experiment(
             config, _seeds(args), seed_workers=args.seed_workers
@@ -135,6 +138,7 @@ def cmd_fig2(args: argparse.Namespace) -> None:
     config = ExperimentConfig(
         dataset=args.dataset, workers=args.workers, model_store=args.store,
         execution_mode=args.exec_mode, pipeline_depth=args.pipeline_depth,
+        cohort_size=args.cohort_size,
         codec=args.codec, allow_lossy=args.allow_lossy,
     )
     # fig2 is a single paired clean/poisoned trace, not a seed sweep: a
@@ -161,6 +165,7 @@ def cmd_fig4(args: argparse.Namespace) -> None:
     config = ExperimentConfig(
         dataset=args.dataset, workers=args.workers, model_store=args.store,
         execution_mode=args.exec_mode, pipeline_depth=args.pipeline_depth,
+        cohort_size=args.cohort_size,
         codec=args.codec, allow_lossy=args.allow_lossy,
     )
     undefended = run_early_scenario(config, seed=0, defense_start=None)
@@ -214,6 +219,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="rounds the pipelined mode may run ahead of "
                             "open quorums (>= 1; use --exec-mode sync for "
                             "synchronous semantics)")
+        p.add_argument("--cohort-size", type=int, default=0, dest="cohort_size",
+                       help="stack up to this many of a round's honest "
+                            "clients into one batched training cohort "
+                            "(0/1 = one model at a time; results are "
+                            "identical)")
         p.add_argument("--codec", choices=codec_names(), default="identity",
                        help="weight-compression codec on the store "
                             "transport path (lossless: identity, float16; "

@@ -98,6 +98,12 @@ class ExperimentConfig:
     model_store: str = "auto"
     execution_mode: str = "sync"
     pipeline_depth: int = DEFAULT_PIPELINE_DEPTH
+    # Stacked cohort execution (repro.fl.cohort): gather up to this many of
+    # a round's honest clients into one batched training stack (0/1 = one
+    # model at a time).  Stacked and per-model paths commit bit-identical
+    # models, so this is a pure throughput knob like ``workers`` and stays
+    # out of ``environment_key``.
+    cohort_size: int = 0
     # Weight-compression codec on the store transport path
     # (repro.fl.compression).  Unlike the engine knobs above, a
     # non-identity codec is *not* a pure throughput knob — it changes the
@@ -126,6 +132,10 @@ class ExperimentConfig:
             )
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.cohort_size < 0:
+            raise ValueError(
+                f"cohort_size must be >= 0, got {self.cohort_size}"
+            )
         if self.model_store not in STORE_KINDS:
             raise ValueError(
                 f"model_store must be one of {STORE_KINDS}, got "

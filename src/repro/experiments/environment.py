@@ -163,6 +163,7 @@ def _pretrain(
         store=config.model_store,
         codec=config.codec,
         require_lossless=not config.allow_lossy,
+        cohort_size=config.cohort_size,
     ) as engine:
         sim = FederatedSimulation(
             model, clients, fl_config, rng,

@@ -311,6 +311,7 @@ def _engine(config: ExperimentConfig):
         pipeline_depth=config.pipeline_depth,
         codec=config.codec,
         require_lossless=not config.allow_lossy,
+        cohort_size=config.cohort_size,
     )
 
 

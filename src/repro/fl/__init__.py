@@ -29,6 +29,7 @@ from repro.fl.client import (
     clip_gradients,
     local_train,
 )
+from repro.fl.cohort import cohort_updates, is_cohortable, plan_cohorts
 from repro.fl.compression import (
     CompressedSegment,
     Float16Codec,
@@ -76,6 +77,9 @@ __all__ = [
     "Aggregator",
     "Client",
     "CompressedSegment",
+    "cohort_updates",
+    "is_cohortable",
+    "plan_cohorts",
     "DEFAULT_PIPELINE_DEPTH",
     "Defense",
     "DefenseDecision",

@@ -105,6 +105,13 @@ class Client:
     #: always run in the parent, whatever the executor.
     parallel_safe: bool = True
 
+    #: Whether this client's honest update may be folded into a stacked
+    #: cohort (:mod:`repro.fl.cohort`).  Only consulted for clients whose
+    #: ``produce_update`` *is* :meth:`HonestClient.produce_update` — any
+    #: override already falls back to the per-model path — so this is an
+    #: opt-out for honest subclasses with exotic side effects.
+    cohort_safe: bool = True
+
     def __init__(self, client_id: int, dataset: Dataset) -> None:
         self.client_id = client_id
         self.dataset = dataset

@@ -48,10 +48,13 @@ Weights reach workers one of two ways, chosen by the bound
   the arena in their initializer and resolve keys locally, so per-round
   transport is O(1 new model) — independent of history length and of how
   many clients or validators fan out.
-- **Pickle-pipe blobs** (in-process store): the legacy path; candidate,
-  global and history weights are serialized per task via
-  :mod:`repro.nn.serialization`, costing
-  O(model x (clients + validators x history)) per round.
+- **Codec blobs** (in-process store): the legacy path; candidate, global
+  and history weights travel per task as self-describing
+  :class:`~repro.fl.compression.CompressedSegment` bytes — encoded with
+  the same :class:`~repro.fl.compression.WeightCodec` the bound store
+  runs, so the pipe path compresses exactly like the arena path — costing
+  O(model x (clients + validators x history)) per round (compressed
+  payload bytes; the raw float64 figure is tracked alongside).
 
 Either way the executor counts the model-weight bytes it moves across
 process boundaries; :class:`~repro.fl.simulation.FederatedSimulation`
@@ -88,6 +91,13 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.fl.client import Client, LocalTrainingConfig
+from repro.fl.cohort import cohort_updates, plan_cohorts
+from repro.fl.compression import (
+    CompressedSegment,
+    IdentityCodec,
+    WeightCodec,
+    decode_segment,
+)
 from repro.fl.model_store import (
     ModelStore,
     ShmWorkerView,
@@ -96,7 +106,6 @@ from repro.fl.model_store import (
 )
 from repro.fl.rng import RngStreams
 from repro.nn.network import Network
-from repro.nn.serialization import params_from_bytes, params_to_bytes
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard: this module is
     # imported by repro.fl.simulation, which repro.core.baffle imports, so
@@ -293,9 +302,16 @@ class SequentialExecutor(RoundExecutor):
     :class:`~repro.fl.simulation.FederatedSimulation` adopts it for the
     defense history instead of silently defaulting to a fresh in-process
     store the caller never sees.
+
+    ``cohort_size >= 2`` gathers a round's cohortable honest clients into
+    stacked training chunks (:mod:`repro.fl.cohort`) of at most that many
+    models — bit-identical updates, single batched kernels.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, cohort_size: int = 1) -> None:
+        if cohort_size < 0:
+            raise ValueError(f"cohort_size must be >= 0, got {cohort_size}")
+        self.cohort_size = cohort_size
         self._store: ModelStore | None = None
 
     def bind(
@@ -322,8 +338,22 @@ class SequentialExecutor(RoundExecutor):
         round_idx: int,
         streams: RngStreams,
     ) -> list[np.ndarray]:
+        chunks = plan_cohorts(
+            clients, contributor_ids, global_model, self.cohort_size
+        )
+        results: dict[int, np.ndarray] = {}
+        for chunk in chunks:
+            updates = cohort_updates(
+                global_model,
+                [clients[cid].dataset for cid in chunk],
+                config,
+                [streams.client_rng(round_idx, cid) for cid in chunk],
+            )
+            results.update(zip(chunk, updates))
         return [
-            clients[cid].produce_update(
+            results[cid]
+            if cid in results
+            else clients[cid].produce_update(
                 global_model, config, round_idx, streams.client_rng(round_idx, cid)
             )
             for cid in contributor_ids
@@ -381,7 +411,9 @@ def _materialize(ref: ModelRef, cache_attachment: bool = True) -> Network:
     model = _W_TEMPLATE.clone()
     version, blob = ref
     if blob is not None:
-        params_from_bytes(model, blob)
+        # Blobs are self-describing codec segments (same format the store
+        # arena holds), decoded through the process-global registry.
+        model.set_flat(decode_segment(CompressedSegment.from_buffer(blob)))
     else:
         assert _W_STORE is not None, "version ref without an attached store"
         assert version is not None
@@ -409,6 +441,25 @@ def _client_task(
     model = _materialize(model_ref)
     rng = np.random.default_rng(seed_seq)
     return _W_CLIENTS[client_id].produce_update(model, config, round_idx, rng)
+
+
+def _cohort_task(
+    client_ids: Sequence[int],
+    model_ref: ModelRef,
+    config: LocalTrainingConfig,
+    round_idx: int,
+    seed_seqs: Sequence[np.random.SeedSequence],
+    live_floor: int | None,
+) -> list[np.ndarray]:
+    """Train one worker's slice of the round's cohort in a single stack."""
+    _evict_retired(live_floor)
+    model = _materialize(model_ref)
+    return cohort_updates(
+        model,
+        [_W_CLIENTS[cid].dataset for cid in client_ids],
+        config,
+        [np.random.default_rng(seq) for seq in seed_seqs],
+    )
 
 
 def _validator_task(
@@ -475,15 +526,22 @@ class ProcessPoolRoundExecutor(RoundExecutor):
     workers:
         Worker-process count (>= 2; use :func:`make_executor` to fall back
         to :class:`SequentialExecutor` for 0/1).
+    cohort_size:
+        Stack up to this many cohortable honest clients per worker task
+        (:mod:`repro.fl.cohort`); chunks spread over the workers so each
+        stacks its slice of the fan-out.  ``0``/``1`` disables stacking.
     """
 
-    def __init__(self, workers: int) -> None:
+    def __init__(self, workers: int, cohort_size: int = 1) -> None:
         if workers < 2:
             raise ValueError(
                 f"ProcessPoolRoundExecutor needs >= 2 workers, got {workers}; "
                 "use make_executor() for an automatic sequential fallback"
             )
+        if cohort_size < 0:
+            raise ValueError(f"cohort_size must be >= 0, got {cohort_size}")
         self.workers = workers
+        self.cohort_size = cohort_size
         self._clients: dict[int, Client] = {}
         self._validators: dict[int, Validator] = {}
         self._template: Network | None = None
@@ -493,6 +551,7 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         self._pool: ProcessPoolExecutor | None = None
         self._held_global: int | None = None
         self._pipe_bytes = 0
+        self._pipe_raw_bytes = 0
         #: Deferred-release list: abandoned vote handles whose tasks are
         #: still in flight; their store references drop at the next reap.
         self._abandoned: list[PendingVotes] = []
@@ -569,10 +628,25 @@ class ProcessPoolRoundExecutor(RoundExecutor):
 
     @property
     def raw_transport_bytes(self) -> int:
-        total = self._pipe_bytes  # pipe blobs are always raw float64
+        total = self._pipe_raw_bytes
         if self._use_store:
             total += self._store.raw_bytes_published
         return total
+
+    @property
+    def _codec(self) -> WeightCodec:
+        """The weight codec blobs are encoded with (the bound store's)."""
+        codec = getattr(self._store, "codec", None)
+        return codec if codec is not None else IdentityCodec()
+
+    def _encode_blob(self, model: Network) -> tuple[bytes, int]:
+        """Codec-encoded pipe blob + the raw float64 byte count it covers.
+
+        Delta codecs fall back to their dense form here (a pipe blob has
+        no resolvable parent version on the far side).
+        """
+        flat = model.get_flat()
+        return self._codec.encode(flat).to_bytes(), flat.nbytes
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -613,8 +687,11 @@ class ProcessPoolRoundExecutor(RoundExecutor):
     # ------------------------------------------------------------------
     # Round fan-out
     # ------------------------------------------------------------------
-    def _global_model_ref(self, global_model: Network) -> tuple[ModelRef, int]:
-        """Reference for this round's global model + per-task pipe cost."""
+    def _global_model_ref(
+        self, global_model: Network
+    ) -> tuple[ModelRef, int, int]:
+        """Reference for this round's global model + per-task pipe cost
+        (compressed and raw bytes)."""
         if self._use_store:
             # Content-deduplicated publish: right after a committed round
             # the global model *is* the latest history entry, so this
@@ -626,9 +703,9 @@ class ProcessPoolRoundExecutor(RoundExecutor):
             if self._held_global is not None:
                 self._store.release(self._held_global)
             self._held_global = version
-            return (version, None), 0
-        blob = params_to_bytes(global_model, dtype=np.float64)
-        return (None, blob), len(blob)
+            return (version, None), 0, 0
+        blob, raw = self._encode_blob(global_model)
+        return (None, blob), len(blob), raw
 
     def run_clients(
         self,
@@ -642,8 +719,33 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         self._reap_abandoned()
         pool = self._ensure_pool()
         remote_ids = [cid for cid in contributor_ids if cid in self._clients]
-        model_ref, pipe_cost = self._global_model_ref(global_model)
+        model_ref, pipe_cost, pipe_raw = self._global_model_ref(global_model)
         live_floor = self._store.min_live_version() if self._use_store else None
+        # Cohort chunks: each worker stacks its slice of the parallel-safe
+        # fan-out (one task per chunk, one model blob per task).
+        chunks = plan_cohorts(
+            self._clients,
+            remote_ids,
+            global_model,
+            self.cohort_size,
+            spread_over=self.workers,
+        )
+        cohorted = {cid for chunk in chunks for cid in chunk}
+        chunk_futures: list[tuple[list[int], Future]] = [
+            (
+                chunk,
+                pool.submit(
+                    _cohort_task,
+                    chunk,
+                    model_ref,
+                    config,
+                    round_idx,
+                    [streams.client_seq(round_idx, cid) for cid in chunk],
+                    live_floor,
+                ),
+            )
+            for chunk in chunks
+        ]
         futures: dict[int, Future] = {
             cid: pool.submit(
                 _client_task,
@@ -655,22 +757,26 @@ class ProcessPoolRoundExecutor(RoundExecutor):
                 live_floor,
             )
             for cid in remote_ids
+            if cid not in cohorted
         }
-        self._pipe_bytes += pipe_cost * len(futures)
+        task_count = len(futures) + len(chunk_futures)
+        self._pipe_bytes += pipe_cost * task_count
+        self._pipe_raw_bytes += pipe_raw * task_count
         # Entities that must run in the parent (stateful / unpicklable)
         # overlap with the workers' wall-clock, then everything is gathered
         # in contributor order so results are order-deterministic.
-        local: dict[int, np.ndarray] = {
+        results: dict[int, np.ndarray] = {
             cid: clients[cid].produce_update(
                 global_model, config, round_idx, streams.client_rng(round_idx, cid)
             )
             for cid in contributor_ids
-            if cid not in futures
+            if cid not in futures and cid not in cohorted
         }
-        return [
-            futures[cid].result() if cid in futures else local[cid]
-            for cid in contributor_ids
-        ]
+        for chunk, future in chunk_futures:
+            results.update(zip(chunk, future.result()))
+        for cid, future in futures.items():
+            results[cid] = future.result()
+        return [results[cid] for cid in contributor_ids]
 
     def submit_validators(
         self,
@@ -699,6 +805,7 @@ class ProcessPoolRoundExecutor(RoundExecutor):
             candidate_ref: ModelRef = (candidate_version, None)
             history_refs: list[ModelRef] = []
             per_task_pipe = 0
+            per_task_raw = 0
             for version, model in context.history:
                 if version in self._store:
                     # Hold every version shipped by key: a rollback may
@@ -712,18 +819,23 @@ class ProcessPoolRoundExecutor(RoundExecutor):
                     # Same standalone case for the history: a version the
                     # arena cannot resolve travels as a blob (keyed by its
                     # history version so worker caches stay correct).
-                    blob = params_to_bytes(model, dtype=np.float64)
+                    blob, raw = self._encode_blob(model)
                     history_refs.append((version, blob))
                     per_task_pipe += len(blob)
+                    per_task_raw += raw
         else:
-            candidate_blob = params_to_bytes(context.candidate, dtype=np.float64)
+            candidate_blob, candidate_raw = self._encode_blob(context.candidate)
             history_blobs = [
-                params_to_bytes(model, dtype=np.float64)
-                for _, model in context.history
+                self._encode_blob(model) for _, model in context.history
             ]
             candidate_ref = (None, candidate_blob)
-            history_refs = list(zip(history_versions, history_blobs))
-            per_task_pipe = len(candidate_blob) + sum(map(len, history_blobs))
+            history_refs = list(
+                zip(history_versions, (blob for blob, _ in history_blobs))
+            )
+            per_task_pipe = len(candidate_blob) + sum(
+                len(blob) for blob, _ in history_blobs
+            )
+            per_task_raw = candidate_raw + sum(raw for _, raw in history_blobs)
         live_floor = self._store.min_live_version() if self._use_store else None
 
         table = self._profile_table
@@ -742,6 +854,7 @@ class ProcessPoolRoundExecutor(RoundExecutor):
             if vid in self._validators
         }
         self._pipe_bytes += per_task_pipe * len(futures)
+        self._pipe_raw_bytes += per_task_raw * len(futures)
 
         def gather() -> dict[int, int]:
             # Parent-side (non-parallel-safe) votes run while the workers
@@ -854,6 +967,7 @@ def make_executor(
     store: ModelStore | None = None,
     mode: str = "sync",
     pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
+    cohort_size: int = 1,
 ) -> RoundExecutor:
     """Executor for a worker count: 0/1 -> sequential, N>=2 -> process pool.
 
@@ -863,6 +977,10 @@ def make_executor(
     and executor were built by separate factories and only met inside
     ``FederatedSimulation``).  ``mode="pipelined"`` wraps the executor for
     the pipelined round loop with the given speculation depth.
+    ``cohort_size >= 2`` turns on stacked cohort training
+    (:mod:`repro.fl.cohort`) on whichever executor is built — in-process
+    stacking for the sequential executor, per-worker-slice stacking for
+    the pool.
     """
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
@@ -872,9 +990,9 @@ def make_executor(
         )
     executor: RoundExecutor
     if workers <= 1:
-        executor = SequentialExecutor()
+        executor = SequentialExecutor(cohort_size=cohort_size)
     else:
-        executor = ProcessPoolRoundExecutor(workers)
+        executor = ProcessPoolRoundExecutor(workers, cohort_size=cohort_size)
     if store is not None:
         executor.bind(store=store)
     if mode == "pipelined":
@@ -919,6 +1037,7 @@ def make_engine(
     pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
     codec: str | None = None,
     require_lossless: bool = True,
+    cohort_size: int = 1,
 ) -> RoundEngine:
     """The one factory for a round-execution engine.
 
@@ -934,11 +1053,18 @@ def make_engine(
     here, before anything is built — the bit-identical equivalence matrix
     only holds for lossless codecs, so admitting a lossy one for a scale
     run is an explicit opt-out (``require_lossless=False``).
+
+    ``cohort_size`` enables stacked cohort client training (bit-identical,
+    pure throughput — see :mod:`repro.fl.cohort`).
     """
     model_store = make_model_store(
         workers, store, codec=codec, require_lossless=require_lossless
     )
     executor = make_executor(
-        workers, store=model_store, mode=mode, pipeline_depth=pipeline_depth
+        workers,
+        store=model_store,
+        mode=mode,
+        pipeline_depth=pipeline_depth,
+        cohort_size=cohort_size,
     )
     return RoundEngine(executor, model_store)

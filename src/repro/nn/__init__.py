@@ -46,6 +46,16 @@ from repro.nn.metrics import (
 from repro.nn.models import make_cnn, make_mlp, make_resnet_lite
 from repro.nn.network import Network
 from repro.nn.optim import SGD, ConstantSchedule, StepSchedule
+from repro.nn.stacked import (
+    StackedNetwork,
+    StackedParameter,
+    StackedSGD,
+    StackingUnsupportedError,
+    clip_gradients_stacked,
+    stacked_predict,
+    stacked_softmax_ce_grad,
+    supports_stacking,
+)
 from repro.nn.serialization import (
     load_network_params,
     network_num_bytes,
@@ -74,9 +84,14 @@ __all__ = [
     "SGD",
     "Sigmoid",
     "SoftmaxCrossEntropy",
+    "StackedNetwork",
+    "StackedParameter",
+    "StackedSGD",
+    "StackingUnsupportedError",
     "StepSchedule",
     "Tanh",
     "accuracy",
+    "clip_gradients_stacked",
     "confusion_matrix",
     "he_normal",
     "load_network_params",
@@ -89,6 +104,9 @@ __all__ = [
     "per_class_error_rates",
     "save_network_params",
     "source_focused_errors",
+    "stacked_predict",
+    "stacked_softmax_ce_grad",
+    "supports_stacking",
     "target_focused_errors",
     "xavier_uniform",
     "zeros_init",

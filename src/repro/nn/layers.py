@@ -151,7 +151,11 @@ class Dropout(Layer):
             self._mask = None
             return x
         keep = 1.0 - self.rate
-        self._mask = (self._rng.random(x.shape) < keep) / keep
+        # The random draw stays float64 (the generator's native stream —
+        # reproducibility), but the mask is built in the input dtype so a
+        # float32 activation is not upcast by the multiply.
+        dtype = x.dtype if np.issubdtype(x.dtype, np.floating) else np.dtype(np.float64)
+        self._mask = (self._rng.random(x.shape) < keep).astype(dtype) / dtype.type(keep)
         return x * self._mask
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -195,9 +199,13 @@ def _col2im(
     out_h: int,
     out_w: int,
 ) -> np.ndarray:
-    """Fold column gradients back into an image tensor (adjoint of _im2col)."""
+    """Fold column gradients back into an image tensor (adjoint of _im2col).
+
+    The scratch buffer inherits ``cols``' dtype so a float32 gradient stays
+    float32 end to end instead of silently upcasting.
+    """
     n, c, h, w = x_shape
-    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad))
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
     cols6 = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
     for i in range(kh):
         for j in range(kw):

@@ -1,0 +1,815 @@
+"""Stacked execution: run ``M`` same-architecture models as one batched op.
+
+BaFFLe's round cost is dominated by many *small* same-architecture model
+executions: every selected client trains a clone of the global model on its
+shard, and every cold validator forwards the candidate plus up to ``l``
+history models over its data.  Dispatching those through ``M`` independent
+:class:`~repro.nn.network.Network` objects pays the full Python/numpy
+per-call overhead ``M`` times per layer per step, which dwarfs the actual
+FLOPs at this substrate's scale.
+
+This module provides a *stacked* substrate: every tensor carries a leading
+model axis ``M``, so ``M`` forwards/backwards collapse into single batched
+``np.matmul`` calls (NumPy loops the per-slice GEMMs in C, not in Python).
+
+Bit-identity contract
+---------------------
+The repo's engine-equivalence guarantee (sequential == parallel ==
+pipelined, bit-identical committed models) extends to stacking: a stacked
+pass must produce **bit-identical** floats to the per-model pass.  Two
+empirical properties of the BLAS backend make this possible, and the test
+suite re-verifies both on every host (``tests/nn/test_stacked.py``):
+
+1. ``np.matmul`` on stacked operands equals the per-slice 2-D matmul
+   *of the same shape* bit-for-bit (the batch loop runs the identical
+   GEMM kernel per slice).
+2. Reductions over the trailing axes (softmax sums/maxes, squared-norm
+   sums) associate identically for equal trailing shapes.
+
+What does **not** hold is shape invariance: a GEMM over ``b`` rows
+zero-padded to ``b' > b`` rows may take a different kernel path and round
+differently.  Stacked execution therefore never pads batches — callers
+group models by *exact* batch shape (see :mod:`repro.fl.cohort`) and pass
+a model-index subset ``idx`` per call; any op whose batched form would
+reorder floating-point accumulation must instead fall back to per-slice
+evaluation.  Scalar bookkeeping that the per-model path performs in Python
+floats (gradient-norm clipping) is mirrored in Python floats here, not
+vectorized, for the same reason.
+
+Layer coverage maps :mod:`repro.nn.layers`: ``Dense``, ``ReLU``,
+``Flatten``, ``Dropout`` (per-model generator streams), ``Conv2D``
+(batched im2col), ``MaxPool2D``, ``GlobalAvgPool``, softmax cross-entropy,
+and SGD with momentum / weight decay / gradient clipping.  Anything else
+(``BatchNorm1d``, ``Residual``, the exotic activations) raises
+:class:`StackingUnsupportedError`; callers probe with
+:func:`supports_stacking` and keep the per-model path.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    MaxPool2D,
+    ReLU,
+)
+from repro.nn.losses import log_softmax
+from repro.nn.network import Network
+
+
+class StackingUnsupportedError(TypeError):
+    """The network contains a layer without a stacked counterpart."""
+
+
+class StackedParameter:
+    """A trainable array stack ``(M, *shape)`` with accumulated gradients.
+
+    The gradient buffer is allocated lazily: inference-only stacks (the
+    validation path) never touch it, so building one costs a single weight
+    copy.
+    """
+
+    def __init__(self, value: np.ndarray, name: str = "param") -> None:
+        self.value = np.ascontiguousarray(value, dtype=np.float64)
+        self._grad: np.ndarray | None = None
+        self.name = name
+
+    @property
+    def grad(self) -> np.ndarray:
+        if self._grad is None:
+            self._grad = np.zeros_like(self.value)
+        return self._grad
+
+    @property
+    def num_models(self) -> int:
+        return self.value.shape[0]
+
+    def zero_grad(self) -> None:
+        if self._grad is not None:
+            self._grad.fill(0.0)
+
+    def accumulate(self, idx: np.ndarray | None, grad: np.ndarray) -> None:
+        """Add ``grad`` into the rows selected by ``idx`` (all when None)."""
+        buffer = self.grad
+        if idx is None:
+            buffer += grad
+        else:
+            # Model indices are unique within a call, so fancy-index
+            # read-modify-write accumulates correctly.
+            buffer[idx] += grad
+
+    def __repr__(self) -> str:
+        return f"StackedParameter(name={self.name!r}, shape={self.value.shape})"
+
+
+def _select(value: np.ndarray, idx: np.ndarray | None) -> np.ndarray:
+    return value if idx is None else value[idx]
+
+
+class StackedLayer:
+    """Base class: forward/backward over ``(m, batch, ...)`` tensors.
+
+    ``idx`` selects the model subset a call runs over (``None`` = the full
+    stack); ``forward(train=True)`` caches what the matching ``backward``
+    needs, exactly like :class:`repro.nn.layers.Layer`.
+    """
+
+    def parameters(self) -> list[StackedParameter]:
+        return []
+
+    def forward(
+        self, x: np.ndarray, idx: np.ndarray | None, train: bool = False
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class StackedDense(StackedLayer):
+    """``y[m] = x[m] @ W[m] + b[m]`` in one batched matmul.
+
+    A shared input (``x`` broadcast along the model axis — the validation
+    case) flows through the same batched matmul: NumPy runs the identical
+    per-slice GEMM against the zero-stride view, so no per-model copies of
+    ``x`` are ever materialized.
+    """
+
+    def __init__(self, weight: np.ndarray, bias: np.ndarray | None) -> None:
+        self.weight = StackedParameter(weight, "dense.weight")
+        self.bias = StackedParameter(bias, "dense.bias") if bias is not None else None
+        #: Set by the network on its first parameter layer: the gradient
+        #: w.r.t. the input is never consumed there, so backward skips it.
+        self.skip_input_grad = False
+        self._cache: tuple[np.ndarray, np.ndarray, np.ndarray | None] | None = None
+
+    def parameters(self) -> list[StackedParameter]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+    def forward(self, x, idx, train=False):
+        w = _select(self.weight.value, idx)
+        if train:
+            self._cache = (x, w, idx)
+        out = np.matmul(x, w)
+        if self.bias is not None:
+            # In-place into the fresh matmul buffer: same scalar adds as
+            # the per-model ``out + bias``, one less allocation.
+            np.add(out, _select(self.bias.value, idx)[:, None, :], out=out)
+        return out
+
+    def backward(self, grad_out):
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        x, w, idx = self._cache
+        self.weight.accumulate(idx, np.matmul(x.transpose(0, 2, 1), grad_out))
+        if self.bias is not None:
+            self.bias.accumulate(idx, grad_out.sum(axis=1))
+        if self.skip_input_grad:
+            return grad_out  # unused upstream of the first parameter layer
+        return np.matmul(grad_out, w.transpose(0, 2, 1))
+
+
+class StackedReLU(StackedLayer):
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x, idx, train=False):
+        del idx  # parameter-free: the subset is implicit in x
+        if train:
+            self._mask = x > 0
+        return np.maximum(x, 0.0)
+
+    def backward(self, grad_out):
+        if self._mask is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        return grad_out * self._mask
+
+
+class StackedFlatten(StackedLayer):
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x, idx, train=False):
+        del idx
+        if train:
+            self._shape = x.shape
+        return x.reshape(x.shape[0], x.shape[1], -1)
+
+    def backward(self, grad_out):
+        if self._shape is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        return grad_out.reshape(self._shape)
+
+
+class StackedDropout(StackedLayer):
+    """Inverted dropout with one private generator per stacked model.
+
+    Each model's generator is a deep copy of the template layer's, so model
+    ``m`` draws exactly the mask sequence its per-model clone would have
+    drawn — same shapes, same order — and the streams stay independent
+    across models.
+    """
+
+    def __init__(self, rate: float, rngs: Sequence[np.random.Generator]) -> None:
+        self.rate = rate
+        self._rngs = list(rngs)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x, idx, train=False):
+        if not train or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        models = range(len(self._rngs)) if idx is None else idx
+        mask = np.empty(x.shape, dtype=np.float64)
+        for row, model_index in enumerate(models):
+            mask[row] = (self._rngs[model_index].random(x.shape[1:]) < keep) / keep
+        self._mask = mask
+        return x * mask
+
+    def backward(self, grad_out):
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+def _im2col_stacked(
+    x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+) -> tuple[np.ndarray, int, int]:
+    """Batched :func:`repro.nn.layers._im2col` over a leading model axis.
+
+    ``x`` is ``(m, n, c, h, w)``; returns ``(cols, out_h, out_w)`` with
+    ``cols`` shaped ``(m, n * out_h * out_w, c * kh * kw)`` — slice ``i``
+    is element-for-element the per-model column matrix.
+    """
+    m, n, c, h, w = x.shape
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (0, 0), (pad, pad), (pad, pad)))
+    s0, s1, s2, s3, s4 = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(m, n, c, out_h, out_w, kh, kw),
+        strides=(s0, s1, s2, s3 * stride, s4 * stride, s3, s4),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 1, 3, 4, 2, 5, 6).reshape(
+        m, n * out_h * out_w, c * kh * kw
+    )
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def _col2im_stacked(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    """Adjoint of :func:`_im2col_stacked`, accumulating in the same
+    ``(i, j)`` order as the per-model ``_col2im`` so overlapping-window
+    sums associate identically."""
+    m, n, c, h, w = x_shape
+    padded = np.zeros((m, n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    cols7 = cols.reshape(m, n, out_h, out_w, c, kh, kw).transpose(0, 1, 4, 2, 3, 5, 6)
+    for i in range(kh):
+        for j in range(kw):
+            padded[
+                :, :, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride
+            ] += cols7[:, :, :, :, :, i, j]
+    if pad > 0:
+        return padded[:, :, :, pad : pad + h, pad : pad + w]
+    return padded
+
+
+class StackedConv2D(StackedLayer):
+    """Batched-im2col convolution: one matmul carries all stacked kernels."""
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        bias: np.ndarray | None,
+        stride: int,
+        padding: int,
+    ) -> None:
+        self.weight = StackedParameter(weight, "conv.weight")
+        self.bias = StackedParameter(bias, "conv.bias") if bias is not None else None
+        self.out_channels = weight.shape[1]
+        self.kernel_size = weight.shape[3]
+        self.stride = stride
+        self.padding = padding
+        #: Set by the network on its first layer (see StackedDense).
+        self.skip_input_grad = False
+        self._cache = None
+
+    def parameters(self) -> list[StackedParameter]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+    def forward(self, x, idx, train=False):
+        m, n = x.shape[0], x.shape[1]
+        k = self.kernel_size
+        cols, out_h, out_w = _im2col_stacked(x, k, k, self.stride, self.padding)
+        w = _select(self.weight.value, idx)
+        w_mat = w.reshape(m, self.out_channels, -1)
+        out = np.matmul(cols, w_mat.transpose(0, 2, 1))
+        if self.bias is not None:
+            out = out + _select(self.bias.value, idx)[:, None, :]
+        out = out.reshape(m, n, out_h, out_w, self.out_channels).transpose(
+            0, 1, 4, 2, 3
+        )
+        if train:
+            self._cache = (cols, w_mat, idx, x.shape, out_h, out_w)
+        return out
+
+    def backward(self, grad_out):
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        cols, w_mat, idx, x_shape, out_h, out_w = self._cache
+        m = grad_out.shape[0]
+        k = self.kernel_size
+        grad_mat = grad_out.transpose(0, 1, 3, 4, 2).reshape(m, -1, self.out_channels)
+        self.weight.accumulate(
+            idx,
+            np.matmul(grad_mat.transpose(0, 2, 1), cols).reshape(
+                m, *self.weight.value.shape[1:]
+            ),
+        )
+        if self.bias is not None:
+            self.bias.accumulate(idx, grad_mat.sum(axis=1))
+        if self.skip_input_grad:
+            return grad_out  # unused upstream of the first parameter layer
+        grad_cols = np.matmul(grad_mat, w_mat)
+        return _col2im_stacked(
+            grad_cols, x_shape, k, k, self.stride, self.padding, out_h, out_w
+        )
+
+
+class StackedMaxPool2D(StackedLayer):
+    def __init__(self, pool_size: int) -> None:
+        self.pool_size = pool_size
+        self._cache = None
+
+    def forward(self, x, idx, train=False):
+        del idx
+        m, n, c, h, w = x.shape
+        p = self.pool_size
+        if h % p or w % p:
+            raise ValueError(f"input {h}x{w} not divisible by pool size {p}")
+        view = np.asarray(x).reshape(m, n, c, h // p, p, w // p, p)
+        out = view.max(axis=(4, 6))
+        if train:
+            mask = view == out[:, :, :, :, None, :, None]
+            # First-max tie-break, mirroring the per-model layer exactly.
+            flat = mask.transpose(0, 1, 2, 3, 5, 4, 6).reshape(
+                m, n, c, h // p, w // p, p * p
+            )
+            first = np.cumsum(flat, axis=-1) == 1
+            flat = flat & first
+            mask = flat.reshape(m, n, c, h // p, w // p, p, p).transpose(
+                0, 1, 2, 3, 5, 4, 6
+            )
+            self._cache = (mask, x.shape)
+        return out
+
+    def backward(self, grad_out):
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        mask, x_shape = self._cache
+        m, n, c, h, w = x_shape
+        p = self.pool_size
+        grad = mask * grad_out[:, :, :, :, None, :, None]
+        return grad.reshape(m, n, c, h // p, p, w // p, p).reshape(x_shape)
+
+
+class StackedGlobalAvgPool(StackedLayer):
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x, idx, train=False):
+        del idx
+        if train:
+            self._shape = x.shape
+        return x.mean(axis=(3, 4))
+
+    def backward(self, grad_out):
+        if self._shape is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        m, n, c, h, w = self._shape
+        grad = grad_out[:, :, :, None, None] / (h * w)
+        return np.broadcast_to(grad, self._shape).copy()
+
+
+# ----------------------------------------------------------------------
+# Template -> stacked-layer builders
+# ----------------------------------------------------------------------
+def _consume(flats: np.ndarray, offset: int, shape: tuple[int, ...]) -> tuple[np.ndarray, int]:
+    size = int(np.prod(shape, dtype=np.int64))
+    block = flats[:, offset : offset + size].reshape(flats.shape[0], *shape)
+    return np.ascontiguousarray(block), offset + size
+
+
+def _build_dense(layer: Dense, flats: np.ndarray, offset: int):
+    weight, offset = _consume(flats, offset, layer.weight.shape)
+    bias = None
+    if layer.bias is not None:
+        bias, offset = _consume(flats, offset, layer.bias.shape)
+    return StackedDense(weight, bias), offset
+
+
+def _build_conv(layer: Conv2D, flats: np.ndarray, offset: int):
+    weight, offset = _consume(flats, offset, layer.weight.shape)
+    bias = None
+    if layer.bias is not None:
+        bias, offset = _consume(flats, offset, layer.bias.shape)
+    return StackedConv2D(weight, bias, layer.stride, layer.padding), offset
+
+
+def _build_dropout(layer: Dropout, flats: np.ndarray, offset: int):
+    # One independent generator per model, each starting from the template
+    # layer's current state — exactly what M ``Network.clone()`` calls
+    # would give the per-model path.
+    rngs = [copy.deepcopy(layer._rng) for _ in range(flats.shape[0])]
+    return StackedDropout(layer.rate, rngs), offset
+
+
+_BUILDERS = {
+    Dense: _build_dense,
+    Conv2D: _build_conv,
+    Dropout: _build_dropout,
+    ReLU: lambda layer, flats, offset: (StackedReLU(), offset),
+    Flatten: lambda layer, flats, offset: (StackedFlatten(), offset),
+    MaxPool2D: lambda layer, flats, offset: (StackedMaxPool2D(layer.pool_size), offset),
+    GlobalAvgPool: lambda layer, flats, offset: (StackedGlobalAvgPool(), offset),
+}
+
+#: Per-model input ndim (without the model axis) implied by a layer type,
+#: used to tell a shared sample batch from an already-stacked input.
+_INPUT_NDIM = {Dense: 2, Conv2D: 4, MaxPool2D: 4, GlobalAvgPool: 4}
+
+
+def supports_stacking(network: Network) -> bool:
+    """Whether every layer of ``network`` has a stacked counterpart.
+
+    Exact-type matching on purpose: a subclass overriding ``forward`` would
+    silently diverge from its stacked stand-in, so subclasses fall back to
+    the per-model path unless registered themselves.
+    """
+    return all(type(layer) in _BUILDERS for layer in network.layers)
+
+
+class StackedNetwork:
+    """``M`` same-architecture models executing as one batched network.
+
+    Built from a structural *template* :class:`~repro.nn.network.Network`
+    plus an ``(M, P)`` array of flat weight vectors (``P`` =
+    ``template.num_parameters``); the flat layout matches
+    :meth:`Network.set_flat`, so row ``m`` of :meth:`get_flat` is
+    bit-for-bit what a per-model clone carrying those weights would report.
+    """
+
+    def __init__(self, layers: Sequence[StackedLayer], num_models: int, input_ndim: int | None) -> None:
+        self.layers = list(layers)
+        self.num_models = num_models
+        self._input_ndim = input_ndim
+
+    @classmethod
+    def from_network(cls, template: Network, flats: np.ndarray) -> "StackedNetwork":
+        """Stack ``M`` copies of ``template``'s architecture carrying the
+        given ``(M, P)`` flat weight rows (layout of ``Network.set_flat``)."""
+        flats = np.ascontiguousarray(flats, dtype=np.float64)
+        if flats.ndim != 2 or flats.shape[1] != template.num_parameters:
+            raise ValueError(
+                f"expected flats of shape (M, {template.num_parameters}), "
+                f"got {flats.shape}"
+            )
+        layers: list[StackedLayer] = []
+        offset = 0
+        for layer in template.layers:
+            builder = _BUILDERS.get(type(layer))
+            if builder is None:
+                raise StackingUnsupportedError(
+                    f"no stacked counterpart for {type(layer).__name__}; "
+                    "use the per-model path (supports_stacking() probes this)"
+                )
+            stacked, offset = builder(layer, flats, offset)
+            layers.append(stacked)
+        return cls._finalize(layers, template, flats.shape[0])
+
+    @classmethod
+    def from_models(cls, models: Sequence[Network]) -> "StackedNetwork":
+        """Stack existing same-architecture models without a flat detour.
+
+        Each stacked parameter is one ``np.stack`` over the per-model
+        arrays — cheaper than concatenating every model into a flat vector
+        and re-slicing it (the validation hot path builds a fresh stack
+        per cold pass, so construction cost matters).
+        """
+        if not models:
+            raise ValueError("need at least one model to stack")
+        template = models[0]
+        num_params = template.num_parameters
+        for model in models[1:]:
+            if model.num_parameters != num_params or len(model.layers) != len(
+                template.layers
+            ):
+                raise ValueError("models must share one architecture to stack")
+        layers: list[StackedLayer] = []
+        for layer_index, layer in enumerate(template.layers):
+            kind = type(layer)
+            if kind not in _BUILDERS:
+                raise StackingUnsupportedError(
+                    f"no stacked counterpart for {kind.__name__}; "
+                    "use the per-model path (supports_stacking() probes this)"
+                )
+            peers = [model.layers[layer_index] for model in models]
+            if kind in (Dense, Conv2D):
+                weight = np.stack([peer.weight.value for peer in peers])
+                bias = (
+                    np.stack([peer.bias.value for peer in peers])
+                    if layer.bias is not None
+                    else None
+                )
+                if kind is Dense:
+                    layers.append(StackedDense(weight, bias))
+                else:
+                    layers.append(
+                        StackedConv2D(weight, bias, layer.stride, layer.padding)
+                    )
+            elif kind is Dropout:
+                layers.append(
+                    StackedDropout(
+                        layer.rate, [copy.deepcopy(peer._rng) for peer in peers]
+                    )
+                )
+            elif kind is ReLU:
+                layers.append(StackedReLU())
+            elif kind is Flatten:
+                layers.append(StackedFlatten())
+            elif kind is MaxPool2D:
+                layers.append(StackedMaxPool2D(layer.pool_size))
+            else:
+                layers.append(StackedGlobalAvgPool())
+        return cls._finalize(layers, template, len(models))
+
+    @classmethod
+    def _finalize(
+        cls, layers: list[StackedLayer], template: Network, num_models: int
+    ) -> "StackedNetwork":
+        if layers and isinstance(layers[0], (StackedConv2D, StackedDense)):
+            # Nothing upstream consumes the first layer's input gradient;
+            # skipping it drops one batched matmul (and for conv the whole
+            # col2im fold) from every backward pass.
+            layers[0].skip_input_grad = True
+        input_ndim = None
+        for layer in template.layers:
+            if type(layer) in _INPUT_NDIM:
+                input_ndim = _INPUT_NDIM[type(layer)]
+                break
+        return cls(layers, num_models, input_ndim)
+
+    # ------------------------------------------------------------------
+    # Forward / backward
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        x: np.ndarray,
+        train: bool = False,
+        idx: Sequence[int] | np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Batched forward over the models selected by ``idx``.
+
+        ``x`` is either ``(m, batch, *sample)`` — one batch per selected
+        model — or a shared ``(batch, *sample)`` array evaluated by every
+        selected model (broadcast along the model axis without copying).
+        """
+        if idx is not None:
+            idx = np.asarray(idx, dtype=np.intp)
+        m = self.num_models if idx is None else len(idx)
+        x = np.asarray(x, dtype=np.float64)
+        if self._input_ndim is not None and x.ndim == self._input_ndim:
+            x = np.broadcast_to(x, (m, *x.shape))
+        for layer in self.layers:
+            x = layer.forward(x, idx, train=train)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    # ------------------------------------------------------------------
+    # Parameters
+    # ------------------------------------------------------------------
+    def parameters(self) -> list[StackedParameter]:
+        return [p for layer in self.layers for p in layer.parameters()]
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def get_flat(self) -> np.ndarray:
+        """``(M, P)`` flat weight matrix (rows match ``Network.get_flat``)."""
+        params = self.parameters()
+        if not params:
+            return np.zeros((self.num_models, 0))
+        return np.concatenate(
+            [p.value.reshape(self.num_models, -1) for p in params], axis=1
+        )
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def predict(self, x: np.ndarray, batch_size: int = 512) -> np.ndarray:
+        """``(M, N)`` predicted labels, mirroring ``Network.predict``.
+
+        Same 512-sample batching and the same per-row argmax as the
+        per-model path, so predictions are bit-identical — the property
+        the stacked validation profiles rely on.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if len(x) == 0:
+            raise ValueError("cannot iterate over an empty input array")
+        chunks = []
+        for start in range(0, len(x), batch_size):
+            logits = self.forward(x[start : start + batch_size])
+            chunks.append(logits.argmax(axis=-1))
+        return np.concatenate(chunks, axis=1)
+
+
+def stacked_predict(
+    models: Sequence[Network], x: np.ndarray, batch_size: int = 512
+) -> np.ndarray:
+    """Predict labels for ``x`` under every model: ``(len(models), N)``.
+
+    One batched forward replaces ``len(models)`` Python-dispatched passes;
+    callers guard with :func:`supports_stacking` on the first model.
+    """
+    if not models:
+        raise ValueError("need at least one model to predict with")
+    return StackedNetwork.from_models(models).predict(x, batch_size)
+
+
+# ----------------------------------------------------------------------
+# Training pieces
+# ----------------------------------------------------------------------
+def stacked_softmax_ce_grad(logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Gradient of mean softmax cross-entropy per stacked model.
+
+    ``logits`` is ``(m, b, C)``, ``targets`` ``(m, b)``; every model in the
+    call shares the batch size ``b``, so the ``/ b`` scaling matches the
+    per-model :class:`~repro.nn.losses.SoftmaxCrossEntropy` exactly.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    m, b, _ = logits.shape
+    if targets.shape != (m, b):
+        raise ValueError(f"targets shape {targets.shape} != {(m, b)}")
+    grad = np.exp(log_softmax(logits))
+    grad[np.arange(m)[:, None], np.arange(b)[None, :], targets] -= 1.0
+    np.divide(grad, b, out=grad)
+    return grad
+
+
+def clip_gradients_stacked(
+    params: Sequence[StackedParameter],
+    max_norm: float,
+    active: np.ndarray | None = None,
+) -> None:
+    """Per-model global-norm clipping, mirroring ``fl.client.clip_gradients``.
+
+    The squared sums are vectorized, but the norm / comparison / scale
+    arithmetic runs in Python floats per model — the exact scalar ops the
+    per-model path performs — so clipped gradients stay bit-identical.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    if not params:
+        return
+    num_models = params[0].num_models
+    totals = [0.0] * num_models
+    for p in params:
+        sums = (p.grad**2).reshape(num_models, -1).sum(axis=1)
+        for m in range(num_models):
+            totals[m] += float(sums[m])
+    scales = np.ones(num_models)
+    any_clipped = False
+    for m in range(num_models):
+        if active is not None and not active[m]:
+            continue
+        norm = totals[m] ** 0.5
+        if norm > max_norm:
+            scales[m] = max_norm / norm
+            any_clipped = True
+    if not any_clipped:
+        return
+    for p in params:
+        buffer = p.grad
+        buffer *= scales.reshape(num_models, *([1] * (buffer.ndim - 1)))
+
+
+class StackedSGD:
+    """SGD with momentum/weight-decay over stacked parameters.
+
+    ``step(active=...)`` applies the update only to models that took a
+    batch this step (unequal shard sizes leave some models idle on the
+    tail steps); idle models keep their weights *and* velocities
+    bit-untouched, exactly as if their per-model optimizer never stepped.
+    """
+
+    def __init__(
+        self,
+        params: Sequence[StackedParameter],
+        lr: float = 0.1,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight decay must be non-negative, got {weight_decay}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.params = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity = [np.zeros_like(p.value) for p in self.params]
+
+    def step(self, active: np.ndarray | None = None, lr: float | None = None) -> None:
+        eta = self.lr if lr is None else lr
+        for p, vel in zip(self.params, self._velocity):
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.value
+            if active is None:
+                # Full-stack step: the exact in-place update sequence the
+                # per-model SGD performs (same ops, same order, no
+                # intermediate copies).
+                if self.momentum:
+                    vel *= self.momentum
+                    vel += grad
+                    update = grad + self.momentum * vel if self.nesterov else vel
+                else:
+                    update = grad
+                p.value -= eta * update
+                continue
+            if self.momentum:
+                vel_new = self.momentum * vel + grad
+                update = grad + self.momentum * vel_new if self.nesterov else vel_new
+            else:
+                vel_new = vel
+                update = grad
+            # Masked step: idle models keep weights and velocity
+            # bit-untouched, as if their per-model optimizer never ran.
+            mask = np.asarray(active, dtype=bool).reshape(
+                -1, *([1] * (p.value.ndim - 1))
+            )
+            if self.momentum:
+                vel[...] = np.where(mask, vel_new, vel)
+            p.value[...] = np.where(mask, p.value - eta * update, p.value)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+__all__ = [
+    "StackedConv2D",
+    "StackedDense",
+    "StackedDropout",
+    "StackedFlatten",
+    "StackedGlobalAvgPool",
+    "StackedLayer",
+    "StackedMaxPool2D",
+    "StackedNetwork",
+    "StackedParameter",
+    "StackedReLU",
+    "StackedSGD",
+    "StackingUnsupportedError",
+    "clip_gradients_stacked",
+    "stacked_predict",
+    "stacked_softmax_ce_grad",
+    "supports_stacking",
+]

@@ -88,3 +88,64 @@ class TestErrorVariationVector:
         np.testing.assert_array_equal(
             error_variation_vector(p1, p2), np.zeros(6)
         )
+
+
+class TestStackedErrorProfiles:
+    """The stacked profile path is bit-identical to per-model profiling."""
+
+    def _models(self, tiny_mlp, rng, count):
+        models = []
+        for _ in range(count):
+            clone = tiny_mlp.clone()
+            flat = clone.get_flat()
+            clone.set_flat(flat + rng.normal(0.0, 0.5, size=flat.shape))
+            models.append(clone)
+        return models
+
+    @pytest.mark.parametrize("normalize", ["dataset", "class"])
+    @pytest.mark.parametrize("count", [1, 2, 7])
+    def test_bitwise_equal_to_per_model(
+        self, tiny_dataset, tiny_mlp, rng, normalize, count
+    ):
+        from repro.core.errors import stacked_error_profiles
+
+        models = self._models(tiny_mlp, rng, count)
+        stacked = stacked_error_profiles(models, tiny_dataset, normalize=normalize)
+        for model, profile in zip(models, stacked):
+            single = model_error_profile(model, tiny_dataset, normalize=normalize)
+            np.testing.assert_array_equal(profile.source_errors, single.source_errors)
+            np.testing.assert_array_equal(profile.target_errors, single.target_errors)
+            assert profile.num_samples == single.num_samples
+            assert profile.num_classes == single.num_classes
+
+    def test_chunked_stacks_still_match(self, tiny_dataset, tiny_mlp, rng):
+        """More models than one cache-budget chunk: results are unchanged
+        (per-slice GEMMs are bit-identical under any chunking)."""
+        from repro.core import errors as errors_mod
+        from repro.core.errors import stacked_error_profiles
+
+        models = self._models(tiny_mlp, rng, 9)
+        reference = stacked_error_profiles(models, tiny_dataset)
+        old = errors_mod._PROFILE_CHUNK_BYTES
+        errors_mod._PROFILE_CHUNK_BYTES = 1  # force 2-model chunks
+        try:
+            chunked = stacked_error_profiles(models, tiny_dataset)
+        finally:
+            errors_mod._PROFILE_CHUNK_BYTES = old
+        for a, b in zip(reference, chunked):
+            np.testing.assert_array_equal(a.source_errors, b.source_errors)
+            np.testing.assert_array_equal(a.target_errors, b.target_errors)
+
+    def test_empty_inputs(self, tiny_dataset, tiny_mlp):
+        from repro.core.errors import stacked_error_profiles
+
+        assert stacked_error_profiles([], tiny_dataset) == []
+        empty = Dataset(np.zeros((0, 2)), np.zeros(0, dtype=int), 3)
+        with pytest.raises(ValueError):
+            stacked_error_profiles([tiny_mlp], empty)
+
+    def test_bad_normalize_rejected(self, tiny_dataset, tiny_mlp):
+        from repro.core.errors import stacked_error_profiles
+
+        with pytest.raises(ValueError):
+            stacked_error_profiles([tiny_mlp], tiny_dataset, normalize="weird")

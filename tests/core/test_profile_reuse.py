@@ -25,8 +25,10 @@ def _perturbed(model, rng, scale=1e-3):
     return clone
 
 
-def build_server_defense(tiny_dataset):
-    validator = MisclassificationValidator(tiny_dataset, min_history=4)
+def build_server_defense(tiny_dataset, stack_profiles: bool = True):
+    validator = MisclassificationValidator(
+        tiny_dataset, min_history=4, stack_profiles=stack_profiles
+    )
     defense = BaffleDefense(
         BaffleConfig(lookback=4, mode="server"), server_validator=validator
     )
@@ -46,7 +48,7 @@ class TestCommittedProfileReuse:
 
         monkeypatch.setattr(validation_mod, "model_error_profile", counting)
 
-        defense, _ = build_server_defense(tiny_dataset)
+        defense, _ = build_server_defense(tiny_dataset, stack_profiles=False)
         for _ in range(5):  # fill the look-back window with trusted models
             defense.prime(_perturbed(tiny_mlp, rng))
 
@@ -63,6 +65,48 @@ class TestCommittedProfileReuse:
         # needs a forward pass.
         assert len(profiled) == first_round_profiles + 1
         assert profiled[-1] is second
+
+    def test_reuse_holds_under_stacked_profiles(
+        self, tiny_dataset, tiny_mlp, rng, monkeypatch
+    ):
+        """With profile stacking on, the cold round runs one stacked pass
+        and warm rounds still profile only the fresh candidate."""
+        per_model = []
+        stacked_calls = []
+        real_single = validation_mod.model_error_profile
+        real_stacked = validation_mod.stacked_error_profiles
+
+        def counting_single(model, dataset, normalize="dataset"):
+            per_model.append(model)
+            return real_single(model, dataset, normalize=normalize)
+
+        def counting_stacked(models, dataset, normalize="dataset"):
+            stacked_calls.append(list(models))
+            return real_stacked(models, dataset, normalize=normalize)
+
+        monkeypatch.setattr(validation_mod, "model_error_profile", counting_single)
+        monkeypatch.setattr(
+            validation_mod, "stacked_error_profiles", counting_stacked
+        )
+
+        defense, _ = build_server_defense(tiny_dataset, stack_profiles=True)
+        for _ in range(5):
+            defense.prime(_perturbed(tiny_mlp, rng))
+
+        first = _perturbed(tiny_mlp, rng)
+        defense.review(first, round_idx=0, rng=rng)
+        # One stacked pass covering the 5 history models + the candidate.
+        assert len(stacked_calls) == 1
+        assert len(stacked_calls[0]) == 6
+        assert per_model == []
+        defense.record_outcome(first, accepted=True)
+
+        second = _perturbed(tiny_mlp, rng)
+        defense.review(second, round_idx=1, rng=rng)
+        # Warm cache: nothing left to stack, only the new candidate is
+        # profiled — the committed round's profile was re-filed, not redone.
+        assert len(stacked_calls) == 1
+        assert per_model == [second]
 
     def test_rejected_candidate_profile_is_dropped(
         self, tiny_dataset, tiny_mlp, rng

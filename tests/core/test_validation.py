@@ -173,3 +173,67 @@ class TestConstantVoteValidator:
     def test_invalid_vote_rejected(self):
         with pytest.raises(ValueError):
             ConstantVoteValidator(2)
+
+
+class TestStackedProfileValidation:
+    """Stacked cold-profile computation changes throughput, never votes."""
+
+    def _history(self, tiny_mlp, rng, count=7):
+        history = []
+        for version in range(count):
+            clone = tiny_mlp.clone()
+            flat = clone.get_flat()
+            clone.set_flat(flat + rng.normal(0.0, 0.5, size=flat.shape))
+            history.append((version, clone))
+        return history
+
+    def test_cold_reports_identical_with_and_without_stacking(
+        self, tiny_dataset, tiny_mlp, rng
+    ):
+        history = self._history(tiny_mlp, rng)
+        candidate = tiny_mlp.clone()
+        flat = candidate.get_flat()
+        candidate.set_flat(flat + rng.normal(0.0, 0.5, size=flat.shape))
+        context = ValidationContext(candidate, history)
+        stacked = MisclassificationValidator(
+            tiny_dataset, min_history=4, stack_profiles=True
+        ).explain(context)
+        plain = MisclassificationValidator(
+            tiny_dataset, min_history=4, stack_profiles=False
+        ).explain(context)
+        assert stacked == plain
+        assert not stacked.abstained
+
+    def test_stacked_fill_populates_the_version_cache(
+        self, tiny_dataset, tiny_mlp, rng
+    ):
+        history = self._history(tiny_mlp, rng)
+        validator = MisclassificationValidator(
+            tiny_dataset, min_history=4, stack_profiles=True
+        )
+        validator.explain(ValidationContext(tiny_mlp.clone(), history))
+        assert set(validator._profile_cache) == {v for v, _ in history}
+
+    def test_unstackable_architecture_falls_back(self, tiny_dataset, rng):
+        from repro.nn.models import make_resnet_lite
+
+        # Image-shaped dataset for the resnet; stacking is unsupported, so
+        # the validator silently takes the per-model path.
+        x = rng.normal(size=(30, 1, 4, 4))
+        y = rng.integers(0, 3, size=30)
+        dataset = Dataset(x, y, 3)
+        template = make_resnet_lite((1, 4, 4), 3, rng)
+        history = []
+        for version in range(6):
+            clone = template.clone()
+            flat = clone.get_flat()
+            clone.set_flat(flat + rng.normal(0.0, 0.5, size=flat.shape))
+            history.append((version, clone))
+        validator = MisclassificationValidator(
+            dataset, min_history=4, stack_profiles=True
+        )
+        report = validator.explain(ValidationContext(template.clone(), history))
+        reference = MisclassificationValidator(
+            dataset, min_history=4, stack_profiles=False
+        ).explain(ValidationContext(template.clone(), history))
+        assert report == reference

@@ -1,0 +1,279 @@
+"""Tests for stacked cohort client training (repro.fl.cohort) and its
+executor integration.
+
+The headline guarantee: a cohort-enabled engine — any executor, any store,
+any execution mode, any cohort size — commits **bit-identical** models and
+round records to the seed-baseline sequential per-model engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.fl.client import HonestClient, LocalTrainingConfig
+from repro.fl.cohort import cohort_updates, is_cohortable, plan_cohorts
+from repro.fl.model_store import InProcessModelStore, SharedMemoryModelStore
+from repro.fl.parallel import SequentialExecutor, make_executor
+from repro.fl.rng import RngStreams
+from repro.nn.models import make_mlp, make_resnet_lite
+from tests.fl.test_parallel import (
+    build_defended_sim,
+    make_world,
+    run_and_snapshot,
+    shm_leftovers,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+def _shards(rng, sizes, features=9, classes=4):
+    shards = []
+    for n in sizes:
+        x = rng.normal(size=(n, features))
+        y = rng.integers(0, classes, size=n)
+        shards.append(Dataset(x, y, classes))
+    return shards
+
+
+def _per_model_updates(model, shards, config, seed0=100):
+    return [
+        HonestClient(i, shard).produce_update(
+            model, config, 0, np.random.default_rng(seed0 + i)
+        )
+        for i, shard in enumerate(shards)
+    ]
+
+
+class TestCohortUpdatesBitIdentity:
+    @pytest.mark.parametrize("sizes", [
+        (64, 64, 64),            # uniform: one group per step
+        (100, 64, 37, 5, 101),   # ragged tails, sub-batch shard
+        (3,),                    # M == 1 degenerate stack
+    ])
+    def test_updates_match_per_model_training(self, rng, sizes):
+        shards = _shards(rng, sizes)
+        model = make_mlp(9, 4, rng, hidden=(7,))
+        config = LocalTrainingConfig(
+            epochs=2, batch_size=32, lr=0.1, momentum=0.9, weight_decay=1e-4
+        )
+        expected = _per_model_updates(model, shards, config)
+        got = cohort_updates(
+            model, shards, config,
+            [np.random.default_rng(100 + i) for i in range(len(shards))],
+        )
+        assert len(got) == len(expected)
+        for a, b in zip(expected, got):
+            np.testing.assert_array_equal(a, b)
+
+    def test_gradient_clipping_matches(self, rng):
+        shards = _shards(rng, (40, 25, 33))
+        model = make_mlp(9, 4, rng, hidden=(7,))
+        config = LocalTrainingConfig(
+            epochs=2, batch_size=16, lr=0.5, momentum=0.9, max_grad_norm=0.05
+        )
+        expected = _per_model_updates(model, shards, config)
+        got = cohort_updates(
+            model, shards, config, [np.random.default_rng(100 + i) for i in range(3)]
+        )
+        for a, b in zip(expected, got):
+            np.testing.assert_array_equal(a, b)
+
+    def test_dropout_streams_match(self, rng):
+        shards = _shards(rng, (48, 31))
+        model = make_mlp(9, 4, rng, hidden=(7,), dropout=0.3)
+        config = LocalTrainingConfig(epochs=2, batch_size=16, lr=0.1, momentum=0.9)
+        expected = _per_model_updates(model, shards, config)
+        got = cohort_updates(
+            model, shards, config, [np.random.default_rng(100 + i) for i in range(2)]
+        )
+        for a, b in zip(expected, got):
+            np.testing.assert_array_equal(a, b)
+
+    def test_empty_shard_rejected_like_per_model(self, rng):
+        shards = _shards(rng, (10,)) + [Dataset(np.zeros((0, 9)), np.zeros(0, dtype=int), 4)]
+        model = make_mlp(9, 4, rng, hidden=(7,))
+        config = LocalTrainingConfig()
+        with pytest.raises(ValueError, match="empty dataset"):
+            cohort_updates(model, shards, config, [rng, rng])
+
+    def test_shard_rng_count_mismatch_rejected(self, rng):
+        model = make_mlp(9, 4, rng, hidden=(7,))
+        with pytest.raises(ValueError, match="rng streams"):
+            cohort_updates(model, _shards(rng, (10,)), LocalTrainingConfig(), [])
+
+
+class TestEligibilityAndPlanning:
+    def test_malicious_override_not_cohortable(self, rng):
+        from repro.attacks.untargeted import SignFlipClient
+
+        shard = _shards(rng, (12,))[0]
+        assert is_cohortable(HonestClient(0, shard))
+        assert not is_cohortable(
+            SignFlipClient(1, shard, boost=2.0, attack_rounds=range(10))
+        )
+
+    def test_cohort_safe_opt_out_respected(self, rng):
+        class OptOutClient(HonestClient):
+            cohort_safe = False
+
+        shard = _shards(rng, (12,))[0]
+        assert not is_cohortable(OptOutClient(0, shard))
+
+    def test_empty_dataset_not_cohortable(self):
+        empty = Dataset(np.zeros((0, 3)), np.zeros(0, dtype=int), 2)
+        assert not is_cohortable(HonestClient(0, empty))
+
+    def test_plan_respects_size_order_and_spread(self, rng):
+        shards = _shards(rng, [10] * 7)
+        clients = [HonestClient(i, s) for i, s in enumerate(shards)]
+        model = make_mlp(9, 4, rng, hidden=(5,))
+        assert plan_cohorts(clients, [4, 2, 6], model, cohort_size=0) == []
+        assert plan_cohorts(clients, [4, 2, 6], model, cohort_size=1) == []
+        assert plan_cohorts(clients, [4, 2, 6], model, cohort_size=8) == [[4, 2, 6]]
+        # Chunking caps at cohort_size; a single leftover is not stacked.
+        assert plan_cohorts(clients, [0, 1, 2, 3, 4], model, cohort_size=2) == [
+            [0, 1], [2, 3],
+        ]
+        # spread_over splits the fan-out across workers.
+        assert plan_cohorts(
+            clients, [0, 1, 2, 3, 4, 5], model, cohort_size=6, spread_over=2
+        ) == [[0, 1, 2], [3, 4, 5]]
+
+    def test_plan_skips_unstackable_architectures(self, rng):
+        shards = _shards(rng, [10] * 2)
+        clients = [HonestClient(i, s) for i, s in enumerate(shards)]
+        resnet = make_resnet_lite((1, 4, 4), 2, rng)
+        assert plan_cohorts(clients, [0, 1], resnet, cohort_size=4) == []
+
+
+class TestExecutorIntegration:
+    def test_sequential_cohort_matches_per_model(self):
+        model, clients, _, config = make_world(seed=5)
+        local = LocalTrainingConfig(
+            epochs=config.local_epochs, batch_size=config.batch_size,
+            lr=config.client_lr, momentum=config.client_momentum,
+        )
+        streams = RngStreams.from_seed(3)
+        ids = [0, 2, 3, 5]
+        baseline = SequentialExecutor().run_clients(
+            clients, ids, model, local, 0, streams
+        )
+        cohorted = SequentialExecutor(cohort_size=3).run_clients(
+            clients, ids, model, local, 0, streams
+        )
+        for a, b in zip(baseline, cohorted):
+            np.testing.assert_array_equal(a, b)
+
+    def test_pool_cohort_matches_per_model(self):
+        model, clients, _, config = make_world(seed=5)
+        local = LocalTrainingConfig(
+            epochs=config.local_epochs, batch_size=config.batch_size,
+            lr=config.client_lr, momentum=config.client_momentum,
+        )
+        streams = RngStreams.from_seed(3)
+        ids = [0, 1, 2, 4, 5]
+        baseline = SequentialExecutor().run_clients(
+            clients, ids, model, local, 0, streams
+        )
+        with make_executor(2, cohort_size=4) as executor:
+            executor.bind(clients=clients, template=model.clone())
+            cohorted = executor.run_clients(clients, ids, model, local, 0, streams)
+        for a, b in zip(baseline, cohorted):
+            np.testing.assert_array_equal(a, b)
+
+    def test_mixed_parent_and_cohort_clients(self):
+        """A non-parallel-safe client runs in the parent while the rest
+        stack in the workers; ordering is preserved."""
+        model, clients, _, config = make_world(seed=5, home_client=2)
+        local = LocalTrainingConfig(
+            epochs=config.local_epochs, batch_size=config.batch_size,
+            lr=config.client_lr, momentum=config.client_momentum,
+        )
+        streams = RngStreams.from_seed(3)
+        ids = [0, 2, 4, 5]
+        baseline = SequentialExecutor().run_clients(
+            clients, ids, model, local, 0, streams
+        )
+        with make_executor(2, cohort_size=4) as executor:
+            executor.bind(clients=clients, template=model.clone())
+            cohorted = executor.run_clients(clients, ids, model, local, 0, streams)
+        for a, b in zip(baseline, cohorted):
+            np.testing.assert_array_equal(a, b)
+
+    def test_invalid_cohort_size_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialExecutor(cohort_size=-1)
+        from repro.fl.parallel import ProcessPoolRoundExecutor
+
+        with pytest.raises(ValueError):
+            ProcessPoolRoundExecutor(2, cohort_size=-2)
+
+
+class TestCohortEquivalenceMatrix:
+    """Cohort-enabled engines commit bit-identical models and records to
+    the seed-baseline per-model sequential engine — the full
+    {Sequential, ProcessPool, Pipelined} x {InProcess, SharedMemory} grid."""
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return run_and_snapshot(
+            build_defended_sim(SequentialExecutor(), store=InProcessModelStore())
+        )
+
+    @pytest.mark.parametrize("mode", ["sync", "pipelined"])
+    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize(
+        "store_cls", [InProcessModelStore, SharedMemoryModelStore]
+    )
+    def test_bit_identical_commits(self, baseline, workers, store_cls, mode):
+        baseline_flat, baseline_records = baseline
+        store = store_cls()
+        with store, make_executor(
+            workers, store=store, mode=mode, pipeline_depth=2, cohort_size=3
+        ) as executor:
+            flat, records = run_and_snapshot(
+                build_defended_sim(executor, store=store)
+            )
+        # Committed models match the seed-baseline sequential engine.
+        np.testing.assert_array_equal(baseline_flat, flat)
+        if isinstance(store, SharedMemoryModelStore):
+            assert shm_leftovers(store) == []
+        # Full records (including lag telemetry, which legitimately differs
+        # between sync and deep-pipelined runs) match the same engine
+        # without cohorting: stacking changes throughput only.
+        twin_store = store_cls()
+        with twin_store, make_executor(
+            workers, store=twin_store, mode=mode, pipeline_depth=2, cohort_size=1
+        ) as twin_executor:
+            twin_flat, twin_records = run_and_snapshot(
+                build_defended_sim(twin_executor, store=twin_store)
+            )
+        np.testing.assert_array_equal(twin_flat, flat)
+        assert twin_records == records
+
+    def test_cohort_survives_forced_rollback(self):
+        """Pipelined + cohort + forced late rejections: the replayed rounds
+        re-enter the cohort path and still commit bit-identically."""
+        from tests.fl.test_pipelined import build_forced_sim, snapshot
+
+        reject = (3, 5)
+        sync_sim = build_forced_sim(SequentialExecutor(), reject_rounds=reject)
+        sync_records = sync_sim.run(8)
+        sync_flat = sync_sim.global_model.get_flat()
+
+        store = SharedMemoryModelStore()
+        with store, make_executor(
+            2, store=store, mode="pipelined", pipeline_depth=2, cohort_size=3
+        ) as executor:
+            sim = build_forced_sim(executor, store=store, reject_rounds=reject)
+            records = sim.run(8)
+            flat = sim.global_model.get_flat()
+        np.testing.assert_array_equal(sync_flat, flat)
+        assert snapshot(sync_records) == snapshot(records)
+        assert any(r.rollback_count > 0 for r in records)
+        assert shm_leftovers(store) == []

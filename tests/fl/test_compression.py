@@ -490,3 +490,79 @@ class TestCodecEngineEquivalence:
         sim = build_defended_sim(SequentialExecutor(), store=store)
         report = format_execution_report(sim.run(3))
         assert "codec float16" in report
+
+
+class TestCodecPipeTransport:
+    """The blob (pipe) fallback path compresses through the store codec.
+
+    Satellite of the stacked-cohort PR, closing the ROADMAP "codec-aware
+    pipe transport" item: a process pool over an in-process store ships
+    self-describing codec segments instead of raw float64 blobs, counted
+    as compressed bytes in ``transport_bytes`` with the raw figure in
+    ``raw_transport_bytes``.
+    """
+
+    def test_pipe_blobs_compress_and_count_raw_bytes(self):
+        from tests.fl.test_parallel import build_defended_sim
+
+        store = InProcessModelStore(codec="float16")
+        with store, make_executor(2, store=store) as executor:
+            sim = build_defended_sim(executor, store=store)
+            records = sim.run(6)
+        # float16 payloads: ~4x below raw, less the fixed segment headers
+        # (which loom large over this test's tiny 51-parameter model).
+        total = sum(r.transport_bytes for r in records)
+        raw = sum(r.raw_transport_bytes for r in records)
+        assert 0 < total < raw
+        assert raw / total > 2.5
+        assert all(r.codec == "float16" for r in records)
+
+    def test_identity_pipe_blobs_report_equal_raw(self):
+        from tests.fl.test_parallel import build_defended_sim
+
+        store = InProcessModelStore()
+        with store, make_executor(2, store=store) as executor:
+            sim = build_defended_sim(executor, store=store)
+            records = sim.run(4)
+        for record in records:
+            # Segment headers ride on top of the raw payload.
+            assert record.transport_bytes >= record.raw_transport_bytes > 0
+            assert record.transport_bytes - record.raw_transport_bytes < 4096
+
+    def test_float16_pipes_match_other_float16_engines(self):
+        """The codec'd pipe path stays on the canonicalized trajectory:
+        pool+pipes+float16 commits bit-identically to sequential float16."""
+        from tests.fl.test_parallel import build_defended_sim, run_and_snapshot
+
+        seq_store = InProcessModelStore(codec="float16")
+        seq_executor = SequentialExecutor()
+        seq_executor.bind(store=seq_store)
+        with seq_store:
+            base_flat, base_records = run_and_snapshot(
+                build_defended_sim(seq_executor, store=seq_store)
+            )
+        pipe_store = InProcessModelStore(codec="float16")
+        with pipe_store, make_executor(2, store=pipe_store) as executor:
+            flat, records = run_and_snapshot(
+                build_defended_sim(executor, store=pipe_store)
+            )
+        np.testing.assert_array_equal(base_flat, flat)
+        assert base_records == records
+
+    def test_delta_codec_falls_back_to_dense_blobs(self):
+        """A parentless pipe blob from the topk delta codec decodes exactly
+        (dense fallback), keeping the transparent trajectory intact."""
+        from tests.fl.test_parallel import build_defended_sim, run_and_snapshot
+
+        baseline_flat, baseline_records = run_and_snapshot(
+            build_defended_sim(SequentialExecutor(), store=InProcessModelStore())
+        )
+        store = InProcessModelStore(codec="topk")
+        with store, make_executor(2, store=store) as executor:
+            flat, records = run_and_snapshot(
+                build_defended_sim(executor, store=store)
+            )
+        # topk is transparent; with no usable pipe parent every blob is a
+        # dense exact payload, so the run matches the identity baseline.
+        np.testing.assert_array_equal(baseline_flat, flat)
+        assert baseline_records == records

@@ -470,24 +470,28 @@ class TestWorkerTaskProfileFlow:
         parallel_mod._init_worker({}, {0: validator}, model.clone(), None)
         return parallel_mod, model, validator
 
-    def _refs(self, model, versions, rng):
-        from repro.nn.serialization import params_to_bytes
+    @staticmethod
+    def _blob(model):
+        """A pipe blob in the wire format: a codec-encoded segment."""
+        from repro.fl.compression import IdentityCodec
 
+        return IdentityCodec().encode(model.get_flat()).to_bytes()
+
+    def _refs(self, model, versions, rng):
         refs = []
         for version in versions:
             perturbed = model.clone()
             flat = perturbed.get_flat()
             perturbed.set_flat(flat + rng.normal(0.0, 1e-3, size=flat.shape))
-            refs.append((version, params_to_bytes(perturbed, dtype=np.float64)))
+            refs.append((version, self._blob(perturbed)))
         return refs
 
     def test_hints_suppress_recomputation_and_new_profiles_return(self, rng):
         from repro.core import validation as validation_mod
-        from repro.nn.serialization import params_to_bytes
 
         parallel_mod, model, validator = self._worker_world()
         history = self._refs(model, range(6), rng)
-        candidate = (None, params_to_bytes(model, dtype=np.float64))
+        candidate = (None, self._blob(model))
         seed = np.random.SeedSequence(0)
 
         vote, new_profiles, candidate_profile = parallel_mod._validator_task(
@@ -518,10 +522,8 @@ class TestWorkerTaskProfileFlow:
         assert len(profiled) == 1  # the candidate only
 
     def test_worker_caches_evict_retired_versions(self, rng):
-        from repro.nn.serialization import params_to_bytes
-
         parallel_mod, model, validator = self._worker_world()
-        candidate = (None, params_to_bytes(model, dtype=np.float64))
+        candidate = (None, self._blob(model))
         seed = np.random.SeedSequence(0)
         parallel_mod._validator_task(
             0, candidate, self._refs(model, range(6), rng), 0, seed, {}, None

@@ -259,3 +259,49 @@ class TestResidual:
     def test_parameters_come_from_inner_layers(self, rng):
         block = Residual([Dense(3, 3, rng), ReLU(), Dense(3, 3, rng)])
         assert len(block.parameters()) == 4
+
+
+class TestDtypePreservation:
+    """Parameter-free layers keep the input dtype end to end: a future
+    float32 policy must not be silently upcast by scratch buffers
+    (regression for the hardcoded-float64 ``_col2im`` scratch and the
+    float64 dropout mask)."""
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_pooling_and_flatten(self, rng, dtype):
+        x = rng.normal(size=(2, 3, 8, 8)).astype(dtype)
+        for layer in (MaxPool2D(2), GlobalAvgPool(), Flatten()):
+            out = layer.forward(x, train=True)
+            assert out.dtype == dtype, type(layer).__name__
+            grad = layer.backward(out.astype(dtype))
+            assert grad.dtype == dtype, type(layer).__name__
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_relu_and_dropout(self, rng, dtype):
+        x = rng.normal(size=(5, 7)).astype(dtype)
+        relu = ReLU()
+        assert relu.forward(x, train=True).dtype == dtype
+        assert relu.backward(x).dtype == dtype
+        drop = Dropout(0.5, np.random.default_rng(0))
+        out = drop.forward(x, train=True)
+        assert out.dtype == dtype
+        assert drop.backward(out).dtype == dtype
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_im2col_col2im_round_trip_dtype(self, rng, dtype):
+        from repro.nn.layers import _col2im, _im2col
+
+        x = rng.normal(size=(2, 3, 6, 6)).astype(dtype)
+        cols, out_h, out_w = _im2col(x, 3, 3, 1, 1)
+        assert cols.dtype == dtype
+        folded = _col2im(cols, x.shape, 3, 3, 1, 1, out_h, out_w)
+        assert folded.dtype == dtype
+
+    def test_dropout_float64_mask_values_unchanged(self):
+        """The dtype fix must not perturb the float64 stream: mask values
+        equal the historical ``(draw < keep) / keep`` computation."""
+        x = np.ones((4, 6))
+        drop = Dropout(0.3, np.random.default_rng(42))
+        out = drop.forward(x, train=True)
+        reference = (np.random.default_rng(42).random((4, 6)) < 0.7) / 0.7
+        np.testing.assert_array_equal(out, reference)
