@@ -9,8 +9,6 @@ the backdoor's source class (cars).
 
 from __future__ import annotations
 
-import numpy as np
-
 from benchmarks._common import once, write_result
 from repro.experiments import ExperimentConfig, run_error_trace
 from repro.experiments.reporting import format_series

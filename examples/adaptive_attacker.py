@@ -13,8 +13,6 @@ Run:
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.quorum import estimate_rho_from_votes, max_tolerable_malicious
 from repro.experiments import ExperimentConfig, run_stable_scenario
 from repro.experiments.metrics import detection_stats

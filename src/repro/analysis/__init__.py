@@ -10,6 +10,17 @@ Tools a researcher reaches for after running the harness:
 - :mod:`repro.analysis.updates` — update-norm statistics across clients
   and rounds (what norm-clipping defenses calibrate against, and how far
   a boosted update sticks out).
+
+Correctness tooling lives here too:
+
+- :mod:`repro.analysis.lint` — the static checker battery behind
+  ``python -m repro.analysis`` (global RNG use, dtype discipline,
+  pickle/parallel safety, shared-memory hygiene);
+- :mod:`repro.analysis.sanitize` — the runtime sanitizer
+  (``REPRO_SANITIZE=1``): dtype assertions on the hot numeric paths and
+  per-round/per-layer state hashing;
+- :mod:`repro.analysis.divergence` — diffs two sanitizer hash traces to
+  the first divergent ``(round, layer)``.
 """
 
 from repro.analysis.detection import (
@@ -17,14 +28,22 @@ from repro.analysis.detection import (
     rejection_bursts,
     vote_summary,
 )
+from repro.analysis.divergence import Divergence, diff_traces, first_divergence
+from repro.analysis.sanitize import HashTrace, SanitizeError, hash_array
 from repro.analysis.traces import ValidatorTrace, collect_validator_trace
 from repro.analysis.updates import UpdateNormStats, update_norm_stats
 
 __all__ = [
+    "Divergence",
+    "HashTrace",
+    "SanitizeError",
     "UpdateNormStats",
     "ValidatorTrace",
     "collect_validator_trace",
     "detection_latency",
+    "diff_traces",
+    "first_divergence",
+    "hash_array",
     "rejection_bursts",
     "update_norm_stats",
     "vote_summary",

@@ -1,0 +1,99 @@
+"""Diff two sanitizer hash traces to the first divergent ``(round, layer)``.
+
+When two engines that should commit bit-identical models disagree, the
+symptom (different final accuracy, a failing equivalence test) is far
+from the cause.  Running both engines under ``REPRO_SANITIZE=1`` yields
+a :class:`~repro.analysis.sanitize.HashTrace` per run; this module
+compares the two traces element-wise and pinpoints the first round and
+layer whose digests differ — the earliest observable point where the
+runs parted ways.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.sanitize import HashTrace
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point at which two hash traces disagree."""
+
+    round_idx: int
+    layer: str
+    digest_a: str
+    digest_b: str
+    #: "digest" when the same (round, layer) hashed differently;
+    #: "structure" when the traces themselves have different shapes
+    #: (different entry order or one trace is a strict prefix).
+    kind: str = "digest"
+
+    def __str__(self) -> str:
+        if self.kind == "structure":
+            return (
+                f"traces diverge structurally at round {self.round_idx}: "
+                f"{self.digest_a!r} vs {self.digest_b!r}"
+            )
+        return (
+            f"first divergence at round {self.round_idx}, layer {self.layer!r}: "
+            f"{self.digest_a[:12]}… vs {self.digest_b[:12]}…"
+        )
+
+
+def first_divergence(trace_a: HashTrace, trace_b: HashTrace) -> Divergence | None:
+    """The earliest entry where two traces differ, or None if identical.
+
+    A digest mismatch at the same ``(round, layer)`` slot reports that
+    slot.  Structural mismatches — different layer labels at the same
+    position, or traces of different lengths — are reported with
+    ``kind="structure"``, since they mean the runs did not even execute
+    the same sequence of observations.
+    """
+    for entry_a, entry_b in zip(trace_a.entries, trace_b.entries):
+        if (entry_a.round_idx, entry_a.layer) != (entry_b.round_idx, entry_b.layer):
+            return Divergence(
+                round_idx=min(entry_a.round_idx, entry_b.round_idx),
+                layer=entry_a.layer,
+                digest_a=f"{entry_a.round_idx}:{entry_a.layer}",
+                digest_b=f"{entry_b.round_idx}:{entry_b.layer}",
+                kind="structure",
+            )
+        if entry_a.digest != entry_b.digest:
+            return Divergence(
+                round_idx=entry_a.round_idx,
+                layer=entry_a.layer,
+                digest_a=entry_a.digest,
+                digest_b=entry_b.digest,
+            )
+    if len(trace_a) != len(trace_b):
+        longer = trace_a if len(trace_a) > len(trace_b) else trace_b
+        tail = longer.entries[min(len(trace_a), len(trace_b))]
+        return Divergence(
+            round_idx=tail.round_idx,
+            layer=tail.layer,
+            digest_a=f"len={len(trace_a)}",
+            digest_b=f"len={len(trace_b)}",
+            kind="structure",
+        )
+    return None
+
+
+def diff_traces(trace_a: HashTrace, trace_b: HashTrace) -> list[Divergence]:
+    """All positionally comparable digest mismatches between two traces."""
+    mismatches: list[Divergence] = []
+    for entry_a, entry_b in zip(trace_a.entries, trace_b.entries):
+        if (
+            entry_a.round_idx == entry_b.round_idx
+            and entry_a.layer == entry_b.layer
+            and entry_a.digest != entry_b.digest
+        ):
+            mismatches.append(
+                Divergence(
+                    round_idx=entry_a.round_idx,
+                    layer=entry_a.layer,
+                    digest_a=entry_a.digest,
+                    digest_b=entry_b.digest,
+                )
+            )
+    return mismatches

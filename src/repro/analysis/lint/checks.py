@@ -1,0 +1,648 @@
+"""The determinism-contract check battery.
+
+Each check is a small AST pass over one file.  They are deliberately
+repo-specific: the point is not generic style, it is the handful of
+invariants the equivalence matrix (sequential == pool == pipelined, in
+bits) rests on — stated once in prose in ``repro/fl/rng.py`` and
+``repro/fl/parallel.py``, enforced here at parse time.
+
+============  ========================================================
+check id      guards against
+============  ========================================================
+global-rng    randomness outside per-``(round, entity)``
+              :class:`~repro.fl.rng.RngStreams` keys: module-level
+              ``np.random.*`` draws, unseeded ``default_rng()``,
+              stdlib ``random``, time-derived seeds (PR 1's contract)
+dtype-        ``np.zeros/empty/ones/full/arange`` without ``dtype=``
+discipline    in the nn/fl/data hot paths — the PR 5 leak class
+              (``_col2im``/Dropout silently widening or narrowing)
+pickle-       lambdas / nested functions submitted to worker pools;
+safety        pool payloads must be module-level (PR 1/2 transport)
+parallel-     ``parallel_safe=True``/``cohort_safe=True`` classes
+safety        writing module globals in hot methods — state a worker
+              mutates never reaches the parent (PR 1's opt-in rule)
+shm-hygiene   ``SharedMemory(create=True)`` without an ``unlink`` on
+              a close/eviction/finally path in the same class (the
+              CI ``/dev/shm`` leak gate, moved to parse time; PR 2)
+unused-       module hygiene, mirroring the ruff rules CI pins
+import        (F401) so the tree stays clean even where ruff is not
+              installed (this container, offline dev boxes)
+mutable-      shared-default-object aliasing across calls (B006);
+default       a mutated default is cross-round hidden state
+============  ========================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+from repro.analysis.lint.findings import Finding
+
+#: Constructors that legitimately appear under ``numpy.random``: everything
+#: else there is a module-level stream (order-dependent, process-global).
+_NP_RANDOM_ALLOWED = {"default_rng", "SeedSequence", "Generator", "BitGenerator",
+                      "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937"}
+
+#: Wall-clock / OS entropy sources that make a seed non-reproducible.
+_NONDETERMINISTIC_SEED_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.randbits",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+}
+
+#: ``np.*`` array constructors whose dtype defaults are context-dependent
+#: (``arange`` infers from arguments, the rest default to float64 — until
+#: an upstream default or a caller-supplied operand changes the picture).
+_DTYPE_ALLOCATORS = {"zeros", "empty", "ones", "full", "arange"}
+
+#: Methods that ship their function argument across a process boundary.
+_POOL_SUBMIT_METHODS = {"submit", "map", "apply_async"}
+
+#: Method names that count as an eviction/close path for ``shm-hygiene``.
+_CLEANUP_METHOD_RE = re.compile(
+    r"close|evict|destroy|release|cleanup|unlink|reap|delete|__del__|__exit__"
+)
+
+_IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+@dataclass
+class FileContext:
+    """Everything one check invocation sees about one file."""
+
+    path: str  # posix-style path, as reported in findings
+    source: str
+    tree: ast.Module
+    #: Import-alias map: local binding -> fully qualified dotted prefix.
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(cls, path: str, source: str) -> "FileContext":
+        tree = ast.parse(source, filename=path)
+        ctx = cls(path=path, source=source, tree=tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    ctx.aliases[bound] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    ctx.aliases[bound] = f"{node.module}.{alias.name}"
+        return ctx
+
+    def qualname(self, node: ast.AST) -> str | None:
+        """Alias-resolved dotted name of a Name/Attribute chain, or None."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        root = self.aliases.get(parts[0], parts[0])
+        return ".".join([root, *parts[1:]])
+
+    def finding(self, check_id: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 0),
+            check_id=check_id,
+            message=message,
+        )
+
+
+class Check:
+    """One static check: an id, a scope, and a pass over a parsed file."""
+
+    check_id: ClassVar[str]
+    description: ClassVar[str]
+    #: Restrict the check to files whose posix path contains one of these
+    #: substrings (``None`` = every file).
+    path_scope: ClassVar[tuple[str, ...] | None] = None
+
+    def applies_to(self, path: str) -> bool:
+        if self.path_scope is None:
+            return True
+        return any(fragment in path for fragment in self.path_scope)
+
+    def run(self, ctx: FileContext) -> list[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Check] = {}
+
+
+def _register(cls: type[Check]) -> type[Check]:
+    instance = cls()
+    if cls.check_id in _REGISTRY:
+        raise ValueError(f"duplicate check id {cls.check_id!r}")
+    _REGISTRY[cls.check_id] = instance
+    return cls
+
+
+def all_checks() -> list[Check]:
+    """Every registered check, in registration (documentation) order."""
+    return list(_REGISTRY.values())
+
+
+def get_check(check_id: str) -> Check:
+    try:
+        return _REGISTRY[check_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown check {check_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# global-rng
+# ----------------------------------------------------------------------
+@_register
+class GlobalRngCheck(Check):
+    check_id = "global-rng"
+    description = (
+        "randomness must flow from RngStreams (round, entity) keys: no "
+        "module-level np.random draws, unseeded default_rng(), stdlib "
+        "random, or time-derived seeds"
+    )
+
+    def run(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.qualname(node.func)
+            if qual is None:
+                continue
+            if qual.startswith("numpy.random."):
+                tail = qual.removeprefix("numpy.random.").split(".")[0]
+                if tail not in _NP_RANDOM_ALLOWED:
+                    findings.append(ctx.finding(
+                        self.check_id, node,
+                        f"module-level RNG call {qual}(): draws from the "
+                        "process-global stream are order-dependent; derive a "
+                        "generator from RngStreams (repro/fl/rng.py) instead",
+                    ))
+                elif tail == "default_rng" and self._unseeded(node):
+                    findings.append(ctx.finding(
+                        self.check_id, node,
+                        "unseeded default_rng(): seeds from OS entropy, so "
+                        "runs are not reproducible; pass a seed or a "
+                        "SeedSequence spawned from RngStreams",
+                    ))
+            elif qual == "random" or qual.startswith("random."):
+                findings.append(ctx.finding(
+                    self.check_id, node,
+                    f"stdlib random call {qual}(): the random module is a "
+                    "process-global, unkeyed stream; use a numpy Generator "
+                    "derived from RngStreams",
+                ))
+            if qual in {"numpy.random.default_rng", "numpy.random.SeedSequence"} or (
+                qual.endswith(".from_seed")
+            ):
+                findings.extend(self._time_seeds(ctx, node))
+        return findings
+
+    @staticmethod
+    def _unseeded(node: ast.Call) -> bool:
+        if not node.args and not node.keywords:
+            return True
+        if len(node.args) == 1 and isinstance(node.args[0], ast.Constant):
+            return node.args[0].value is None
+        return False
+
+    def _time_seeds(self, ctx: FileContext, call: ast.Call) -> list[Finding]:
+        findings = []
+        for arg in [*call.args, *[kw.value for kw in call.keywords]]:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Call):
+                    qual = ctx.qualname(sub.func)
+                    if qual in _NONDETERMINISTIC_SEED_CALLS:
+                        findings.append(ctx.finding(
+                            self.check_id, sub,
+                            f"time/OS-entropy-derived seed ({qual}()): the "
+                            "seed must be a pure function of the experiment "
+                            "config so reruns reproduce bit-identically",
+                        ))
+        return findings
+
+
+# ----------------------------------------------------------------------
+# dtype-discipline
+# ----------------------------------------------------------------------
+@_register
+class DtypeDisciplineCheck(Check):
+    check_id = "dtype-discipline"
+    description = (
+        "np.zeros/empty/ones/full/arange in nn/fl/data hot paths must pass "
+        "an explicit dtype= (the PR 5 float64-leak class)"
+    )
+    path_scope = ("repro/nn", "repro/fl", "repro/data")
+
+    def run(self, ctx: FileContext) -> list[Finding]:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.qualname(node.func)
+            if qual is None or not qual.startswith("numpy."):
+                continue
+            tail = qual.removeprefix("numpy.")
+            if tail not in _DTYPE_ALLOCATORS:
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            findings.append(ctx.finding(
+                self.check_id, node,
+                f"np.{tail}() without explicit dtype=: allocation dtype must "
+                "be stated where weights/activations are built, or a silent "
+                "widening/narrowing breaks bit-identity (PR 5 leak class)",
+            ))
+        return findings
+
+
+# ----------------------------------------------------------------------
+# pickle-safety
+# ----------------------------------------------------------------------
+@_register
+class PickleSafetyCheck(Check):
+    check_id = "pickle-safety"
+    description = (
+        "functions shipped to pool workers (submit/map/apply_async, pool "
+        "initializers) must be module-level: lambdas and closures do not "
+        "pickle"
+    )
+
+    def run(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        self._visit(ctx, ctx.tree.body, nested_defs=[], findings=findings)
+        return findings
+
+    def _visit(self, ctx, body, nested_defs: list[set[str]], findings) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if nested_defs:
+                    # ``node`` is itself a local def inside a function: its
+                    # name is a closure candidate for the enclosing scopes.
+                    nested_defs[-1].add(node.name)
+                self._visit(ctx, node.body, nested_defs + [set()], findings)
+            elif isinstance(node, ast.ClassDef):
+                self._visit(ctx, node.body, nested_defs, findings)
+            else:
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Call):
+                        self._inspect_call(ctx, sub, nested_defs, findings)
+                    elif isinstance(sub, ast.Lambda):
+                        # Lambdas nested in non-call positions are handled
+                        # where they are submitted; nothing to do here.
+                        pass
+
+    def _inspect_call(self, ctx, call: ast.Call, nested_defs, findings) -> None:
+        local_names = set().union(*nested_defs) if nested_defs else set()
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in _POOL_SUBMIT_METHODS
+            and call.args
+        ):
+            task = call.args[0]
+            if isinstance(task, ast.Lambda):
+                findings.append(ctx.finding(
+                    self.check_id, task,
+                    f"lambda passed to .{call.func.attr}(): pool task "
+                    "payloads must be picklable module-level functions",
+                ))
+            elif isinstance(task, ast.Name) and task.id in local_names:
+                findings.append(ctx.finding(
+                    self.check_id, task,
+                    f"nested function {task.id!r} passed to "
+                    f".{call.func.attr}(): closures do not pickle; hoist it "
+                    "to module level",
+                ))
+        for kw in call.keywords:
+            if kw.arg == "initializer" and isinstance(kw.value, ast.Lambda):
+                findings.append(ctx.finding(
+                    self.check_id, kw.value,
+                    "lambda as pool initializer: worker initializers must "
+                    "be picklable module-level functions",
+                ))
+
+
+# ----------------------------------------------------------------------
+# parallel-safety
+# ----------------------------------------------------------------------
+@_register
+class ParallelSafetyCheck(Check):
+    check_id = "parallel-safety"
+    description = (
+        "classes declaring parallel_safe=True / cohort_safe=True must not "
+        "write module-level state in their methods: worker-side mutation "
+        "never reaches the parent process"
+    )
+
+    _FLAGS = {"parallel_safe", "cohort_safe"}
+
+    def run(self, ctx: FileContext) -> list[Finding]:
+        module_names = self._module_level_names(ctx.tree)
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and self._declares_safe(node):
+                findings.extend(
+                    self._check_class(ctx, node, module_names)
+                )
+        return findings
+
+    @staticmethod
+    def _module_level_names(tree: ast.Module) -> set[str]:
+        names: set[str] = set()
+        for node in tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+            elif isinstance(node, ast.Import):
+                names.update(a.asname or a.name.split(".")[0] for a in node.names)
+            elif isinstance(node, ast.ImportFrom):
+                names.update(
+                    a.asname or a.name for a in node.names if a.name != "*"
+                )
+        return names
+
+    def _declares_safe(self, cls: ast.ClassDef) -> bool:
+        for stmt in cls.body:
+            targets: list[ast.expr] = []
+            value = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in self._FLAGS
+                    and isinstance(value, ast.Constant)
+                    and value.value is True
+                ):
+                    return True
+        return False
+
+    def _check_class(self, ctx, cls: ast.ClassDef, module_names) -> list[Finding]:
+        findings = []
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__":
+                continue  # construction happens parent-side, before pickling
+            for node in ast.walk(method):
+                if isinstance(node, ast.Global):
+                    findings.append(ctx.finding(
+                        self.check_id, node,
+                        f"{cls.name}.{method.name} declares "
+                        f"'global {', '.join(node.names)}': a parallel-safe "
+                        "entity runs in worker processes, where module "
+                        "globals are per-process and silently diverge",
+                    ))
+                elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        node.targets if isinstance(node, ast.Assign) else [node.target]
+                    )
+                    for target in targets:
+                        root = self._attribute_root(target)
+                        if root is not None and root in module_names:
+                            findings.append(ctx.finding(
+                                self.check_id, node,
+                                f"{cls.name}.{method.name} writes "
+                                f"module-level object {root!r}: worker-side "
+                                "writes never reach the parent; keep hot-"
+                                "method state on self",
+                            ))
+        return findings
+
+    @staticmethod
+    def _attribute_root(target: ast.expr) -> str | None:
+        """Root Name of an attribute/subscript write target (not plain Name)."""
+        node = target
+        seen_container = False
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            seen_container = True
+            node = node.value
+        if seen_container and isinstance(node, ast.Name):
+            return node.id
+        return None
+
+
+# ----------------------------------------------------------------------
+# shm-hygiene
+# ----------------------------------------------------------------------
+@_register
+class ShmHygieneCheck(Check):
+    check_id = "shm-hygiene"
+    description = (
+        "every SharedMemory(create=True) needs a paired .unlink() on a "
+        "close/eviction/finally path in the same class, or /dev/shm leaks "
+        "survive the process"
+    )
+
+    def run(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        self._scan(ctx, ctx.tree.body, owner=None, findings=findings)
+        return findings
+
+    def _scan(self, ctx, body, owner, findings) -> None:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                self._scan(ctx, node.body, owner=node, findings=findings)
+            else:
+                for sub in ast.walk(node):
+                    if self._creates_segment(ctx, sub):
+                        scope = owner if owner is not None else ctx.tree
+                        if not self._has_cleanup_unlink(scope):
+                            where = (
+                                f"class {owner.name}" if owner is not None
+                                else "this module"
+                            )
+                            findings.append(ctx.finding(
+                                self.check_id, sub,
+                                "SharedMemory(create=True) without a "
+                                f".unlink() on a cleanup path in {where}: "
+                                "the segment outlives the process in "
+                                "/dev/shm",
+                            ))
+
+    @staticmethod
+    def _creates_segment(ctx, node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        qual = ctx.qualname(node.func)
+        if qual is None or not qual.split(".")[-1] == "SharedMemory":
+            return False
+        return any(
+            kw.arg == "create"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+            for kw in node.keywords
+        )
+
+    @staticmethod
+    def _has_cleanup_unlink(scope: ast.AST) -> bool:
+        """An ``.unlink()`` call inside a cleanup method or finally block."""
+        for node in ast.walk(scope):
+            method_ok = isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) and _CLEANUP_METHOD_RE.search(node.name)
+            final_ok = isinstance(node, ast.Try) and node.finalbody
+            search_bodies: list = []
+            if method_ok:
+                search_bodies.append(node)
+            elif final_ok:
+                search_bodies.extend(node.finalbody)
+            for body in search_bodies:
+                for sub in ast.walk(body):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "unlink"
+                    ):
+                        return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# unused-import (ruff F401 mirror)
+# ----------------------------------------------------------------------
+@_register
+class UnusedImportCheck(Check):
+    check_id = "unused-import"
+    description = (
+        "imports never referenced in the file (F401); __init__.py re-export "
+        "files are exempt"
+    )
+
+    def run(self, ctx: FileContext) -> list[Finding]:
+        if ctx.path.endswith("__init__.py"):
+            return []
+        imported: dict[str, ast.AST] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    name = alias.asname or alias.name.split(".")[0]
+                    imported.setdefault(name, node)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    if alias.asname == alias.name:
+                        continue  # `import x as x`: explicit re-export
+                    imported.setdefault(alias.asname or alias.name, node)
+        if not imported:
+            return []
+        used = self._used_names(ctx.tree)
+        return [
+            ctx.finding(
+                self.check_id, node,
+                f"unused import {name!r}",
+            )
+            for name, node in sorted(imported.items(), key=lambda kv: kv[0])
+            if name not in used
+        ]
+
+    @staticmethod
+    def _used_names(tree: ast.Module) -> set[str]:
+        used: set[str] = set()
+        annotation_roots: list[ast.AST] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                used.add(node.id)
+            elif isinstance(node, ast.arg) and node.annotation is not None:
+                annotation_roots.append(node.annotation)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.returns is not None:
+                    annotation_roots.append(node.returns)
+            elif isinstance(node, ast.AnnAssign):
+                annotation_roots.append(node.annotation)
+            elif isinstance(node, ast.Assign):
+                # ``__all__`` strings are references (re-export by name).
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == "__all__":
+                        for sub in ast.walk(node.value):
+                            if isinstance(sub, ast.Constant) and isinstance(
+                                sub.value, str
+                            ):
+                                used.add(sub.value)
+        # Under ``from __future__ import annotations`` (and in TYPE_CHECKING
+        # blocks) annotations may be string literals: their identifiers are
+        # genuine references.
+        for root in annotation_roots:
+            for sub in ast.walk(root):
+                if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                    used.update(_IDENTIFIER_RE.findall(sub.value))
+        return used
+
+
+# ----------------------------------------------------------------------
+# mutable-default (ruff B006 mirror)
+# ----------------------------------------------------------------------
+@_register
+class MutableDefaultCheck(Check):
+    check_id = "mutable-default"
+    description = (
+        "mutable default arguments (B006): the default is one shared object "
+        "across calls — cross-call hidden state, exactly what the "
+        "determinism contract forbids"
+    )
+
+    _FACTORY_CALLS = {"list", "dict", "set"}
+
+    def run(self, ctx: FileContext) -> list[Finding]:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = [
+                *node.args.defaults,
+                *[d for d in node.args.kw_defaults if d is not None],
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    name = getattr(node, "name", "<lambda>")
+                    findings.append(ctx.finding(
+                        self.check_id, default,
+                        f"mutable default argument in {name}(): defaults are "
+                        "evaluated once and shared across calls",
+                    ))
+        return findings
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._FACTORY_CALLS
+        )
+
+
+#: Stable id list, exported for --list-checks and the test battery.
+ALL_CHECK_IDS = tuple(_REGISTRY)

@@ -1,0 +1,119 @@
+"""Command line for the determinism lint.
+
+Reached two ways (both load the identical battery)::
+
+    PYTHONPATH=src python -m repro.analysis src benchmarks examples
+    PYTHONPATH=src python -m repro lint src benchmarks examples
+
+Exit status is 0 only when no non-grandfathered finding (and no parse
+error) remains, so ``set -e`` CI scripts gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.analysis.lint.checks import all_checks, get_check
+from repro.analysis.lint.engine import (
+    analyze_paths,
+    load_baseline,
+    render_json,
+    render_text,
+    save_baseline,
+)
+
+#: Paths linted when none are given (filtered to those that exist, so the
+#: command works from the repo root and from installed checkouts alike).
+DEFAULT_PATHS = ("src", "benchmarks", "examples")
+
+#: The committed grandfathering baseline (repo policy: empty).
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description=(
+            "Static determinism lint: enforce the bit-identity contract "
+            "(RngStreams-keyed randomness, dtype discipline, picklable "
+            "pool payloads, parallel-safe classes, shm hygiene)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help=f"files or directories to lint (default: {', '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json emits the machine-readable report)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="ID[,ID...]",
+        help="run only these check ids (default: the full battery)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=f"grandfathering baseline (default: {DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file: every finding fails the run",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-checks", action="store_true",
+        help="list check ids with their descriptions and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_checks:
+        for check in all_checks():
+            scope = (
+                f" [scope: {', '.join(check.path_scope)}]"
+                if check.path_scope else ""
+            )
+            print(f"{check.check_id}: {check.description}{scope}")
+        return 0
+
+    checks = None
+    if args.select:
+        checks = [get_check(cid.strip()) for cid in args.select.split(",")]
+
+    paths = list(args.paths) or [p for p in DEFAULT_PATHS if Path(p).exists()]
+    if not paths:
+        print("repro-lint: no paths to lint", file=sys.stderr)
+        return 2
+
+    baseline = set()
+    baseline_path = args.baseline
+    if baseline_path is None and Path(DEFAULT_BASELINE).exists():
+        baseline_path = DEFAULT_BASELINE
+    if baseline_path is not None and not args.no_baseline and not args.write_baseline:
+        baseline = load_baseline(baseline_path)
+
+    report = analyze_paths(paths, checks=checks, baseline=baseline)
+
+    if args.write_baseline:
+        target = args.baseline or DEFAULT_BASELINE
+        save_baseline(target, report.findings)
+        print(
+            f"repro-lint: wrote {len(report.findings)} finding(s) to {target}"
+        )
+        return 0
+
+    print(render_json(report) if args.format == "json" else render_text(report))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

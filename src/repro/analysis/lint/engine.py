@@ -1,0 +1,195 @@
+"""Run the check battery over sources and render the results.
+
+The engine is the only layer that knows about files, suppressions and the
+baseline; checks see one parsed :class:`~repro.analysis.lint.checks.FileContext`
+at a time and stay pure.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.lint.checks import Check, FileContext, all_checks
+from repro.analysis.lint.findings import (
+    BASELINE_VERSION,
+    Finding,
+    Suppression,
+    load_baseline,
+    parse_suppressions,
+    save_baseline,
+)
+
+__all__ = [
+    "BASELINE_VERSION",
+    "Finding",
+    "Report",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "save_baseline",
+]
+
+#: Directories never worth descending into.
+_SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", ".pytest_cache", "results"}
+
+
+@dataclass
+class Report:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    grandfathered: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    parse_errors: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing fails the run (grandfathered hits do not)."""
+        return not self.findings and not self.parse_errors
+
+    @property
+    def all_failures(self) -> list[Finding]:
+        return sorted([*self.parse_errors, *self.findings])
+
+
+def iter_python_files(paths: list[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: dict[Path, None] = {}
+    for entry in paths:
+        root = Path(entry)
+        if root.is_file():
+            if root.suffix == ".py":
+                seen.setdefault(root, None)
+            continue
+        if not root.is_dir():
+            raise FileNotFoundError(f"lint path does not exist: {root}")
+        for candidate in sorted(root.rglob("*.py")):
+            if any(part in _SKIP_DIRS for part in candidate.parts):
+                continue
+            seen.setdefault(candidate, None)
+    return sorted(seen)
+
+
+def analyze_source(
+    source: str,
+    path: str = "<memory>",
+    checks: list[Check] | None = None,
+    respect_scope: bool = True,
+) -> list[Finding]:
+    """Lint one source string (the unit the fixture tests drive).
+
+    ``path`` participates in check scoping (e.g. ``dtype-discipline`` only
+    fires under ``repro/nn``/``repro/fl``/``repro/data``); pass a
+    representative fake path, or ``respect_scope=False`` to force every
+    check on.  Suppression and bad-suppression semantics are identical to
+    the file path — this *is* the per-file engine.
+    """
+    checks = all_checks() if checks is None else checks
+    ctx = FileContext.from_source(path, source)
+    suppressions = parse_suppressions(source)
+    raw: list[Finding] = []
+    for check in checks:
+        if respect_scope and not check.applies_to(path):
+            continue
+        raw.extend(check.run(ctx))
+    return _apply_suppressions(path, raw, suppressions)
+
+
+def _apply_suppressions(
+    path: str, raw: list[Finding], suppressions: list[Suppression]
+) -> list[Finding]:
+    kept: list[Finding] = []
+    for finding in raw:
+        covering = [s for s in suppressions if s.covers(finding)]
+        if not covering:
+            kept.append(finding)
+    # A reasonless allow is a finding in its own right: suppressions must
+    # say *why*, or the next reader cannot audit them.
+    for suppression in suppressions:
+        if suppression.reason is None:
+            kept.append(Finding(
+                path=path,
+                line=suppression.line,
+                check_id="bad-suppression",
+                message=(
+                    "suppression without a reason: write "
+                    "'# repro: allow[check-id] -- why this is safe'"
+                ),
+            ))
+    return sorted(kept)
+
+
+def analyze_paths(
+    paths: list[str | Path],
+    checks: list[Check] | None = None,
+    baseline: set[tuple[str, str, str]] | None = None,
+    root: Path | None = None,
+) -> Report:
+    """Lint every Python file under ``paths``.
+
+    Finding paths are reported relative to ``root`` (default: the current
+    working directory) in posix form, which is also the identity the
+    baseline keys on.
+    """
+    checks = all_checks() if checks is None else checks
+    baseline = baseline or set()
+    root = Path.cwd() if root is None else Path(root)
+    report = Report()
+    for file_path in iter_python_files(paths):
+        try:
+            relative = file_path.resolve().relative_to(root.resolve())
+        except ValueError:
+            relative = file_path
+        rel = relative.as_posix()
+        report.files_scanned += 1
+        try:
+            source = file_path.read_text()
+            findings = analyze_source(source, path=rel, checks=checks)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            lineno = getattr(exc, "lineno", 0) or 0
+            report.parse_errors.append(Finding(
+                path=rel,
+                line=lineno,
+                check_id="parse-error",
+                message=f"file does not parse: {exc.msg if hasattr(exc, 'msg') else exc}",
+            ))
+            continue
+        for finding in findings:
+            if finding.baseline_key in baseline:
+                report.grandfathered.append(finding)
+            else:
+                report.findings.append(finding)
+    report.findings.sort()
+    report.grandfathered.sort()
+    return report
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_text(report: Report) -> str:
+    lines = [str(f) for f in report.all_failures]
+    if report.grandfathered:
+        lines.append(
+            f"({len(report.grandfathered)} grandfathered finding(s) "
+            "suppressed by baseline)"
+        )
+    status = "clean" if report.ok else f"{len(report.all_failures)} finding(s)"
+    lines.append(f"repro-lint: {report.files_scanned} file(s) scanned, {status}")
+    return "\n".join(lines)
+
+
+def render_json(report: Report) -> str:
+    payload = {
+        "version": BASELINE_VERSION,
+        "files_scanned": report.files_scanned,
+        "ok": report.ok,
+        "findings": [f.to_dict() for f in report.all_failures],
+        "grandfathered": [f.to_dict() for f in report.grandfathered],
+    }
+    return json.dumps(payload, indent=2)

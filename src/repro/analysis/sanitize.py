@@ -1,0 +1,168 @@
+"""Runtime sanitizer: dtype assertions and per-round/per-layer state hashing.
+
+The static battery (:mod:`repro.analysis.lint`) catches invariant
+violations it can see in the source; this module catches the ones that
+only manifest at runtime.  When sanitizing is on, the hot numeric paths
+grow two kinds of instrumentation:
+
+- **dtype assertions** — :class:`~repro.nn.network.Network` forward and
+  backward passes, and :class:`~repro.fl.simulation.FederatedSimulation`
+  aggregation, assert that every array they produce is ``float64``.  A
+  silent downcast (e.g. a ``float32`` constant leaking into a layer)
+  breaks the bit-identity contract long before any test notices drifting
+  accuracy; the sanitizer turns it into an immediate
+  :class:`SanitizeError` at the offending layer.
+- **state hashing** — every aggregated candidate is hashed per layer
+  into a :class:`HashTrace` (``(round, layer, digest)`` entries).  Two
+  engines that should commit bit-identical models must produce identical
+  traces; :mod:`repro.analysis.divergence` diffs two traces and reports
+  the first ``(round, layer)`` where they part ways.
+
+Sanitizing is enabled by the ``REPRO_SANITIZE=1`` environment variable
+(environment-based so forked pool workers inherit it) or per-experiment
+via ``ExperimentConfig(sanitize=True)``, which wraps the run in
+:func:`scope`.  This module imports nothing from the rest of ``repro``
+so the hot paths can import it lazily without cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+#: Environment variable that switches the sanitizer on.
+ENV_FLAG = "REPRO_SANITIZE"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+class SanitizeError(AssertionError):
+    """A runtime invariant violation caught by the sanitizer."""
+
+
+def enabled() -> bool:
+    """True when ``REPRO_SANITIZE`` is set to a truthy value."""
+    return os.environ.get(ENV_FLAG, "").strip().lower() in _TRUTHY
+
+
+@contextmanager
+def scope(active: bool = True):
+    """Enable sanitizing for the duration of a ``with`` block.
+
+    Implemented by setting :data:`ENV_FLAG` in ``os.environ`` rather
+    than a module global, so process-pool workers forked inside the
+    block inherit the setting.  The previous value is restored on exit.
+    """
+    if not active:
+        yield
+        return
+    previous = os.environ.get(ENV_FLAG)
+    os.environ[ENV_FLAG] = "1"
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_FLAG, None)
+        else:
+            os.environ[ENV_FLAG] = previous
+
+
+# ----------------------------------------------------------------------
+# Assertions
+# ----------------------------------------------------------------------
+def assert_dtype(
+    array: np.ndarray, where: str, dtype: np.dtype | type = np.float64
+) -> None:
+    """Raise :class:`SanitizeError` unless ``array`` has exactly ``dtype``."""
+    if not isinstance(array, np.ndarray):
+        raise SanitizeError(f"{where}: expected ndarray, got {type(array).__name__}")
+    if array.dtype != np.dtype(dtype):
+        raise SanitizeError(
+            f"{where}: expected dtype {np.dtype(dtype)}, got {array.dtype} "
+            "(a silent downcast here breaks the bit-identity contract)"
+        )
+
+
+def assert_finite(array: np.ndarray, where: str) -> None:
+    """Raise :class:`SanitizeError` if ``array`` contains NaN or inf."""
+    if not np.isfinite(array).all():
+        raise SanitizeError(f"{where}: array contains non-finite values")
+
+
+# ----------------------------------------------------------------------
+# Hashing
+# ----------------------------------------------------------------------
+def hash_array(array: np.ndarray) -> str:
+    """Content digest of an array, sensitive to dtype, shape, and bytes."""
+    contiguous = np.ascontiguousarray(array)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(contiguous.dtype).encode())
+    digest.update(str(contiguous.shape).encode())
+    digest.update(contiguous.tobytes())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One hashed observation: a named layer's state at a given round."""
+
+    round_idx: int
+    layer: str
+    digest: str
+
+    def to_dict(self) -> dict:
+        return {"round": self.round_idx, "layer": self.layer, "digest": self.digest}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceEntry":
+        return cls(
+            round_idx=int(data["round"]),
+            layer=str(data["layer"]),
+            digest=str(data["digest"]),
+        )
+
+
+@dataclass
+class HashTrace:
+    """Ordered per-round, per-layer digests of a run's committed state.
+
+    Entries are appended in execution order; two runs of the same
+    configuration must produce element-wise identical traces.
+    """
+
+    entries: list[TraceEntry] = field(default_factory=list)
+
+    def record(self, round_idx: int, layer: str, digest: str) -> None:
+        self.entries.append(TraceEntry(round_idx, layer, digest))
+
+    def record_model(self, round_idx: int, model) -> None:
+        """Hash every parameter of a ``Network``-like model into the trace.
+
+        Layer labels are ``"{index}:{param.name}"`` — the index
+        disambiguates identically named parameters on different layers.
+        """
+        for index, param in enumerate(model.parameters()):
+            self.record(round_idx, f"{index}:{param.name}", hash_array(param.value))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def to_dicts(self) -> list[dict]:
+        return [entry.to_dict() for entry in self.entries]
+
+    @classmethod
+    def from_dicts(cls, rows: list[dict]) -> "HashTrace":
+        return cls(entries=[TraceEntry.from_dict(row) for row in rows])
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dicts(), indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "HashTrace":
+        return cls.from_dicts(json.loads(Path(path).read_text()))

@@ -72,7 +72,7 @@ class Dataset:
         if n > len(self):
             raise ValueError(f"cannot take {n} samples from dataset of size {len(self)}")
         if rng is None:
-            return self.subset(np.arange(n))
+            return self.subset(np.arange(n, dtype=np.intp))
         return self.subset(rng.choice(len(self), size=n, replace=False))
 
     @staticmethod
@@ -101,7 +101,7 @@ class Dataset:
         counts = self.class_counts()
         total = counts.sum()
         if total == 0:
-            return np.zeros(self.num_classes)
+            return np.zeros(self.num_classes, dtype=np.float64)
         return counts / total
 
     def with_labels(self, y: np.ndarray) -> "Dataset":

@@ -50,7 +50,7 @@ def dirichlet_partition(
     for cls in np.unique(labels):
         cls_idx = np.flatnonzero(labels == cls)
         rng.shuffle(cls_idx)
-        shares = rng.dirichlet(np.full(num_clients, alpha))
+        shares = rng.dirichlet(np.full(num_clients, alpha, dtype=np.float64))
         # Convert shares to integer counts that sum to len(cls_idx).
         counts = np.floor(shares * len(cls_idx)).astype(np.int64)
         remainder = len(cls_idx) - counts.sum()

@@ -133,7 +133,7 @@ class SyntheticCifar:
         """Smooth per-class colour patterns in [0, 1], shape (K, 3, H, W)."""
         coarse = rng.uniform(0.0, 1.0, size=(self.num_classes, 3, 4, 4))
         factor = self.image_size // 4
-        smooth = np.kron(coarse, np.ones((1, 1, factor, factor)))
+        smooth = np.kron(coarse, np.ones((1, 1, factor, factor), dtype=np.float64))
         # Add a class-specific base colour so classes differ in both texture
         # and hue (keeps the task learnable at small image sizes).
         base = rng.uniform(0.2, 0.8, size=(self.num_classes, 3, 1, 1))
@@ -141,12 +141,12 @@ class SyntheticCifar:
 
     def _make_stripe_pattern(self) -> np.ndarray:
         """Alternating bright rows, shape (1, H, W) broadcast over channels."""
-        rows = (np.arange(self.image_size) % 2 == 0).astype(np.float64)
+        rows = (np.arange(self.image_size, dtype=np.intp) % 2 == 0).astype(np.float64)
         return np.broadcast_to(rows[:, None], (self.image_size, self.image_size)).copy()
 
     def _make_border_mask(self) -> np.ndarray:
         """Background region: the 1-pixel image border plus corners band."""
-        mask = np.zeros((self.image_size, self.image_size))
+        mask = np.zeros((self.image_size, self.image_size), dtype=np.float64)
         border = max(1, self.image_size // 8)
         mask[:border, :] = 1.0
         mask[-border:, :] = 1.0

@@ -76,7 +76,8 @@ class SyntheticFemnist:
             0.0, 0.05, size=(num_writers, image_size, image_size)
         )
         self._writer_class_probs = structure_rng.dirichlet(
-            np.full(num_classes, class_concentration), size=num_writers
+            np.full(num_classes, class_concentration, dtype=np.float64),
+            size=num_writers,
         )
 
     # ------------------------------------------------------------------
@@ -106,7 +107,7 @@ class SyntheticFemnist:
         """Draw ``n`` samples produced by one writer (their class skew applies)."""
         self._check_writer(writer)
         labels = rng.choice(self.num_classes, size=n, p=self._writer_class_probs[writer])
-        images = self._render(labels, np.full(n, writer), rng)
+        images = self._render(labels, np.full(n, writer, dtype=np.int64), rng)
         return Dataset(_maybe_flatten(images, flat), labels, self.num_classes)
 
     def sample(
@@ -135,7 +136,7 @@ class SyntheticFemnist:
         """Draw ``n`` samples of a specific class from a specific writer."""
         self._check_writer(writer)
         labels = np.full(n, label, dtype=np.int64)
-        images = self._render(labels, np.full(n, writer), rng)
+        images = self._render(labels, np.full(n, writer, dtype=np.int64), rng)
         return Dataset(_maybe_flatten(images, flat), labels, self.num_classes)
 
     # ------------------------------------------------------------------
@@ -150,7 +151,7 @@ class SyntheticFemnist:
                 flat_idx = rng.choice(16, size=3, replace=False)
                 coarse[k].ravel()[flat_idx] = 1.0
         factor = self.image_size // 4
-        glyphs = np.kron(coarse, np.ones((factor, factor)))
+        glyphs = np.kron(coarse, np.ones((factor, factor), dtype=np.float64))
         return 0.9 * glyphs
 
     def _render(

@@ -8,9 +8,13 @@ Usage::
     python -m repro fig4    --dataset cifar
     python -m repro table2
     python -m repro fig2
+    python -m repro lint    src benchmarks examples
 
-Each subcommand prints the corresponding paper artefact as text (the same
-renderers the benchmark suite uses).
+Each experiment subcommand prints the corresponding paper artefact as
+text (the same renderers the benchmark suite uses) and accepts
+``--sanitize`` to run under the runtime sanitizer
+(:mod:`repro.analysis.sanitize`).  ``lint`` runs the static determinism
+battery (:mod:`repro.analysis.lint`) and exits nonzero on findings.
 """
 
 from __future__ import annotations
@@ -72,6 +76,7 @@ def cmd_detect(args: argparse.Namespace) -> None:
         cohort_size=args.cohort_size,
         codec=args.codec,
         allow_lossy=args.allow_lossy,
+        sanitize=args.sanitize,
     )
     stats = run_detection_experiment(
         config, _seeds(args), seed_workers=args.seed_workers
@@ -89,6 +94,7 @@ def cmd_table1(args: argparse.Namespace) -> None:
         execution_mode=args.exec_mode, pipeline_depth=args.pipeline_depth,
         cohort_size=args.cohort_size,
         codec=args.codec, allow_lossy=args.allow_lossy,
+        sanitize=args.sanitize,
     )
     results = sweep_lookback(
         base, (10, 20, 30), splits, seeds=_seeds(args),
@@ -107,6 +113,7 @@ def cmd_fig3(args: argparse.Namespace) -> None:
         pipeline_depth=args.pipeline_depth,
         cohort_size=args.cohort_size,
         codec=args.codec, allow_lossy=args.allow_lossy,
+        sanitize=args.sanitize,
     )
     results = sweep_quorum(
         base, quorums, splits, seeds=_seeds(args), seed_workers=args.seed_workers
@@ -124,6 +131,7 @@ def cmd_table2(args: argparse.Namespace) -> None:
             workers=args.workers, model_store=args.store,
             execution_mode=args.exec_mode, pipeline_depth=args.pipeline_depth,
             cohort_size=args.cohort_size, codec=args.codec, allow_lossy=args.allow_lossy,
+            sanitize=args.sanitize,
         )
         results[split] = run_adaptive_experiment(
             config, _seeds(args), seed_workers=args.seed_workers
@@ -140,6 +148,7 @@ def cmd_fig2(args: argparse.Namespace) -> None:
         execution_mode=args.exec_mode, pipeline_depth=args.pipeline_depth,
         cohort_size=args.cohort_size,
         codec=args.codec, allow_lossy=args.allow_lossy,
+        sanitize=args.sanitize,
     )
     # fig2 is a single paired clean/poisoned trace, not a seed sweep: a
     # fixed seed matches fig4's convention (--seeds used to leak in as the
@@ -167,6 +176,7 @@ def cmd_fig4(args: argparse.Namespace) -> None:
         execution_mode=args.exec_mode, pipeline_depth=args.pipeline_depth,
         cohort_size=args.cohort_size,
         codec=args.codec, allow_lossy=args.allow_lossy,
+        sanitize=args.sanitize,
     )
     undefended = run_early_scenario(config, seed=0, defense_start=None)
     defended = run_early_scenario(config, seed=0, defense_start=106)
@@ -183,6 +193,18 @@ def cmd_fig4(args: argparse.Namespace) -> None:
             x=list(range(len(undefended.main_accuracy))),
         )
     )
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Forward to the static-analysis battery's own CLI.
+
+    Lazy import: the lint battery is self-contained and the experiment
+    harness should not pay for it (or its transitive imports) on every
+    invocation.
+    """
+    from repro.analysis.lint.cli import main as lint_main
+
+    return lint_main(args.lint_args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -232,6 +254,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admit a lossy codec (quantized, topk): trades "
                             "the bit-identical engine-equivalence guarantee "
                             "for ~5-10x transport reduction")
+        p.add_argument("--sanitize", action="store_true",
+                       help="run under the runtime sanitizer "
+                            "(repro.analysis.sanitize): dtype assertions "
+                            "on forward/backward/aggregation plus "
+                            "per-round/per-layer state hashing; equivalent "
+                            "to REPRO_SANITIZE=1")
         for flag, kwargs in extra_args.items():
             p.add_argument(flag, **kwargs)
         p.set_defaults(fn=fn)
@@ -252,13 +280,30 @@ def build_parser() -> argparse.ArgumentParser:
     add("table2", cmd_table2)
     add("fig2", cmd_fig2)
     add("fig4", cmd_fig4)
+
+    lint = sub.add_parser(
+        "lint",
+        add_help=False,
+        help="static determinism lint (repro.analysis); exits nonzero "
+             "on findings",
+    )
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER)
+    lint.set_defaults(fn=cmd_lint)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Dispatch ``lint`` before argparse: its flags belong to the lint
+    # battery's own parser, and argparse.REMAINDER refuses option-like
+    # leading tokens (e.g. ``repro lint --list-checks``).
+    if argv[:1] == ["lint"]:
+        from repro.analysis.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
-    args.fn(args)
-    return 0
+    code = args.fn(args)
+    return 0 if code is None else int(code)
 
 
 if __name__ == "__main__":

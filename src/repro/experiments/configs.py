@@ -10,7 +10,7 @@ budgets (see DESIGN.md, substitution table).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.fl.compression import codec_names, make_codec
 from repro.fl.model_store import STORE_KINDS
@@ -112,6 +112,12 @@ class ExperimentConfig:
     # guarantee and must be opted into via ``allow_lossy``.
     codec: str = "identity"
     allow_lossy: bool = False
+    # Runtime sanitizer (repro.analysis.sanitize): dtype assertions on
+    # the hot numeric paths plus per-round/per-layer candidate hashing.
+    # Pure instrumentation — it never changes the committed trajectory —
+    # so it stays out of ``environment_key`` like the engine knobs.
+    # Equivalent to running under ``REPRO_SANITIZE=1``.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.dataset not in _DATASETS:

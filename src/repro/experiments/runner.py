@@ -24,7 +24,7 @@ from repro.experiments.metrics import (
     aggregate_stats,
     detection_stats,
 )
-from repro.experiments.scenarios import StableRunResult, run_stable_scenario
+from repro.experiments.scenarios import run_stable_scenario
 
 #: The paper averages each cell over 5 repeated experiments.
 DEFAULT_SEEDS = (0, 1, 2, 3, 4)

@@ -11,6 +11,7 @@
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -297,22 +298,32 @@ def run_error_trace(
 # ----------------------------------------------------------------------
 # Shared builders
 # ----------------------------------------------------------------------
+@contextmanager
 def _engine(config: ExperimentConfig):
     """The round-execution engine a scenario config asks for.
 
     One factory decides workers, store backend and execution mode together
     (:func:`repro.fl.parallel.make_engine`), so a process pool can never
     silently run on pipe transport because the store was built elsewhere.
+
+    ``config.sanitize`` turns the runtime sanitizer on for the engine's
+    whole lifetime via :func:`repro.analysis.sanitize.scope` — the scope
+    is entered *before* the engine so pool workers forked at engine
+    startup inherit the ``REPRO_SANITIZE`` environment flag.
     """
-    return make_engine(
-        config.workers,
-        store=config.model_store,
-        mode=config.execution_mode,
-        pipeline_depth=config.pipeline_depth,
-        codec=config.codec,
-        require_lossless=not config.allow_lossy,
-        cohort_size=config.cohort_size,
-    )
+    from repro.analysis import sanitize
+
+    with sanitize.scope(config.sanitize):
+        with make_engine(
+            config.workers,
+            store=config.model_store,
+            mode=config.execution_mode,
+            pipeline_depth=config.pipeline_depth,
+            codec=config.codec,
+            require_lossless=not config.allow_lossy,
+            cohort_size=config.cohort_size,
+        ) as engine:
+            yield engine
 
 
 def _build_defense(config: ExperimentConfig, env: Environment) -> BaffleDefense:

@@ -58,7 +58,7 @@ constructor parameters.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -262,7 +262,7 @@ class QuantizedCodec(WeightCodec):
         n = flat.shape[0]
         chunk = min(self.chunk, n) if n else self.chunk
         if n:
-            starts = np.arange(0, n, chunk)
+            starts = np.arange(0, n, chunk, dtype=np.intp)
             lo = np.minimum.reduceat(flat, starts).astype(np.float32)
             hi = np.maximum.reduceat(flat, starts).astype(np.float32)
             scale = (hi.astype(np.float64) - lo.astype(np.float64)) / self._LEVELS
@@ -312,7 +312,7 @@ class QuantizedCodec(WeightCodec):
         if not n:
             return 0.0
         chunk = min(self.chunk, n)
-        starts = np.arange(0, n, chunk)
+        starts = np.arange(0, n, chunk, dtype=np.intp)
         lo = np.minimum.reduceat(flat, starts)
         spread = np.maximum.reduceat(flat, starts) - lo
         offset_rounding = float(np.max(np.abs(lo))) * float(

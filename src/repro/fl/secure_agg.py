@@ -43,7 +43,7 @@ def make_pairwise_masks(
     """
     if len(set(client_ids)) != len(client_ids):
         raise ValueError("client ids must be unique")
-    masks = {cid: np.zeros(dim) for cid in client_ids}
+    masks = {cid: np.zeros(dim, dtype=np.float64) for cid in client_ids}
     ordered = sorted(client_ids)
     for a_pos, a in enumerate(ordered):
         for b in ordered[a_pos + 1 :]:
@@ -88,7 +88,7 @@ class SecureAggregator:
             raise ValueError(
                 f"need submissions from exactly {sorted(self._client_ids)}, got {got}"
             )
-        total = np.zeros(self._dim)
+        total = np.zeros(self._dim, dtype=np.float64)
         for submission in submissions:
             total += submission.blinded
         return total

@@ -39,6 +39,7 @@ the base model, so this does not arise in practice.)
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
@@ -325,6 +326,20 @@ class FederatedSimulation:
         self._issued_high = -1
         self.round_idx = 0
         self.history: list[RoundRecord] = []
+        #: Runtime sanitizer (repro.analysis.sanitize), bound when
+        #: REPRO_SANITIZE is truthy at construction.  Imported lazily —
+        #: repro.analysis imports back into repro.fl, so a module-level
+        #: import would be cyclic.  When active, every aggregated
+        #: candidate is dtype-checked and hashed per layer into
+        #: ``sanitize_trace`` for cross-engine divergence diffing.
+        self._sanitize = None
+        self.sanitize_trace = None
+        if os.environ.get("REPRO_SANITIZE"):
+            from repro.analysis import sanitize
+
+            if sanitize.enabled():
+                self._sanitize = sanitize
+                self.sanitize_trace = sanitize.HashTrace()
 
     # ------------------------------------------------------------------
     # Round loop (synchronous)
@@ -637,6 +652,11 @@ class FederatedSimulation:
             candidate_flat = self._codec.canonicalize(candidate_flat)
         candidate = self.global_model.clone()
         candidate.set_flat(candidate_flat)
+        if self._sanitize is not None:
+            self._sanitize.assert_dtype(
+                candidate_flat, f"aggregate[round {round_idx}]"
+            )
+            self.sanitize_trace.record_model(round_idx, candidate)
         return candidate, candidate_flat
 
     def _combine(

@@ -30,10 +30,10 @@ class BatchNorm1d(Layer):
         self.num_features = num_features
         self.momentum = momentum
         self.eps = eps
-        self.gamma = Parameter(np.ones(num_features), "bn.gamma")
-        self.beta = Parameter(np.zeros(num_features), "bn.beta")
-        self.running_mean = np.zeros(num_features)
-        self.running_var = np.ones(num_features)
+        self.gamma = Parameter(np.ones(num_features, dtype=np.float64), "bn.gamma")
+        self.beta = Parameter(np.zeros(num_features, dtype=np.float64), "bn.beta")
+        self.running_mean = np.zeros(num_features, dtype=np.float64)
+        self.running_var = np.ones(num_features, dtype=np.float64)
         self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     def parameters(self) -> list[Parameter]:

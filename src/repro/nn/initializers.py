@@ -42,4 +42,4 @@ def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarr
 def zeros_init(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     """All-zeros initialization (biases)."""
     del rng  # deterministic; generator accepted for interface uniformity
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=np.float64)

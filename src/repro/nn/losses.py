@@ -38,13 +38,13 @@ class SoftmaxCrossEntropy:
         log_probs = log_softmax(logits)
         self._probs = np.exp(log_probs)
         self._targets = targets
-        return float(-log_probs[np.arange(len(targets)), targets].mean())
+        return float(-log_probs[np.arange(len(targets), dtype=np.intp), targets].mean())
 
     def backward(self) -> np.ndarray:
         if self._probs is None or self._targets is None:
             raise RuntimeError("backward called before forward")
         grad = self._probs.copy()
-        grad[np.arange(len(self._targets)), self._targets] -= 1.0
+        grad[np.arange(len(self._targets), dtype=np.intp), self._targets] -= 1.0
         return grad / len(self._targets)
 
 

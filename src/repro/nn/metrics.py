@@ -95,7 +95,7 @@ def _normalize(
             raise ValueError("confusion matrix is empty")
         return wrong / total
     if normalize == "class":
-        out = np.zeros(len(wrong))
+        out = np.zeros(len(wrong), dtype=np.float64)
         nonzero = class_counts > 0
         out[nonzero] = wrong[nonzero] / class_counts[nonzero]
         return out

@@ -10,12 +10,28 @@ parameters both as structured per-layer arrays and as a single flat
 from __future__ import annotations
 
 import copy
+import os
 from collections.abc import Sequence
 
 import numpy as np
 
 from repro.nn.layers import Layer, Parameter
 from repro.nn.losses import softmax
+
+
+def _sanitizer():
+    """The :mod:`repro.analysis.sanitize` module when sanitizing is on, else None.
+
+    Imported lazily at call time: ``repro.analysis`` imports back into
+    ``repro.fl`` (which imports this module), so a module-level import
+    here would be cyclic.  The cheap env-var check keeps the disabled
+    path free of any import machinery.
+    """
+    if not os.environ.get("REPRO_SANITIZE"):
+        return None
+    from repro.analysis import sanitize
+
+    return sanitize if sanitize.enabled() else None
 
 
 class Network:
@@ -29,14 +45,26 @@ class Network:
     # ------------------------------------------------------------------
     def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
         out = np.asarray(x, dtype=np.float64)
-        for layer in self.layers:
+        sanitize = _sanitizer()
+        for index, layer in enumerate(self.layers):
             out = layer.forward(out, train=train)
+            if sanitize is not None:
+                sanitize.assert_dtype(
+                    out, f"forward[{index}:{type(layer).__name__}]"
+                )
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         grad = grad_out
-        for layer in reversed(self.layers):
+        sanitize = _sanitizer()
+        for index, layer in zip(
+            range(len(self.layers) - 1, -1, -1), reversed(self.layers)
+        ):
             grad = layer.backward(grad)
+            if sanitize is not None:
+                sanitize.assert_dtype(
+                    grad, f"backward[{index}:{type(layer).__name__}]"
+                )
         return grad
 
     def __call__(self, x: np.ndarray, train: bool = False) -> np.ndarray:
@@ -60,7 +88,7 @@ class Network:
         """Concatenate all parameter values into one flat vector (a copy)."""
         params = self.parameters()
         if not params:
-            return np.zeros(0)
+            return np.zeros(0, dtype=np.float64)
         return np.concatenate([p.value.ravel() for p in params])
 
     def set_flat(self, vector: np.ndarray) -> None:
@@ -78,7 +106,7 @@ class Network:
         """Concatenate all parameter gradients into one flat vector."""
         params = self.parameters()
         if not params:
-            return np.zeros(0)
+            return np.zeros(0, dtype=np.float64)
         return np.concatenate([p.grad.ravel() for p in params])
 
     # ------------------------------------------------------------------

@@ -630,7 +630,7 @@ class StackedNetwork:
         """``(M, P)`` flat weight matrix (rows match ``Network.get_flat``)."""
         params = self.parameters()
         if not params:
-            return np.zeros((self.num_models, 0))
+            return np.zeros((self.num_models, 0), dtype=np.float64)
         return np.concatenate(
             [p.value.reshape(self.num_models, -1) for p in params], axis=1
         )
@@ -683,7 +683,9 @@ def stacked_softmax_ce_grad(logits: np.ndarray, targets: np.ndarray) -> np.ndarr
     if targets.shape != (m, b):
         raise ValueError(f"targets shape {targets.shape} != {(m, b)}")
     grad = np.exp(log_softmax(logits))
-    grad[np.arange(m)[:, None], np.arange(b)[None, :], targets] -= 1.0
+    grad[
+        np.arange(m, dtype=np.intp)[:, None], np.arange(b, dtype=np.intp)[None, :], targets
+    ] -= 1.0
     np.divide(grad, b, out=grad)
     return grad
 
@@ -709,7 +711,7 @@ def clip_gradients_stacked(
         sums = (p.grad**2).reshape(num_models, -1).sum(axis=1)
         for m in range(num_models):
             totals[m] += float(sums[m])
-    scales = np.ones(num_models)
+    scales = np.ones(num_models, dtype=np.float64)
     any_clipped = False
     for m in range(num_models):
         if active is not None and not active[m]:

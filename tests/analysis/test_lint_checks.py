@@ -1,0 +1,443 @@
+"""Fixture battery for the static determinism lint.
+
+Every check gets three snippets: one that violates it (the check must
+fire), one that is clean (it must stay silent), and one where the
+violation carries a ``repro: allow[...]`` suppression with a reason (it
+must stay silent too).  A reasonless suppression is itself a finding.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.lint.checks import ALL_CHECK_IDS, all_checks, get_check
+from repro.analysis.lint.engine import analyze_source
+
+#: Path under which scoped checks (dtype-discipline) apply.
+SCOPED_PATH = "src/repro/fl/example.py"
+
+
+def run_check(source: str, check_id: str, path: str = SCOPED_PATH):
+    return analyze_source(
+        textwrap.dedent(source), path, checks=[get_check(check_id)]
+    )
+
+
+def check_ids(findings):
+    return [f.check_id for f in findings]
+
+
+def test_registry_covers_the_documented_battery():
+    assert set(ALL_CHECK_IDS) == {
+        "global-rng",
+        "dtype-discipline",
+        "pickle-safety",
+        "parallel-safety",
+        "shm-hygiene",
+        "unused-import",
+        "mutable-default",
+    }
+    assert [c.check_id for c in all_checks()] == list(ALL_CHECK_IDS)
+
+
+class TestGlobalRng:
+    def test_violations_fire(self):
+        findings = run_check(
+            """\
+            import random
+            import time
+            import numpy as np
+
+            x = np.random.rand(3)
+            rng = np.random.default_rng()
+            y = random.random()
+            r2 = np.random.default_rng(time.time_ns())
+            """,
+            "global-rng",
+        )
+        assert check_ids(findings) == ["global-rng"] * 4
+        assert "process-global stream" in findings[0].message
+        assert "unseeded" in findings[1].message
+        assert "stdlib random" in findings[2].message
+        assert "time/OS-entropy" in findings[3].message
+
+    def test_keyed_randomness_is_clean(self):
+        findings = run_check(
+            """\
+            import numpy as np
+
+            def train(seed_seq):
+                rng = np.random.default_rng(seed_seq)
+                return rng.normal(size=3)
+            """,
+            "global-rng",
+        )
+        assert findings == []
+
+    def test_suppressed_with_reason_is_silent(self):
+        findings = run_check(
+            """\
+            import numpy as np
+
+            x = np.random.rand(3)  # repro: allow[global-rng] -- fixture data only
+            """,
+            "global-rng",
+        )
+        assert findings == []
+
+    def test_reasonless_suppression_is_a_finding(self):
+        findings = run_check(
+            """\
+            import numpy as np
+
+            x = np.random.rand(3)  # repro: allow[global-rng]
+            """,
+            "global-rng",
+        )
+        assert check_ids(findings) == ["bad-suppression"]
+
+
+class TestDtypeDiscipline:
+    def test_missing_dtype_fires(self):
+        findings = run_check(
+            """\
+            import numpy as np
+
+            a = np.zeros(3)
+            b = np.arange(7)
+            """,
+            "dtype-discipline",
+        )
+        assert check_ids(findings) == ["dtype-discipline"] * 2
+
+    def test_explicit_dtype_is_clean(self):
+        findings = run_check(
+            """\
+            import numpy as np
+
+            a = np.zeros(3, dtype=np.float64)
+            b = np.arange(7, dtype=np.intp)
+            """,
+            "dtype-discipline",
+        )
+        assert findings == []
+
+    def test_scope_excludes_non_hot_paths(self):
+        findings = run_check(
+            "import numpy as np\n\na = np.zeros(3)\n",
+            "dtype-discipline",
+            path="src/repro/experiments/report_tool.py",
+        )
+        assert findings == []
+
+    def test_suppressed_with_reason_is_silent(self):
+        findings = run_check(
+            """\
+            import numpy as np
+
+            a = np.zeros(3)  # repro: allow[dtype-discipline] -- dtype set by caller contract
+            """,
+            "dtype-discipline",
+        )
+        assert findings == []
+
+
+class TestPickleSafety:
+    def test_lambda_and_closure_submissions_fire(self):
+        findings = run_check(
+            """\
+            def run(pool, items):
+                pool.map(lambda x: x + 1, items)
+
+            def outer(pool):
+                def task(x):
+                    return x
+                pool.submit(task, 1)
+
+            def make_pool(executor_cls):
+                return executor_cls(initializer=lambda: None)
+            """,
+            "pickle-safety",
+        )
+        assert check_ids(findings) == ["pickle-safety"] * 3
+        assert "lambda" in findings[0].message
+        assert "nested function 'task'" in findings[1].message
+        assert "initializer" in findings[2].message
+
+    def test_module_level_task_is_clean(self):
+        findings = run_check(
+            """\
+            def task(x):
+                return x
+
+            def run(pool):
+                pool.submit(task, 1)
+                pool.map(task, range(3))
+            """,
+            "pickle-safety",
+        )
+        assert findings == []
+
+    def test_suppressed_with_reason_is_silent(self):
+        findings = run_check(
+            """\
+            def run(pool, items):
+                pool.map(lambda x: x + 1, items)  # repro: allow[pickle-safety] -- thread pool, no pickling
+            """,
+            "pickle-safety",
+        )
+        assert findings == []
+
+
+class TestParallelSafety:
+    def test_module_global_writes_in_safe_class_fire(self):
+        findings = run_check(
+            """\
+            CACHE = {}
+
+            class Thing:
+                parallel_safe = True
+
+                def hot(self, key, value):
+                    CACHE[key] = value
+
+                def hotter(self):
+                    global COUNT
+                    COUNT = 1
+            """,
+            "parallel-safety",
+        )
+        assert [f.check_id for f in findings].count("parallel-safety") >= 2
+        assert any("CACHE" in f.message for f in findings)
+        assert any("global COUNT" in f.message for f in findings)
+
+    def test_unflagged_class_and_self_state_are_clean(self):
+        findings = run_check(
+            """\
+            CACHE = {}
+
+            class Unflagged:
+                def hot(self, key, value):
+                    CACHE[key] = value
+
+            class Safe:
+                parallel_safe = True
+
+                def __init__(self):
+                    CACHE["init"] = 1
+
+                def hot(self, value):
+                    self.state = value
+            """,
+            "parallel-safety",
+        )
+        assert findings == []
+
+    def test_suppressed_with_reason_is_silent(self):
+        findings = run_check(
+            """\
+            CACHE = {}
+
+            class Thing:
+                cohort_safe = True
+
+                def hot(self, key):
+                    CACHE[key] = 1  # repro: allow[parallel-safety] -- read-through cache, values identical per key
+            """,
+            "parallel-safety",
+        )
+        assert findings == []
+
+
+class TestShmHygiene:
+    def test_create_without_unlink_fires(self):
+        findings = run_check(
+            """\
+            from multiprocessing.shared_memory import SharedMemory
+
+            class Store:
+                def alloc(self):
+                    self._shm = SharedMemory(create=True, size=64)
+            """,
+            "shm-hygiene",
+        )
+        assert check_ids(findings) == ["shm-hygiene"]
+        assert "class Store" in findings[0].message
+
+    def test_cleanup_method_with_unlink_is_clean(self):
+        findings = run_check(
+            """\
+            from multiprocessing.shared_memory import SharedMemory
+
+            class Store:
+                def alloc(self):
+                    self._shm = SharedMemory(create=True, size=64)
+
+                def close(self):
+                    self._shm.close()
+                    self._shm.unlink()
+            """,
+            "shm-hygiene",
+        )
+        assert findings == []
+
+    def test_finally_block_unlink_is_clean(self):
+        findings = run_check(
+            """\
+            from multiprocessing.shared_memory import SharedMemory
+
+            def scratch():
+                shm = SharedMemory(create=True, size=64)
+                try:
+                    return bytes(shm.buf[:8])
+                finally:
+                    shm.close()
+                    shm.unlink()
+            """,
+            "shm-hygiene",
+        )
+        assert findings == []
+
+    def test_attach_only_is_clean(self):
+        findings = run_check(
+            """\
+            from multiprocessing.shared_memory import SharedMemory
+
+            class WorkerView:
+                def attach(self, name):
+                    self._shm = SharedMemory(name=name)
+            """,
+            "shm-hygiene",
+        )
+        assert findings == []
+
+    def test_suppressed_with_reason_is_silent(self):
+        findings = run_check(
+            """\
+            from multiprocessing.shared_memory import SharedMemory
+
+            class Store:
+                def alloc(self):
+                    self._shm = SharedMemory(create=True, size=64)  # repro: allow[shm-hygiene] -- unlinked by the owning registry
+            """,
+            "shm-hygiene",
+        )
+        assert findings == []
+
+
+class TestUnusedImport:
+    def test_unused_import_fires(self):
+        findings = run_check(
+            """\
+            import os
+            import numpy as np
+
+            print(np.pi)
+            """,
+            "unused-import",
+        )
+        assert check_ids(findings) == ["unused-import"]
+        assert "'os'" in findings[0].message
+
+    def test_used_string_annotation_and_all_are_clean(self):
+        findings = run_check(
+            """\
+            from __future__ import annotations
+
+            import os
+            from pathlib import Path
+
+            __all__ = ["os"]
+
+            def f(p: "Path") -> None:
+                del p
+            """,
+            "unused-import",
+        )
+        assert findings == []
+
+    def test_init_files_are_exempt(self):
+        findings = run_check(
+            "import os\n",
+            "unused-import",
+            path="src/repro/somepkg/__init__.py",
+        )
+        assert findings == []
+
+    def test_explicit_reexport_alias_is_exempt(self):
+        findings = run_check(
+            "from os import path as path\n",
+            "unused-import",
+        )
+        assert findings == []
+
+    def test_suppressed_with_reason_is_silent(self):
+        findings = run_check(
+            """\
+            import faulthandler  # repro: allow[unused-import] -- import registers a hook
+            """,
+            "unused-import",
+        )
+        assert findings == []
+
+
+class TestMutableDefault:
+    def test_mutable_defaults_fire(self):
+        findings = run_check(
+            """\
+            def f(a, b=[]):
+                return a, b
+
+            def g(x={}, *, y=set()):
+                return x, y
+            """,
+            "mutable-default",
+        )
+        assert check_ids(findings) == ["mutable-default"] * 3
+
+    def test_none_sentinel_is_clean(self):
+        findings = run_check(
+            """\
+            def f(a, b=None):
+                return a, b or []
+
+            def g(x=(), y="name"):
+                return x, y
+            """,
+            "mutable-default",
+        )
+        assert findings == []
+
+    def test_suppressed_with_reason_is_silent(self):
+        findings = run_check(
+            """\
+            def f(a, b=[]):  # repro: allow[mutable-default] -- default never mutated, doc example
+                return a, b
+            """,
+            "mutable-default",
+        )
+        assert findings == []
+
+
+class TestSuppressionMechanics:
+    def test_wildcard_allow_covers_any_check(self):
+        findings = run_check(
+            """\
+            import numpy as np
+
+            a = np.zeros(3)  # repro: allow[*] -- exercising the wildcard
+            """,
+            "dtype-discipline",
+        )
+        assert findings == []
+
+    def test_allow_for_a_different_check_does_not_cover(self):
+        findings = run_check(
+            """\
+            import numpy as np
+
+            a = np.zeros(3)  # repro: allow[global-rng] -- wrong id on purpose
+            """,
+            "dtype-discipline",
+        )
+        assert check_ids(findings) == ["dtype-discipline"]

@@ -1,0 +1,141 @@
+"""CLI, baseline, and report-format tests for the determinism lint."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint.cli import main as lint_main
+from repro.analysis.lint.findings import load_baseline, save_baseline
+from repro.experiments.cli import main as repro_main
+
+#: A violation visible from any path (unused-import has no path scope).
+VIOLATING = "import os\n\nVALUE = 1\n"
+CLEAN = "VALUE = 1\n"
+
+
+@pytest.fixture()
+def workspace(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def write(root: Path, name: str, source: str) -> Path:
+    path = root / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, workspace):
+        write(workspace, "pkg/mod.py", CLEAN)
+        assert lint_main(["pkg", "--no-baseline"]) == 0
+
+    def test_findings_exit_nonzero(self, workspace):
+        write(workspace, "pkg/mod.py", VIOLATING)
+        assert lint_main(["pkg", "--no-baseline"]) == 1
+
+    def test_no_paths_exit_two(self, workspace):
+        # Empty cwd: none of the default paths exist and none were given.
+        assert lint_main([]) == 2
+
+    def test_parse_error_exits_nonzero(self, workspace):
+        write(workspace, "pkg/broken.py", "def broken(:\n")
+        assert lint_main(["pkg", "--no-baseline"]) == 1
+
+    def test_list_checks_exits_zero(self, workspace, capsys):
+        assert lint_main(["--list-checks"]) == 0
+        out = capsys.readouterr().out
+        assert "global-rng" in out and "shm-hygiene" in out
+
+
+class TestJsonReport:
+    def test_schema(self, workspace, capsys):
+        write(workspace, "pkg/mod.py", VIOLATING)
+        code = lint_main(["pkg", "--format", "json", "--no-baseline"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert set(payload) == {
+            "version", "files_scanned", "ok", "findings", "grandfathered",
+        }
+        assert payload["version"] == 1
+        assert payload["files_scanned"] == 1
+        assert payload["ok"] is False
+        (finding,) = payload["findings"]
+        assert set(finding) == {"path", "line", "check_id", "message"}
+        assert finding["check_id"] == "unused-import"
+        assert finding["path"] == "pkg/mod.py"
+
+    def test_clean_json_is_ok(self, workspace, capsys):
+        write(workspace, "pkg/mod.py", CLEAN)
+        assert lint_main(["pkg", "--format", "json", "--no-baseline"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["findings"] == []
+
+
+class TestBaseline:
+    def test_write_then_grandfather_round_trip(self, workspace, capsys):
+        write(workspace, "pkg/mod.py", VIOLATING)
+        assert lint_main(["pkg", "--write-baseline", "--baseline", "bl.json"]) == 0
+        capsys.readouterr()
+
+        keys = load_baseline("bl.json")
+        assert len(keys) == 1
+        ((path, check_id, _message),) = keys
+        assert (path, check_id) == ("pkg/mod.py", "unused-import")
+
+        # Grandfathered: the same finding no longer fails the run...
+        assert lint_main(["pkg", "--baseline", "bl.json"]) == 0
+        assert "grandfathered" in capsys.readouterr().out
+        # ...unless the baseline is explicitly ignored.
+        assert lint_main(["pkg", "--baseline", "bl.json", "--no-baseline"]) == 1
+
+    def test_baseline_does_not_mask_new_findings(self, workspace, capsys):
+        write(workspace, "pkg/mod.py", VIOLATING)
+        assert lint_main(["pkg", "--write-baseline", "--baseline", "bl.json"]) == 0
+        write(workspace, "pkg/other.py", "import sys\n\nX = 2\n")
+        assert lint_main(["pkg", "--baseline", "bl.json"]) == 1
+
+    def test_save_load_round_trip_preserves_keys(self, workspace):
+        from repro.analysis.lint.findings import Finding
+
+        findings = [
+            Finding(path="a.py", line=3, check_id="global-rng", message="m1"),
+            Finding(path="b.py", line=9, check_id="shm-hygiene", message="m2"),
+        ]
+        save_baseline("bl.json", findings)
+        assert load_baseline("bl.json") == {f.baseline_key for f in findings}
+
+    def test_committed_repo_baseline_is_empty(self):
+        repo_baseline = Path(__file__).resolve().parents[2] / "analysis-baseline.json"
+        payload = json.loads(repo_baseline.read_text())
+        assert payload["findings"] == []
+
+
+class TestReproCliIntegration:
+    def test_lint_subcommand_forwards(self, workspace, capsys):
+        write(workspace, "pkg/mod.py", VIOLATING)
+        assert repro_main(["lint", "pkg", "--no-baseline"]) == 1
+        write(workspace, "pkg/mod.py", CLEAN)
+        assert repro_main(["lint", "pkg", "--no-baseline"]) == 0
+
+    def test_lint_subcommand_list_checks(self, workspace, capsys):
+        assert repro_main(["lint", "--list-checks"]) == 0
+        assert "dtype-discipline" in capsys.readouterr().out
+
+    def test_top_level_help_lists_lint(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            repro_main(["--help"])
+        assert excinfo.value.code == 0
+        assert "lint" in capsys.readouterr().out
+
+    def test_experiment_subcommands_expose_sanitize(self, capsys):
+        for command in ("detect", "table1", "fig3", "table2", "fig2", "fig4"):
+            with pytest.raises(SystemExit) as excinfo:
+                repro_main([command, "--help"])
+            assert excinfo.value.code == 0
+            assert "--sanitize" in capsys.readouterr().out

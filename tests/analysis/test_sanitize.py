@@ -1,0 +1,245 @@
+"""Runtime sanitizer and divergence-diffing tests.
+
+The two headline guarantees:
+
+- under ``REPRO_SANITIZE=1`` an injected dtype leak in a layer's
+  forward/backward raises :class:`SanitizeError` at the offending layer
+  instead of silently corrupting the run;
+- two runs' hash traces diff to exactly the ``(round, layer)`` where a
+  seeded single-layer perturbation was injected.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis import sanitize
+from repro.analysis.divergence import Divergence, diff_traces, first_divergence
+from repro.analysis.sanitize import HashTrace, SanitizeError
+from repro.data.dataset import Dataset
+from repro.data.partition import iid_partition
+from repro.fl.client import HonestClient
+from repro.fl.config import FLConfig
+from repro.fl.simulation import FederatedSimulation
+from repro.nn.models import make_mlp
+
+PERTURB_ROUND = 3
+PERTURB_PARAM = 2
+
+
+def make_world(seed: int = 7, num_clients: int = 4):
+    """A small separable 3-class federated world, defense-free."""
+    rng = np.random.default_rng(seed)
+    centers = np.array([[2.0, 0.0], [-2.0, 1.5], [0.0, -2.5]])
+    labels = np.tile(np.arange(3), 40)
+    x = centers[labels] + rng.normal(0.0, 0.4, size=(len(labels), 2))
+    pool = Dataset(x, labels, 3)
+    parts = iid_partition(len(pool), num_clients, rng)
+    clients = [HonestClient(i, pool.subset(parts[i])) for i in range(num_clients)]
+    model = make_mlp(2, 3, rng, hidden=(8,))
+    config = FLConfig(
+        num_clients=num_clients, clients_per_round=2, local_epochs=1, batch_size=16
+    )
+    return model, clients, config
+
+
+def build_sim(sim_cls=FederatedSimulation, seed: int = 7):
+    model, clients, config = make_world(seed)
+    return sim_cls(model.clone(), clients, config, np.random.default_rng(seed + 1))
+
+
+def param_flat_slice(model, index: int) -> slice:
+    offset = 0
+    for i, param in enumerate(model.parameters()):
+        if i == index:
+            return slice(offset, offset + param.size)
+        offset += param.size
+    raise IndexError(index)
+
+
+class PerturbedSimulation(FederatedSimulation):
+    """Injects a tiny perturbation into one parameter's flat slice at one round."""
+
+    def _combine(self, contributor_ids, updates, round_idx, rng):
+        mean_update = super()._combine(contributor_ids, updates, round_idx, rng)
+        if round_idx == PERTURB_ROUND:
+            span = param_flat_slice(self.global_model, PERTURB_PARAM)
+            mean_update = mean_update.copy()
+            mean_update[span] += 1e-6
+        return mean_update
+
+
+class TestScope:
+    def test_scope_sets_and_restores_env(self, monkeypatch):
+        monkeypatch.delenv(sanitize.ENV_FLAG, raising=False)
+        assert not sanitize.enabled()
+        with sanitize.scope():
+            assert os.environ[sanitize.ENV_FLAG] == "1"
+            assert sanitize.enabled()
+        assert sanitize.ENV_FLAG not in os.environ
+
+    def test_scope_restores_previous_value(self, monkeypatch):
+        monkeypatch.setenv(sanitize.ENV_FLAG, "0")
+        with sanitize.scope():
+            assert sanitize.enabled()
+        assert os.environ[sanitize.ENV_FLAG] == "0"
+        assert not sanitize.enabled()
+
+    def test_inactive_scope_is_a_no_op(self, monkeypatch):
+        monkeypatch.delenv(sanitize.ENV_FLAG, raising=False)
+        with sanitize.scope(False):
+            assert not sanitize.enabled()
+
+
+class TestAssertions:
+    def test_assert_dtype_accepts_exact_match(self):
+        sanitize.assert_dtype(np.zeros(3, dtype=np.float64), "here")
+
+    def test_assert_dtype_rejects_downcast(self):
+        with pytest.raises(SanitizeError, match="float32"):
+            sanitize.assert_dtype(np.zeros(3, dtype=np.float32), "here")
+
+    def test_assert_dtype_rejects_non_array(self):
+        with pytest.raises(SanitizeError, match="ndarray"):
+            sanitize.assert_dtype([1.0, 2.0], "here")
+
+    def test_assert_finite(self):
+        sanitize.assert_finite(np.ones(3), "here")
+        with pytest.raises(SanitizeError, match="non-finite"):
+            sanitize.assert_finite(np.array([1.0, np.nan]), "here")
+
+    def test_hash_array_distinguishes_dtype_and_bytes(self):
+        a = np.arange(4, dtype=np.float64)
+        assert sanitize.hash_array(a) == sanitize.hash_array(a.copy())
+        assert sanitize.hash_array(a) != sanitize.hash_array(a.astype(np.float32))
+        b = a.copy()
+        b[0] += 1e-15
+        assert sanitize.hash_array(a) != sanitize.hash_array(b)
+
+
+class TestNetworkHooks:
+    def test_forward_dtype_leak_is_caught_at_the_layer(self):
+        net = make_mlp(2, 3, np.random.default_rng(0), hidden=(8,))
+        original = net.layers[0].forward
+        net.layers[0].forward = (
+            lambda x, train=False: original(x, train=train).astype(np.float32)
+        )
+        x = np.zeros((4, 2), dtype=np.float64)
+        with sanitize.scope():
+            with pytest.raises(SanitizeError, match=r"forward\[0:"):
+                net.forward(x)
+
+    def test_backward_dtype_leak_is_caught(self):
+        net = make_mlp(2, 3, np.random.default_rng(0), hidden=(8,))
+        x = np.zeros((4, 2), dtype=np.float64)
+        last = len(net.layers) - 1
+        original = net.layers[last].backward
+        net.layers[last].backward = (
+            lambda g: original(g).astype(np.float32)
+        )
+        with sanitize.scope():
+            net.forward(x, train=True)
+            with pytest.raises(SanitizeError, match=rf"backward\[{last}:"):
+                net.backward(np.zeros((4, 3), dtype=np.float64))
+
+    def test_leak_passes_silently_when_sanitizer_is_off(self, monkeypatch):
+        monkeypatch.delenv(sanitize.ENV_FLAG, raising=False)
+        net = make_mlp(2, 3, np.random.default_rng(0), hidden=(8,))
+        original = net.layers[0].forward
+        net.layers[0].forward = (
+            lambda x, train=False: original(x, train=train).astype(np.float32)
+        )
+        out = net.forward(np.zeros((4, 2), dtype=np.float64))
+        assert out.shape == (4, 3)
+
+
+class TestSimulationTrace:
+    def test_trace_absent_without_sanitizer(self, monkeypatch):
+        monkeypatch.delenv(sanitize.ENV_FLAG, raising=False)
+        sim = build_sim()
+        sim.run(2)
+        assert sim.sanitize_trace is None
+
+    def test_trace_records_every_round_and_parameter(self):
+        with sanitize.scope():
+            sim = build_sim()
+            sim.run(4)
+        num_params = len(sim.global_model.parameters())
+        assert len(sim.sanitize_trace) == 4 * num_params
+        rounds = {e.round_idx for e in sim.sanitize_trace.entries}
+        assert rounds == set(range(4))
+
+    def test_identical_runs_produce_identical_traces(self):
+        with sanitize.scope():
+            sim_a = build_sim()
+            sim_a.run(5)
+            sim_b = build_sim()
+            sim_b.run(5)
+        assert first_divergence(sim_a.sanitize_trace, sim_b.sanitize_trace) is None
+
+    def test_divergence_pinpoints_injected_round_and_layer(self):
+        with sanitize.scope():
+            sim_a = build_sim()
+            sim_a.run(6)
+            sim_b = build_sim(PerturbedSimulation)
+            sim_b.run(6)
+        divergence = first_divergence(sim_a.sanitize_trace, sim_b.sanitize_trace)
+        expected_layer = (
+            f"{PERTURB_PARAM}:"
+            f"{sim_a.global_model.parameters()[PERTURB_PARAM].name}"
+        )
+        assert divergence is not None
+        assert divergence.kind == "digest"
+        assert divergence.round_idx == PERTURB_ROUND
+        assert divergence.layer == expected_layer
+
+
+class TestDivergenceHelpers:
+    def test_structural_mismatch_on_truncated_trace(self):
+        trace = HashTrace()
+        trace.record(0, "0:w", "aa")
+        trace.record(1, "0:w", "bb")
+        shorter = HashTrace(entries=trace.entries[:1])
+        divergence = first_divergence(trace, shorter)
+        assert divergence is not None
+        assert divergence.kind == "structure"
+        assert "len=" in divergence.digest_a
+
+    def test_structural_mismatch_on_reordered_layers(self):
+        a = HashTrace()
+        a.record(0, "0:w", "aa")
+        b = HashTrace()
+        b.record(0, "1:b", "aa")
+        divergence = first_divergence(a, b)
+        assert divergence is not None and divergence.kind == "structure"
+
+    def test_diff_traces_lists_every_mismatch(self):
+        a, b = HashTrace(), HashTrace()
+        for r in range(3):
+            a.record(r, "0:w", f"a{r}")
+            b.record(r, "0:w", f"a{r}" if r == 0 else f"b{r}")
+        mismatches = diff_traces(a, b)
+        assert [d.round_idx for d in mismatches] == [1, 2]
+        assert all(isinstance(d, Divergence) for d in mismatches)
+
+    def test_trace_save_load_round_trip(self, tmp_path):
+        trace = HashTrace()
+        trace.record(0, "0:w", "aa")
+        trace.record(1, "1:b", "bb")
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        assert HashTrace.load(path) == trace
+
+
+class TestConfigField:
+    def test_sanitize_field_defaults_off_and_is_not_in_environment_key(self):
+        from repro.experiments.configs import ExperimentConfig
+
+        base = ExperimentConfig()
+        sanitized = ExperimentConfig(sanitize=True)
+        assert base.sanitize is False
+        assert sanitized.sanitize is True
+        assert base.environment_key(0) == sanitized.environment_key(0)
