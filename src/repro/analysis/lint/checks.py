@@ -21,6 +21,10 @@ safety        pool payloads must be module-level (PR 1/2 transport)
 parallel-     ``parallel_safe=True``/``cohort_safe=True`` classes
 safety        writing module globals in hot methods — state a worker
               mutates never reaches the parent (PR 1's opt-in rule)
+thread-       ``parallel_safe=True`` classes mutating class-level
+safety        containers in hot methods without a lock: under the
+              thread engine a class attribute is one object shared by
+              every instance and pool thread (PR 7's opt-in rule)
 shm-hygiene   ``SharedMemory(create=True)`` without an ``unlink`` on
               a close/eviction/finally path in the same class (the
               CI ``/dev/shm`` leak gate, moved to parse time; PR 2)
@@ -448,6 +452,231 @@ class ParallelSafetyCheck(Check):
             node = node.value
         if seen_container and isinstance(node, ast.Name):
             return node.id
+        return None
+
+
+# ----------------------------------------------------------------------
+# thread-safety
+# ----------------------------------------------------------------------
+@_register
+class ThreadSafetyCheck(Check):
+    check_id = "thread-safety"
+    description = (
+        "parallel_safe classes must not mutate class-level shared "
+        "containers in hot methods without holding a lock: under the "
+        "thread engine those methods run concurrently on pool threads, "
+        "and a class attribute is one object shared by every instance"
+    )
+
+    #: Only ``parallel_safe`` matters here: it is the flag the thread
+    #: engine consults before moving an entity's hot methods onto pool
+    #: threads.  (``cohort_safe`` batching never runs methods
+    #: concurrently, so class-level state is fine there.)
+    _FLAGS = {"parallel_safe"}
+
+    #: In-place mutators on list/dict/set: calling one on a class-level
+    #: container is a cross-thread write.
+    _MUTATORS = {
+        "append", "extend", "insert", "add", "update", "setdefault",
+        "pop", "popitem", "remove", "discard", "clear",
+    }
+
+    #: Class attributes initialised to one of these are shared mutable
+    #: containers (literals or the bare factory calls).
+    _CONTAINER_FACTORIES = {"list", "dict", "set"}
+
+    _LOCK_ATTR_RE = re.compile(r"lock|mutex|guard", re.IGNORECASE)
+
+    def run(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and self._declares_safe(node):
+                findings.extend(self._check_class(ctx, node))
+        return findings
+
+    def _declares_safe(self, cls: ast.ClassDef) -> bool:
+        for stmt in cls.body:
+            targets: list[ast.expr] = []
+            value = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in self._FLAGS
+                    and isinstance(value, ast.Constant)
+                    and value.value is True
+                ):
+                    return True
+        return False
+
+    def _check_class(self, ctx, cls: ast.ClassDef) -> list[Finding]:
+        class_attrs = self._class_level_names(cls)
+        shadowed = self._init_shadowed_names(cls)
+        # Containers every instance aliases: class-level mutables the
+        # constructor does not replace with a per-instance object.
+        shared = {
+            name for name, mutable in class_attrs.items()
+            if mutable and name not in shadowed
+        }
+        findings: list[Finding] = []
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__":
+                continue  # runs once per instance, before any fan-out
+            if self._holds_lock(method):
+                continue
+            self_name = self._self_name(method)
+            for node in ast.walk(method):
+                hit = self._mutation(ctx, node, cls.name, self_name,
+                                     shared, set(class_attrs))
+                if hit is not None:
+                    attr, how = hit
+                    findings.append(ctx.finding(
+                        self.check_id, node,
+                        f"{cls.name}.{method.name} {how} class-level "
+                        f"attribute {attr!r} without a lock: under the "
+                        "thread engine this object is shared by every "
+                        "instance and pool thread; guard it with "
+                        "'with self.<lock>:' or move it to per-instance "
+                        "state in __init__",
+                    ))
+        return findings
+
+    def _class_level_names(self, cls: ast.ClassDef) -> dict[str, bool]:
+        """Class-body attribute names -> "bound to a mutable container"."""
+        attrs: dict[str, bool] = {}
+        for stmt in cls.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                targets, value = [stmt.target], stmt.value
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    attrs[target.id] = self._is_container(value)
+        return attrs
+
+    def _is_container(self, value: ast.expr | None) -> bool:
+        if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+            return True
+        return (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in self._CONTAINER_FACTORIES
+        )
+
+    @staticmethod
+    def _init_shadowed_names(cls: ast.ClassDef) -> set[str]:
+        """Attributes ``__init__`` rebinds on ``self`` (per-instance state)."""
+        shadowed: set[str] = set()
+        for method in cls.body:
+            if not (
+                isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and method.name == "__init__"
+            ):
+                continue
+            self_name = ThreadSafetyCheck._self_name(method)
+            for node in ast.walk(method):
+                if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    continue
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == self_name
+                    ):
+                        shadowed.add(target.attr)
+        return shadowed
+
+    @staticmethod
+    def _self_name(method: ast.AST) -> str | None:
+        args = method.args.args
+        return args[0].arg if args else None
+
+    def _holds_lock(self, method: ast.AST) -> bool:
+        """A ``with`` whose context expression names a lock-ish attribute."""
+        for node in ast.walk(method):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            for item in node.items:
+                for sub in ast.walk(item.context_expr):
+                    name = None
+                    if isinstance(sub, ast.Attribute):
+                        name = sub.attr
+                    elif isinstance(sub, ast.Name):
+                        name = sub.id
+                    if name is not None and self._LOCK_ATTR_RE.search(name):
+                        return True
+        return False
+
+    def _mutation(self, ctx, node, cls_name, self_name, shared, class_attrs):
+        """(attr, verb) if ``node`` mutates class-level state, else None."""
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                # ClassName.attr = ... / type(self).attr += ... rebinds the
+                # class attribute itself — shared regardless of mutability.
+                attr = self._class_attr(target, cls_name, self_name)
+                if attr is not None and attr in class_attrs:
+                    return attr, "rebinds"
+                # self.attr[k] = ... mutates the aliased class container.
+                root = target
+                seen_sub = False
+                while isinstance(root, ast.Subscript):
+                    seen_sub = True
+                    root = root.value
+                if seen_sub:
+                    attr = self._owned_attr(root, cls_name, self_name)
+                    if attr in shared:
+                        return attr, "writes into"
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in self._MUTATORS:
+                attr = self._owned_attr(node.func.value, cls_name, self_name)
+                if attr in shared:
+                    return attr, f"calls .{node.func.attr}() on"
+        return None
+
+    def _owned_attr(self, node, cls_name, self_name) -> str | None:
+        """Attr name if ``node`` is self.X, ClassName.X or type(self).X."""
+        attr = self._class_attr(node, cls_name, self_name)
+        if attr is not None:
+            return attr
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == self_name
+        ):
+            return node.attr
+        return None
+
+    @staticmethod
+    def _class_attr(node, cls_name, self_name) -> str | None:
+        """Attr name if ``node`` is ClassName.X or type(self).X."""
+        if not isinstance(node, ast.Attribute):
+            return None
+        owner = node.value
+        if isinstance(owner, ast.Name) and owner.id == cls_name:
+            return node.attr
+        if (
+            isinstance(owner, ast.Call)
+            and isinstance(owner.func, ast.Name)
+            and owner.func.id == "type"
+            and len(owner.args) == 1
+            and isinstance(owner.args[0], ast.Name)
+            and owner.args[0].id == self_name
+        ):
+            return node.attr
         return None
 
 

@@ -43,7 +43,11 @@ from repro.experiments.runner import (
 )
 from repro.fl.compression import codec_names
 from repro.fl.model_store import STORE_KINDS
-from repro.fl.parallel import DEFAULT_PIPELINE_DEPTH, EXECUTION_MODES
+from repro.fl.parallel import (
+    DEFAULT_PIPELINE_DEPTH,
+    ENGINE_KINDS,
+    EXECUTION_MODES,
+)
 from repro.experiments.scenarios import run_early_scenario, run_error_trace
 
 
@@ -69,7 +73,7 @@ def cmd_detect(args: argparse.Namespace) -> None:
         lookback=args.lookback,
         quorum=args.quorum,
         mode=args.mode,
-        workers=args.workers,
+        workers=args.workers, engine=args.engine,
         model_store=args.store,
         execution_mode=args.exec_mode,
         pipeline_depth=args.pipeline_depth,
@@ -90,7 +94,7 @@ def cmd_detect(args: argparse.Namespace) -> None:
 def cmd_table1(args: argparse.Namespace) -> None:
     splits = _splits(args.dataset)
     base = ExperimentConfig(
-        dataset=args.dataset, workers=args.workers, model_store=args.store,
+        dataset=args.dataset, workers=args.workers, engine=args.engine, model_store=args.store,
         execution_mode=args.exec_mode, pipeline_depth=args.pipeline_depth,
         cohort_size=args.cohort_size,
         codec=args.codec, allow_lossy=args.allow_lossy,
@@ -107,7 +111,7 @@ def cmd_fig3(args: argparse.Namespace) -> None:
     splits = _splits(args.dataset)
     quorums = tuple(range(3, 10))
     base = ExperimentConfig(
-        dataset=args.dataset, lookback=20, workers=args.workers,
+        dataset=args.dataset, lookback=20, workers=args.workers, engine=args.engine,
         model_store=args.store,
         execution_mode=args.exec_mode,
         pipeline_depth=args.pipeline_depth,
@@ -128,7 +132,7 @@ def cmd_table2(args: argparse.Namespace) -> None:
     for split in CIFAR_SPLITS:
         config = ExperimentConfig(
             dataset="cifar", client_share=split, adaptive_max_trials=8,
-            workers=args.workers, model_store=args.store,
+            workers=args.workers, engine=args.engine, model_store=args.store,
             execution_mode=args.exec_mode, pipeline_depth=args.pipeline_depth,
             cohort_size=args.cohort_size, codec=args.codec, allow_lossy=args.allow_lossy,
             sanitize=args.sanitize,
@@ -144,7 +148,7 @@ def cmd_table2(args: argparse.Namespace) -> None:
 
 def cmd_fig2(args: argparse.Namespace) -> None:
     config = ExperimentConfig(
-        dataset=args.dataset, workers=args.workers, model_store=args.store,
+        dataset=args.dataset, workers=args.workers, engine=args.engine, model_store=args.store,
         execution_mode=args.exec_mode, pipeline_depth=args.pipeline_depth,
         cohort_size=args.cohort_size,
         codec=args.codec, allow_lossy=args.allow_lossy,
@@ -172,7 +176,7 @@ def cmd_fig2(args: argparse.Namespace) -> None:
 
 def cmd_fig4(args: argparse.Namespace) -> None:
     config = ExperimentConfig(
-        dataset=args.dataset, workers=args.workers, model_store=args.store,
+        dataset=args.dataset, workers=args.workers, engine=args.engine, model_store=args.store,
         execution_mode=args.exec_mode, pipeline_depth=args.pipeline_depth,
         cohort_size=args.cohort_size,
         codec=args.codec, allow_lossy=args.allow_lossy,
@@ -222,8 +226,13 @@ def build_parser() -> argparse.ArgumentParser:
                             f"{DEFAULT_SEED_COUNT}; paper uses 5; fig2/fig4 "
                             f"are fixed-seed and ignore it)")
         p.add_argument("--workers", type=int, default=0,
-                       help="worker processes for the round engine "
+                       help="workers for the round engine "
                             "(0/1 = sequential; results are identical)")
+        p.add_argument("--engine", choices=ENGINE_KINDS, default="auto",
+                       help="multi-worker backend: process pools fan out "
+                            "over worker processes, thread pools over "
+                            "in-process threads with zero IPC (auto = "
+                            "process; results are identical)")
         p.add_argument("--seed-workers", type=int, default=0, dest="seed_workers",
                        help="processes fanning out independent seeds "
                             "(0/1 = serial; results are identical)")
@@ -241,10 +250,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="rounds the pipelined mode may run ahead of "
                             "open quorums (>= 1; use --exec-mode sync for "
                             "synchronous semantics)")
-        p.add_argument("--cohort-size", type=int, default=0, dest="cohort_size",
+        p.add_argument("--cohort-size", type=int, default=None,
+                       dest="cohort_size",
                        help="stack up to this many of a round's honest "
                             "clients into one batched training cohort "
-                            "(0/1 = one model at a time; results are "
+                            "(0/1 = one model at a time; default: pool and "
+                            "thread engines stack everything eligible, "
+                            "sequential runs per-model; results are "
                             "identical)")
         p.add_argument("--codec", choices=codec_names(), default="identity",
                        help="weight-compression codec on the store "

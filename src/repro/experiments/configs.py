@@ -14,7 +14,11 @@ from dataclasses import dataclass
 
 from repro.fl.compression import codec_names, make_codec
 from repro.fl.model_store import STORE_KINDS
-from repro.fl.parallel import DEFAULT_PIPELINE_DEPTH, EXECUTION_MODES
+from repro.fl.parallel import (
+    DEFAULT_PIPELINE_DEPTH,
+    ENGINE_KINDS,
+    EXECUTION_MODES,
+)
 
 #: Client-server validation-data splits evaluated in Table I / Fig. 3.
 CIFAR_SPLITS = (0.90, 0.95, 0.99)
@@ -95,15 +99,22 @@ class ExperimentConfig:
     # combination commits bit-identical models, so all four are pure
     # throughput knobs and deliberately excluded from ``environment_key``.
     workers: int = 0
+    # Multi-worker backend: "process" fans out over worker processes,
+    # "thread" over in-process threads (zero IPC; the numeric kernels
+    # release the GIL), "auto" resolves to "process".  Another pure
+    # throughput knob: every engine commits bit-identical models.
+    engine: str = "auto"
     model_store: str = "auto"
     execution_mode: str = "sync"
     pipeline_depth: int = DEFAULT_PIPELINE_DEPTH
     # Stacked cohort execution (repro.fl.cohort): gather up to this many of
     # a round's honest clients into one batched training stack (0/1 = one
-    # model at a time).  Stacked and per-model paths commit bit-identical
-    # models, so this is a pure throughput knob like ``workers`` and stays
-    # out of ``environment_key``.
-    cohort_size: int = 0
+    # model at a time; None = each executor's default — pool and thread
+    # engines stack everything eligible, sequential stays per-model).
+    # Stacked and per-model paths commit bit-identical models, so this is
+    # a pure throughput knob like ``workers`` and stays out of
+    # ``environment_key``.
+    cohort_size: int | None = None
     # Weight-compression codec on the store transport path
     # (repro.fl.compression).  Unlike the engine knobs above, a
     # non-identity codec is *not* a pure throughput knob — it changes the
@@ -138,7 +149,11 @@ class ExperimentConfig:
             )
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
-        if self.cohort_size < 0:
+        if self.engine not in ENGINE_KINDS:
+            raise ValueError(
+                f"engine must be one of {ENGINE_KINDS}, got {self.engine!r}"
+            )
+        if self.cohort_size is not None and self.cohort_size < 0:
             raise ValueError(
                 f"cohort_size must be >= 0, got {self.cohort_size}"
             )

@@ -164,6 +164,7 @@ def _pretrain(
         codec=config.codec,
         require_lossless=not config.allow_lossy,
         cohort_size=config.cohort_size,
+        engine=config.engine,
     ) as engine:
         sim = FederatedSimulation(
             model, clients, fl_config, rng,

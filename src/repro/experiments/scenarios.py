@@ -322,6 +322,7 @@ def _engine(config: ExperimentConfig):
             codec=config.codec,
             require_lossless=not config.allow_lossy,
             cohort_size=config.cohort_size,
+            engine=config.engine,
         ) as engine:
             yield engine
 

@@ -52,6 +52,7 @@ from repro.fl.model_store import (
 )
 from repro.fl.parallel import (
     DEFAULT_PIPELINE_DEPTH,
+    ENGINE_KINDS,
     EXECUTION_MODES,
     PendingVotes,
     PipelinedRoundExecutor,
@@ -59,6 +60,7 @@ from repro.fl.parallel import (
     RoundEngine,
     RoundExecutor,
     SequentialExecutor,
+    ThreadPoolRoundExecutor,
     make_engine,
     make_executor,
 )
@@ -83,6 +85,7 @@ __all__ = [
     "DEFAULT_PIPELINE_DEPTH",
     "Defense",
     "DefenseDecision",
+    "ENGINE_KINDS",
     "EXECUTION_MODES",
     "FLConfig",
     "Float16Codec",
@@ -106,6 +109,7 @@ __all__ = [
     "RoundRecord",
     "ScheduledSelector",
     "SequentialExecutor",
+    "ThreadPoolRoundExecutor",
     "SecureAggregator",
     "Selector",
     "SharedMemoryModelStore",

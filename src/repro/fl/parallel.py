@@ -12,12 +12,26 @@ them strictly sequentially on one core.
 - :class:`SequentialExecutor` (default) runs everything in-process, in
   deterministic order — byte-for-byte the classic behavior;
 - :class:`ProcessPoolRoundExecutor` fans tasks out over a
-  ``concurrent.futures.ProcessPoolExecutor``;
-- :class:`PipelinedRoundExecutor` wraps either of the above for the
+  ``concurrent.futures.ProcessPoolExecutor`` with **batched dispatch**:
+  each round phase submits exactly one task per worker, carrying that
+  worker's whole slice of the fan-out (cohort chunks plus per-model
+  clients, or a contiguous run of validators), so dispatch and pickling
+  overhead is O(workers) per round instead of O(clients + validators);
+- :class:`ThreadPoolRoundExecutor` fans the same work out over in-process
+  threads: the training and validation kernels are numpy/BLAS-bound and
+  release the GIL, so threads overlap them with **zero IPC** — no
+  pickling, no arena attachments, direct use of the live client and
+  validator objects;
+- :class:`PipelinedRoundExecutor` wraps any of the above for the
   pipelined simulation loop: validator votes are *submitted*
   (:meth:`RoundExecutor.submit_validators`) rather than awaited, so round
   ``r + 1`` client tasks overlap round ``r`` validator tasks in the same
   worker pool, bounded by its ``pipeline_depth`` knob.
+
+Cohort stacking (:mod:`repro.fl.cohort`) is **on by default** inside the
+pool and thread engines (``cohort_size=None`` means "stack the whole
+eligible fan-out"); the sequential executor keeps the classic per-model
+loop unless a cohort size is requested explicitly.
 
 Asynchronous validation
 -----------------------
@@ -84,8 +98,9 @@ executor choice.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Mapping, Sequence
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -118,6 +133,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard: this module is
 #: :func:`make_engine` (also the config validation set and the CLI
 #: ``--exec-mode`` choices).
 EXECUTION_MODES = ("sync", "pipelined")
+
+#: Multi-worker engine kinds accepted by :func:`make_executor` /
+#: :func:`make_engine` (and the CLI ``--engine`` choices): ``"process"``
+#: fans out over worker processes, ``"thread"`` over in-process threads,
+#: ``"auto"`` resolves to ``"process"``.
+ENGINE_KINDS = ("auto", "process", "thread")
 
 #: Default speculation depth of the pipelined mode: how many rounds may
 #: run ahead of their unresolved validator quorums (0 = synchronous).
@@ -305,11 +326,13 @@ class SequentialExecutor(RoundExecutor):
 
     ``cohort_size >= 2`` gathers a round's cohortable honest clients into
     stacked training chunks (:mod:`repro.fl.cohort`) of at most that many
-    models — bit-identical updates, single batched kernels.
+    models — bit-identical updates, single batched kernels.  The default
+    (``None``) keeps the classic per-model loop: the sequential executor
+    is the reference implementation, so it only stacks on request.
     """
 
-    def __init__(self, cohort_size: int = 1) -> None:
-        if cohort_size < 0:
+    def __init__(self, cohort_size: int | None = None) -> None:
+        if cohort_size is not None and cohort_size < 0:
             raise ValueError(f"cohort_size must be >= 0, got {cohort_size}")
         self.cohort_size = cohort_size
         self._store: ModelStore | None = None
@@ -339,7 +362,10 @@ class SequentialExecutor(RoundExecutor):
         streams: RngStreams,
     ) -> list[np.ndarray]:
         chunks = plan_cohorts(
-            clients, contributor_ids, global_model, self.cohort_size
+            clients,
+            contributor_ids,
+            global_model,
+            self.cohort_size if self.cohort_size is not None else 1,
         )
         results: dict[int, np.ndarray] = {}
         for chunk in chunks:
@@ -399,13 +425,12 @@ def _init_worker(
     _W_STORE = store_handle.attach() if store_handle is not None else None
 
 
-def _materialize(ref: ModelRef, cache_attachment: bool = True) -> Network:
+def _materialize(ref: ModelRef) -> Network:
     """A fresh ``Network`` carrying the referenced weights.
 
-    ``cache_attachment=False`` marks one-shot versions (candidates): their
-    arena segments are read without keeping an attachment, since a rejected
-    candidate's version never reappears and would otherwise pin unlinked
-    memory until the eviction floor catches up.
+    Arena attachments are cached in the worker view keyed by version and
+    dropped on the server's release path (the eviction floor travels with
+    every task), so a version read twice never re-opens its segment.
     """
     assert _W_TEMPLATE is not None, "worker used before initialization"
     model = _W_TEMPLATE.clone()
@@ -417,9 +442,7 @@ def _materialize(ref: ModelRef, cache_attachment: bool = True) -> Network:
     else:
         assert _W_STORE is not None, "version ref without an attached store"
         assert version is not None
-        model.set_flat(
-            _W_STORE.get(version, _W_TEMPLATE.num_parameters, cache=cache_attachment)
-        )
+        model.set_flat(_W_STORE.get(version, _W_TEMPLATE.num_parameters))
     return model
 
 
@@ -429,63 +452,51 @@ def _evict_retired(live_floor: int | None) -> None:
         _W_STORE.evict_below(live_floor)
 
 
-def _client_task(
-    client_id: int,
+def _client_slice_task(
+    cohorts: Sequence[Sequence[int]],
+    singles: Sequence[int],
     model_ref: ModelRef,
     config: LocalTrainingConfig,
     round_idx: int,
-    seed_seq: np.random.SeedSequence,
+    cohort_seed_seqs: Sequence[Sequence[np.random.SeedSequence]],
+    single_seed_seqs: Sequence[np.random.SeedSequence],
     live_floor: int | None,
-) -> np.ndarray:
-    _evict_retired(live_floor)
-    model = _materialize(model_ref)
-    rng = np.random.default_rng(seed_seq)
-    return _W_CLIENTS[client_id].produce_update(model, config, round_idx, rng)
+) -> list[tuple[int, np.ndarray]]:
+    """Train one worker's whole slice of a round's client fan-out.
 
-
-def _cohort_task(
-    client_ids: Sequence[int],
-    model_ref: ModelRef,
-    config: LocalTrainingConfig,
-    round_idx: int,
-    seed_seqs: Sequence[np.random.SeedSequence],
-    live_floor: int | None,
-) -> list[np.ndarray]:
-    """Train one worker's slice of the round's cohort in a single stack."""
-    _evict_retired(live_floor)
-    model = _materialize(model_ref)
-    return cohort_updates(
-        model,
-        [_W_CLIENTS[cid].dataset for cid in client_ids],
-        config,
-        [np.random.default_rng(seq) for seq in seed_seqs],
-    )
-
-
-def _validator_task(
-    validator_id: int,
-    candidate_ref: ModelRef,
-    history_refs: Sequence[ModelRef],
-    round_idx: int,
-    seed_seq: np.random.SeedSequence,
-    profile_hints: Mapping[int, object],
-    live_floor: int | None,
-) -> tuple[int, dict[int, object], object | None]:
-    """One validator vote; returns ``(vote, new_profiles, candidate_profile)``.
-
-    ``new_profiles`` are the history-version profiles this task computed
-    beyond the server's hints, ``candidate_profile`` is the (yet
-    uncommitted) candidate's profile — both flow back into the server's
-    shared :class:`~repro.fl.model_store.ValidatorProfileTable`.
+    One task per worker per round: the slice carries this worker's cohort
+    chunks (stacked training) *and* its per-model clients, so the global
+    model is materialized once for everything and dispatch overhead is
+    O(workers), not O(clients).
     """
-    from repro.core.validation import ValidationContext
-
     _evict_retired(live_floor)
-    # Per-version model cache: across rounds the history shifts by one
-    # entry, so all but one model are already materialized.  An empty
-    # history (defense active before any model was accepted) must fall
-    # through to the validator, which abstains on it — exactly like the
-    # sequential path.
+    model = _materialize(model_ref)
+    out: list[tuple[int, np.ndarray]] = []
+    for client_ids, seed_seqs in zip(cohorts, cohort_seed_seqs):
+        updates = cohort_updates(
+            model,
+            [_W_CLIENTS[cid].dataset for cid in client_ids],
+            config,
+            [np.random.default_rng(seq) for seq in seed_seqs],
+        )
+        out.extend(zip(client_ids, updates))
+    for cid, seq in zip(singles, single_seed_seqs):
+        update = _W_CLIENTS[cid].produce_update(
+            model, config, round_idx, np.random.default_rng(seq)
+        )
+        out.append((cid, update))
+    return out
+
+
+def _resolve_history(history_refs: Sequence[ModelRef]) -> list[int]:
+    """Materialize history models into the per-version worker cache.
+
+    Across rounds the history shifts by one entry, so all but one model
+    are already cached; entries older than the oldest live history version
+    are dropped.  An empty history (defense active before any model was
+    accepted) resolves to an empty list and must fall through to the
+    validator, which abstains on it — exactly like the sequential path.
+    """
     history_versions = [version for version, _ in history_refs]
     for ref in history_refs:
         version = ref[0]
@@ -496,13 +507,51 @@ def _validator_task(
         oldest = min(history_versions)
         for version in [v for v in _W_MODELS if v < oldest]:
             del _W_MODELS[version]
+    return history_versions
+
+
+def _materialize_candidate(candidate_ref: ModelRef) -> Network:
+    """The round's candidate, warm-cached under its version when it has one.
+
+    An accepted candidate becomes the next round's newest history entry,
+    so caching it here (and its arena attachment) makes the steady-state
+    per-round materialization cost exactly one new model.  Rejected
+    versions never reappear and age out when the eviction floor passes
+    them (versions are monotonic, so the pin is bounded by the look-back
+    window).
+    """
+    version = candidate_ref[0]
+    if version is not None and version in _W_MODELS:
+        return _W_MODELS[version]
+    model = _materialize(candidate_ref)
+    if version is not None:
+        _W_MODELS[version] = model
+    return model
+
+
+def _validate_one(
+    validator_id: int,
+    candidate: Network,
+    history_versions: Sequence[int],
+    round_idx: int,
+    seed_seq: np.random.SeedSequence,
+    profile_hints: Mapping[int, object],
+) -> tuple[int, dict[int, object], object | None]:
+    """One validator vote; returns ``(vote, new_profiles, candidate_profile)``.
+
+    ``new_profiles`` are the history-version profiles this task computed
+    beyond the server's hints, ``candidate_profile`` is the (yet
+    uncommitted) candidate's profile — both flow back into the server's
+    shared :class:`~repro.fl.model_store.ValidatorProfileTable`.
+    """
+    from repro.core.validation import ValidationContext
 
     validator = _W_VALIDATORS[validator_id]
     seed_cache = getattr(validator, "seed_profile_cache", None)
     if callable(seed_cache) and profile_hints:
         seed_cache(profile_hints)
     context = ValidationContext(
-        candidate=_materialize(candidate_ref, cache_attachment=False),
+        candidate=candidate,
         history=[(v, _W_MODELS[v]) for v in history_versions],
     )
     rng = np.random.default_rng(seed_seq)
@@ -518,8 +567,99 @@ def _validator_task(
     return vote, new_profiles, candidate_profile
 
 
+def _validator_task(
+    validator_id: int,
+    candidate_ref: ModelRef,
+    history_refs: Sequence[ModelRef],
+    round_idx: int,
+    seed_seq: np.random.SeedSequence,
+    profile_hints: Mapping[int, object],
+    live_floor: int | None,
+) -> tuple[int, dict[int, object], object | None]:
+    """One validator's vote as a standalone task (single-validator slice)."""
+    _evict_retired(live_floor)
+    history_versions = _resolve_history(history_refs)
+    candidate = _materialize_candidate(candidate_ref)
+    return _validate_one(
+        validator_id, candidate, history_versions, round_idx, seed_seq,
+        profile_hints,
+    )
+
+
+def _validator_slice_task(
+    validator_ids: Sequence[int],
+    candidate_ref: ModelRef,
+    history_refs: Sequence[ModelRef],
+    round_idx: int,
+    seed_seqs: Sequence[np.random.SeedSequence],
+    profile_hints: Mapping[int, Mapping[int, object]],
+    live_floor: int | None,
+) -> list[tuple[int, int, dict[int, object], object | None]]:
+    """Vote one worker's whole slice of a round's validators in one task.
+
+    The candidate and history are materialized once per slice (validators
+    only read them), so per-round decode/attach work is O(new versions)
+    and dispatch overhead is O(workers), not O(validators).
+    """
+    _evict_retired(live_floor)
+    history_versions = _resolve_history(history_refs)
+    candidate = _materialize_candidate(candidate_ref)
+    results = []
+    for vid, seq in zip(validator_ids, seed_seqs):
+        vote, new_profiles, candidate_profile = _validate_one(
+            vid, candidate, history_versions, round_idx, seq,
+            profile_hints.get(vid, {}),
+        )
+        results.append((vid, vote, new_profiles, candidate_profile))
+    return results
+
+
+def _plan_slices(
+    cohorts: Sequence[Sequence[int]],
+    singles: Sequence[int],
+    workers: int,
+) -> list[tuple[list[list[int]], list[int]]]:
+    """Pack cohort chunks and per-model clients into <= ``workers`` slices.
+
+    Greedy least-loaded assignment by client count, deterministic (ties go
+    to the lowest slice index), so each worker receives exactly one task
+    per round phase carrying its whole share of the fan-out.
+    """
+    count = len(cohorts) + len(singles)
+    if count == 0:
+        return []
+    slices: list[tuple[list[list[int]], list[int]]] = [
+        ([], []) for _ in range(min(workers, count))
+    ]
+    loads = [0] * len(slices)
+    for chunk in cohorts:
+        index = loads.index(min(loads))
+        slices[index][0].append(list(chunk))
+        loads[index] += len(chunk)
+    for cid in singles:
+        index = loads.index(min(loads))
+        slices[index][1].append(cid)
+        loads[index] += 1
+    return [s for s in slices if s[0] or s[1]]
+
+
+def _chunk_evenly(items: Sequence, parts: int) -> list[list]:
+    """Split ``items`` into at most ``parts`` contiguous, balanced runs."""
+    items = list(items)
+    if not items:
+        return []
+    parts = min(parts, len(items))
+    base, extra = divmod(len(items), parts)
+    chunks, start = [], 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        chunks.append(items[start : start + size])
+        start += size
+    return chunks
+
+
 class ProcessPoolRoundExecutor(RoundExecutor):
-    """Fan rounds out over worker processes.
+    """Fan rounds out over worker processes, one task per worker per phase.
 
     Parameters
     ----------
@@ -527,18 +667,19 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         Worker-process count (>= 2; use :func:`make_executor` to fall back
         to :class:`SequentialExecutor` for 0/1).
     cohort_size:
-        Stack up to this many cohortable honest clients per worker task
+        Stack up to this many cohortable honest clients per cohort chunk
         (:mod:`repro.fl.cohort`); chunks spread over the workers so each
-        stacks its slice of the fan-out.  ``0``/``1`` disables stacking.
+        stacks its slice of the fan-out.  ``None`` (the default) stacks
+        the whole eligible fan-out; ``0``/``1`` disables stacking.
     """
 
-    def __init__(self, workers: int, cohort_size: int = 1) -> None:
+    def __init__(self, workers: int, cohort_size: int | None = None) -> None:
         if workers < 2:
             raise ValueError(
                 f"ProcessPoolRoundExecutor needs >= 2 workers, got {workers}; "
                 "use make_executor() for an automatic sequential fallback"
             )
-        if cohort_size < 0:
+        if cohort_size is not None and cohort_size < 0:
             raise ValueError(f"cohort_size must be >= 0, got {cohort_size}")
         self.workers = workers
         self.cohort_size = cohort_size
@@ -722,46 +863,41 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         model_ref, pipe_cost, pipe_raw = self._global_model_ref(global_model)
         live_floor = self._store.min_live_version() if self._use_store else None
         # Cohort chunks: each worker stacks its slice of the parallel-safe
-        # fan-out (one task per chunk, one model blob per task).
+        # fan-out (cohort_size=None stacks everything eligible, spread
+        # evenly over the workers).
         chunks = plan_cohorts(
             self._clients,
             remote_ids,
             global_model,
-            self.cohort_size,
+            self.cohort_size if self.cohort_size is not None else len(remote_ids),
             spread_over=self.workers,
         )
         cohorted = {cid for chunk in chunks for cid in chunk}
-        chunk_futures: list[tuple[list[int], Future]] = [
-            (
-                chunk,
-                pool.submit(
-                    _cohort_task,
-                    chunk,
-                    model_ref,
-                    config,
-                    round_idx,
-                    [streams.client_seq(round_idx, cid) for cid in chunk],
-                    live_floor,
-                ),
-            )
-            for chunk in chunks
-        ]
-        futures: dict[int, Future] = {
-            cid: pool.submit(
-                _client_task,
-                cid,
+        singles = [cid for cid in remote_ids if cid not in cohorted]
+        # Batched dispatch: exactly one task per worker, carrying that
+        # worker's cohort chunks and per-model clients together.
+        futures: list[Future] = [
+            pool.submit(
+                _client_slice_task,
+                slice_cohorts,
+                slice_singles,
                 model_ref,
                 config,
                 round_idx,
-                streams.client_seq(round_idx, cid),
+                [
+                    [streams.client_seq(round_idx, cid) for cid in chunk]
+                    for chunk in slice_cohorts
+                ],
+                [streams.client_seq(round_idx, cid) for cid in slice_singles],
                 live_floor,
             )
-            for cid in remote_ids
-            if cid not in cohorted
-        }
-        task_count = len(futures) + len(chunk_futures)
-        self._pipe_bytes += pipe_cost * task_count
-        self._pipe_raw_bytes += pipe_raw * task_count
+            for slice_cohorts, slice_singles in _plan_slices(
+                chunks, singles, self.workers
+            )
+        ]
+        self._pipe_bytes += pipe_cost * len(futures)
+        self._pipe_raw_bytes += pipe_raw * len(futures)
+        remote = cohorted.union(singles)
         # Entities that must run in the parent (stateful / unpicklable)
         # overlap with the workers' wall-clock, then everything is gathered
         # in contributor order so results are order-deterministic.
@@ -770,12 +906,10 @@ class ProcessPoolRoundExecutor(RoundExecutor):
                 global_model, config, round_idx, streams.client_rng(round_idx, cid)
             )
             for cid in contributor_ids
-            if cid not in futures and cid not in cohorted
+            if cid not in remote
         }
-        for chunk, future in chunk_futures:
-            results.update(zip(chunk, future.result()))
-        for cid, future in futures.items():
-            results[cid] = future.result()
+        for future in futures:
+            results.update(future.result())
         return [results[cid] for cid in contributor_ids]
 
     def submit_validators(
@@ -839,41 +973,43 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         live_floor = self._store.min_live_version() if self._use_store else None
 
         table = self._profile_table
-        futures: dict[int, Future] = {
-            vid: executor_pool.submit(
-                _validator_task,
-                vid,
+        remote_vids = [vid for vid in validator_ids if vid in self._validators]
+        # Batched dispatch: one contiguous slice of validators per worker,
+        # sharing a single candidate/history materialization per task.
+        futures: list[Future] = [
+            executor_pool.submit(
+                _validator_slice_task,
+                vids,
                 candidate_ref,
                 history_refs,
                 round_idx,
-                streams.validator_seq(round_idx, vid),
-                table.hints(vid, history_versions) if table is not None else {},
+                [streams.validator_seq(round_idx, vid) for vid in vids],
+                {vid: table.hints(vid, history_versions) for vid in vids}
+                if table is not None
+                else {},
                 live_floor,
             )
-            for vid in validator_ids
-            if vid in self._validators
-        }
+            for vids in _chunk_evenly(remote_vids, self.workers)
+        ]
         self._pipe_bytes += per_task_pipe * len(futures)
         self._pipe_raw_bytes += per_task_raw * len(futures)
+        remote = set(remote_vids)
 
         def gather() -> dict[int, int]:
             # Parent-side (non-parallel-safe) votes run while the workers
             # chew, then everything is gathered in id order.
-            local: dict[int, int] = {
+            collected: dict[int, int] = {
                 vid: pool.get(vid).vote(
                     context, streams.validator_rng(round_idx, vid)
                 )
                 for vid in validator_ids
-                if vid not in futures
+                if vid not in remote
             }
-            votes: dict[int, int] = {}
-            for vid in validator_ids:
-                if vid not in futures:
-                    votes[vid] = local[vid]
-                    continue
-                vote, new_profiles, candidate_profile = futures[vid].result()
-                votes[vid] = vote
-                if table is not None:
+            for future in futures:
+                for vid, vote, new_profiles, candidate_profile in future.result():
+                    collected[vid] = vote
+                    if table is None:
+                        continue
                     for version, profile in new_profiles.items():
                         table.put(vid, version, profile)
                     if candidate_profile is not None and (
@@ -882,7 +1018,7 @@ class ProcessPoolRoundExecutor(RoundExecutor):
                         table.stage(
                             vid, context.candidate_version, candidate_profile
                         )
-            return votes
+            return {vid: collected[vid] for vid in validator_ids}
 
         def cleanup() -> None:
             if self._store is None or self._store.closed:
@@ -892,9 +1028,223 @@ class ProcessPoolRoundExecutor(RoundExecutor):
 
         return PendingVotes(
             gather=gather,
-            futures=futures.values(),
+            futures=futures,
             cleanup=cleanup,
             on_abandon=self._defer_release,
+        )
+
+    def run_validators(
+        self,
+        pool: "ValidatorPool",
+        validator_ids: Sequence[int],
+        context: ValidationContext,
+        round_idx: int,
+        streams: RngStreams,
+    ) -> dict[int, int]:
+        return self.submit_validators(
+            pool, validator_ids, context, round_idx, streams
+        ).collect()
+
+
+class ThreadPoolRoundExecutor(RoundExecutor):
+    """Fan rounds out over in-process threads — zero IPC, zero pickling.
+
+    The training and validation kernels are numpy/BLAS-bound and release
+    the GIL, so a thread pool overlaps them while every object stays
+    live: clients and validators are used directly (their caches persist
+    across rounds exactly like the sequential path), models are shared by
+    reference, and :attr:`transport_bytes` is structurally zero.
+
+    Thread-safety contract
+    ----------------------
+    Only ``parallel_safe`` entities run on pool threads; everything else
+    runs in the calling thread, like the process pool's parent fallback.
+    Candidate and history networks are shared read-only across voting
+    threads (eval-mode forward does not mutate layer state), and a
+    per-validator lock serializes votes of the *same* validator across
+    overlapping pipelined rounds, so a validator's instance state is only
+    ever mutated under its lock or from the simulation thread between
+    rounds.
+
+    Cohort stacking defaults to the whole eligible fan-out in a single
+    stacked task (``cohort_size=None``): the stacked kernels already feed
+    BLAS batched matmuls (which multithread internally), so splitting the
+    stack across Python threads would mostly duplicate the Python-side
+    training loop instead of adding parallelism.
+    """
+
+    def __init__(self, workers: int, cohort_size: int | None = None) -> None:
+        if workers < 2:
+            raise ValueError(
+                f"ThreadPoolRoundExecutor needs >= 2 workers, got {workers}; "
+                "use make_executor() for an automatic sequential fallback"
+            )
+        if cohort_size is not None and cohort_size < 0:
+            raise ValueError(f"cohort_size must be >= 0, got {cohort_size}")
+        self.workers = workers
+        self.cohort_size = cohort_size
+        self._clients: dict[int, Client] = {}
+        self._validators: dict[int, Validator] = {}
+        self._store: ModelStore | None = None
+        self._bound: set[str] = set()
+        self._pool: ThreadPoolExecutor | None = None
+        self._vote_locks: dict[int, threading.Lock] = {}
+
+    def bind(
+        self,
+        clients: Sequence[Client] | None = None,
+        validator_pool: "ValidatorPool | None" = None,
+        template: Network | None = None,
+        store: ModelStore | None = None,
+        profile_table: ValidatorProfileTable | None = None,
+    ) -> None:
+        # Same one-shot semantics as the process pool: sharing an executor
+        # across simulations fails loudly.  Template and profile table are
+        # accepted for interface parity but unused — threads read the live
+        # objects, so there is nothing to ship or to shuttle back.
+        for field, provided in (
+            ("clients", clients),
+            ("validator_pool", validator_pool),
+            ("store", store),
+        ):
+            if provided is not None and field in self._bound:
+                raise RuntimeError(
+                    f"executor already has {field} bound; "
+                    "use one executor per simulation"
+                )
+        if clients is not None:
+            self._bound.add("clients")
+            self._clients = {
+                c.client_id: c for c in clients if _is_parallel_safe(c)
+            }
+        if validator_pool is not None:
+            self._bound.add("validator_pool")
+            self._validators = {
+                vid: validator
+                for vid, validator in validator_pool.as_dict().items()
+                if _is_parallel_safe(validator)
+            }
+            self._vote_locks = {vid: threading.Lock() for vid in self._validators}
+        if store is not None:
+            self._bound.add("store")
+            self._store = store
+
+    @property
+    def store(self) -> ModelStore | None:
+        return self._store
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-round"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def run_clients(
+        self,
+        clients: Sequence[Client],
+        contributor_ids: Sequence[int],
+        global_model: Network,
+        config: LocalTrainingConfig,
+        round_idx: int,
+        streams: RngStreams,
+    ) -> list[np.ndarray]:
+        pool = self._ensure_pool()
+        remote_ids = [cid for cid in contributor_ids if cid in self._clients]
+        chunks = plan_cohorts(
+            self._clients,
+            remote_ids,
+            global_model,
+            self.cohort_size if self.cohort_size is not None else len(remote_ids),
+        )
+        cohorted = {cid for chunk in chunks for cid in chunk}
+        chunk_futures: list[tuple[list[int], Future]] = [
+            (
+                chunk,
+                pool.submit(
+                    cohort_updates,
+                    global_model,
+                    [self._clients[cid].dataset for cid in chunk],
+                    config,
+                    [streams.client_rng(round_idx, cid) for cid in chunk],
+                ),
+            )
+            for chunk in chunks
+        ]
+        futures: dict[int, Future] = {
+            cid: pool.submit(
+                self._clients[cid].produce_update,
+                global_model,
+                config,
+                round_idx,
+                streams.client_rng(round_idx, cid),
+            )
+            for cid in remote_ids
+            if cid not in cohorted
+        }
+        results: dict[int, np.ndarray] = {
+            cid: clients[cid].produce_update(
+                global_model, config, round_idx, streams.client_rng(round_idx, cid)
+            )
+            for cid in contributor_ids
+            if cid not in futures and cid not in cohorted
+        }
+        for chunk, future in chunk_futures:
+            results.update(zip(chunk, future.result()))
+        for cid, future in futures.items():
+            results[cid] = future.result()
+        return [results[cid] for cid in contributor_ids]
+
+    def submit_validators(
+        self,
+        pool: "ValidatorPool",
+        validator_ids: Sequence[int],
+        context: ValidationContext,
+        round_idx: int,
+        streams: RngStreams,
+    ) -> PendingVotes:
+        executor_pool = self._ensure_pool()
+
+        def vote_under_lock(validator, lock, rng):
+            with lock:
+                return validator.vote(context, rng)
+
+        futures: dict[int, Future] = {
+            vid: executor_pool.submit(
+                vote_under_lock,  # repro: allow[pickle-safety] -- thread pool shares the address space, nothing pickles
+                self._validators[vid],
+                self._vote_locks[vid],
+                streams.validator_rng(round_idx, vid),
+            )
+            for vid in validator_ids
+            if vid in self._validators
+        }
+
+        def gather() -> dict[int, int]:
+            local: dict[int, int] = {
+                vid: pool.get(vid).vote(
+                    context, streams.validator_rng(round_idx, vid)
+                )
+                for vid in validator_ids
+                if vid not in futures
+            }
+            return {
+                vid: local[vid] if vid not in futures else futures[vid].result()
+                for vid in validator_ids
+            }
+
+        # No store references travel (the context holds the models alive),
+        # so an abandoned handle needs no deferred release — stragglers
+        # just finish and their results are dropped.
+        return PendingVotes(
+            gather=gather,
+            futures=futures.values(),
+            on_abandon=lambda pending: None,
         )
 
     def run_validators(
@@ -967,20 +1317,25 @@ def make_executor(
     store: ModelStore | None = None,
     mode: str = "sync",
     pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
-    cohort_size: int = 1,
+    cohort_size: int | None = None,
+    engine: str = "auto",
 ) -> RoundExecutor:
-    """Executor for a worker count: 0/1 -> sequential, N>=2 -> process pool.
+    """Executor for a worker count: 0/1 -> sequential, N>=2 -> worker pool.
 
-    ``store`` binds the configured model store at construction, so a pool
-    executor can never silently fall back to pickle-pipe transport because
-    a caller forgot to connect the two (the historical failure mode: store
-    and executor were built by separate factories and only met inside
-    ``FederatedSimulation``).  ``mode="pipelined"`` wraps the executor for
-    the pipelined round loop with the given speculation depth.
-    ``cohort_size >= 2`` turns on stacked cohort training
-    (:mod:`repro.fl.cohort`) on whichever executor is built — in-process
-    stacking for the sequential executor, per-worker-slice stacking for
-    the pool.
+    ``engine`` picks the multi-worker backend (:data:`ENGINE_KINDS`):
+    ``"process"`` (and ``"auto"``) builds a
+    :class:`ProcessPoolRoundExecutor`, ``"thread"`` a
+    :class:`ThreadPoolRoundExecutor`.  ``store`` binds the configured
+    model store at construction, so a pool executor can never silently
+    fall back to pickle-pipe transport because a caller forgot to connect
+    the two (the historical failure mode: store and executor were built
+    by separate factories and only met inside ``FederatedSimulation``).
+    ``mode="pipelined"`` wraps the executor for the pipelined round loop
+    with the given speculation depth.  ``cohort_size`` controls stacked
+    cohort training (:mod:`repro.fl.cohort`): ``None`` keeps each
+    executor's default (stack everything eligible on the pools, classic
+    per-model on sequential), ``>= 2`` forces that chunk size everywhere,
+    ``0``/``1`` disables stacking.
     """
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
@@ -988,9 +1343,15 @@ def make_executor(
         raise ValueError(
             f"mode must be one of {EXECUTION_MODES}, got {mode!r}"
         )
+    if engine not in ENGINE_KINDS:
+        raise ValueError(
+            f"engine must be one of {ENGINE_KINDS}, got {engine!r}"
+        )
     executor: RoundExecutor
     if workers <= 1:
         executor = SequentialExecutor(cohort_size=cohort_size)
+    elif engine == "thread":
+        executor = ThreadPoolRoundExecutor(workers, cohort_size=cohort_size)
     else:
         executor = ProcessPoolRoundExecutor(workers, cohort_size=cohort_size)
     if store is not None:
@@ -1037,7 +1398,8 @@ def make_engine(
     pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
     codec: str | None = None,
     require_lossless: bool = True,
-    cohort_size: int = 1,
+    cohort_size: int | None = None,
+    engine: str = "auto",
 ) -> RoundEngine:
     """The one factory for a round-execution engine.
 
@@ -1045,7 +1407,10 @@ def make_engine(
     :data:`~repro.fl.model_store.STORE_KINDS` name) and an executor with
     that store pre-bound, so the transport path is decided here, in one
     place, instead of emerging from whether two separately constructed
-    objects happened to meet.
+    objects happened to meet.  ``engine`` picks the multi-worker backend
+    (:data:`ENGINE_KINDS`); the thread engine shares the caller's address
+    space, so ``store="auto"`` resolves to the in-process store for it —
+    a shared-memory arena would only add copies.
 
     ``codec`` selects the store's weight-compression codec
     (:mod:`repro.fl.compression`; name or instance, default identity);
@@ -1054,9 +1419,16 @@ def make_engine(
     only holds for lossless codecs, so admitting a lossy one for a scale
     run is an explicit opt-out (``require_lossless=False``).
 
-    ``cohort_size`` enables stacked cohort client training (bit-identical,
-    pure throughput — see :mod:`repro.fl.cohort`).
+    ``cohort_size`` controls stacked cohort client training
+    (bit-identical, pure throughput — see :mod:`repro.fl.cohort`);
+    ``None`` keeps the per-executor default.
     """
+    if engine not in ENGINE_KINDS:
+        raise ValueError(
+            f"engine must be one of {ENGINE_KINDS}, got {engine!r}"
+        )
+    if store == "auto" and engine == "thread":
+        store = "inprocess"
     model_store = make_model_store(
         workers, store, codec=codec, require_lossless=require_lossless
     )
@@ -1066,5 +1438,6 @@ def make_engine(
         mode=mode,
         pipeline_depth=pipeline_depth,
         cohort_size=cohort_size,
+        engine=engine,
     )
     return RoundEngine(executor, model_store)

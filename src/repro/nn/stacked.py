@@ -38,9 +38,11 @@ vectorized, for the same reason.
 
 Layer coverage maps :mod:`repro.nn.layers`: ``Dense``, ``ReLU``,
 ``Flatten``, ``Dropout`` (per-model generator streams), ``Conv2D``
-(batched im2col), ``MaxPool2D``, ``GlobalAvgPool``, softmax cross-entropy,
-and SGD with momentum / weight decay / gradient clipping.  Anything else
-(``BatchNorm1d``, ``Residual``, the exotic activations) raises
+(batched im2col), ``MaxPool2D``, ``GlobalAvgPool``, ``BatchNorm1d``
+(per-model running statistics), ``Residual`` (recursively stacked inner
+stacks — so ``make_resnet_lite`` worlds ride the cohort engine), softmax
+cross-entropy, and SGD with momentum / weight decay / gradient clipping.
+Anything else (the exotic activations) raises
 :class:`StackingUnsupportedError`; callers probe with
 :func:`supports_stacking` and keep the per-model path.
 """
@@ -52,6 +54,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.nn.batchnorm import BatchNorm1d
 from repro.nn.layers import (
     Conv2D,
     Dense,
@@ -60,6 +63,7 @@ from repro.nn.layers import (
     GlobalAvgPool,
     MaxPool2D,
     ReLU,
+    Residual,
 )
 from repro.nn.losses import log_softmax
 from repro.nn.network import Network
@@ -417,6 +421,113 @@ class StackedGlobalAvgPool(StackedLayer):
         return np.broadcast_to(grad, self._shape).copy()
 
 
+class StackedBatchNorm1d(StackedLayer):
+    """Per-feature normalisation with per-model running statistics.
+
+    ``gamma``/``beta`` are ordinary stacked parameters (rows of the flat
+    layout); the running mean/variance are *local state*, mirrored here as
+    one ``(M, F)`` array pair seeded from the per-model layers (exactly
+    what ``M`` ``Network.clone()`` calls carry) and updated per selected
+    model.  All arithmetic is elementwise per feature plus batch-axis
+    reductions — the same per-slice shapes the per-model layer reduces
+    over — so outputs and gradients stay bit-identical.
+    """
+
+    def __init__(
+        self,
+        gamma: np.ndarray,
+        beta: np.ndarray,
+        running_mean: np.ndarray,
+        running_var: np.ndarray,
+        momentum: float,
+        eps: float,
+    ) -> None:
+        self.gamma = StackedParameter(gamma, "bn.gamma")
+        self.beta = StackedParameter(beta, "bn.beta")
+        self.running_mean = np.ascontiguousarray(running_mean, dtype=np.float64)
+        self.running_var = np.ascontiguousarray(running_var, dtype=np.float64)
+        self.momentum = momentum
+        self.eps = eps
+        self._cache: tuple[np.ndarray, np.ndarray, np.ndarray | None] | None = None
+
+    def parameters(self) -> list[StackedParameter]:
+        return [self.gamma, self.beta]
+
+    def forward(self, x, idx, train=False):
+        if train:
+            mean = x.mean(axis=1)
+            var = x.var(axis=1)
+            new_mean = self.momentum * _select(self.running_mean, idx) + (
+                1 - self.momentum
+            ) * mean
+            new_var = self.momentum * _select(self.running_var, idx) + (
+                1 - self.momentum
+            ) * var
+            if idx is None:
+                self.running_mean = new_mean
+                self.running_var = new_var
+            else:
+                self.running_mean[idx] = new_mean
+                self.running_var[idx] = new_var
+            inv_std = 1.0 / np.sqrt(var + self.eps)
+            x_hat = (x - mean[:, None, :]) * inv_std[:, None, :]
+            self._cache = (x_hat, inv_std, idx)
+        else:
+            inv_std = 1.0 / np.sqrt(_select(self.running_var, idx) + self.eps)
+            x_hat = (x - _select(self.running_mean, idx)[:, None, :]) * inv_std[
+                :, None, :
+            ]
+        return (
+            _select(self.gamma.value, idx)[:, None, :] * x_hat
+            + _select(self.beta.value, idx)[:, None, :]
+        )
+
+    def backward(self, grad_out):
+        if self._cache is None:
+            raise RuntimeError("backward called before forward(train=True)")
+        x_hat, inv_std, idx = self._cache
+        n = grad_out.shape[1]
+        self.gamma.accumulate(idx, (grad_out * x_hat).sum(axis=1))
+        self.beta.accumulate(idx, grad_out.sum(axis=1))
+        g = grad_out * _select(self.gamma.value, idx)[:, None, :]
+        return (
+            inv_std[:, None, :]
+            / n
+            * (
+                n * g
+                - g.sum(axis=1)[:, None, :]
+                - x_hat * (g * x_hat).sum(axis=1)[:, None, :]
+            )
+        )
+
+
+class StackedResidual(StackedLayer):
+    """Stacked skip connection: ``y = x + f(x)`` over a stacked inner stack."""
+
+    def __init__(self, inner: Sequence[StackedLayer]) -> None:
+        self.inner = list(inner)
+
+    def parameters(self) -> list[StackedParameter]:
+        return [p for layer in self.inner for p in layer.parameters()]
+
+    def forward(self, x, idx, train=False):
+        out = x
+        for layer in self.inner:
+            out = layer.forward(out, idx, train=train)
+        if out.shape != x.shape:
+            raise ValueError(
+                f"residual branch changed shape {x.shape} -> {out.shape}; "
+                "inner layers must be shape-preserving"
+            )
+        return x + out
+
+    def backward(self, grad_out):
+        grad = grad_out
+        for layer in reversed(self.inner):
+            grad = layer.backward(grad)
+        return grad + grad_out
+
+
 # ----------------------------------------------------------------------
 # Template -> stacked-layer builders
 # ----------------------------------------------------------------------
@@ -450,10 +561,50 @@ def _build_dropout(layer: Dropout, flats: np.ndarray, offset: int):
     return StackedDropout(layer.rate, rngs), offset
 
 
+def _build_batchnorm(layer: BatchNorm1d, flats: np.ndarray, offset: int):
+    gamma, offset = _consume(flats, offset, layer.gamma.value.shape)
+    beta, offset = _consume(flats, offset, layer.beta.value.shape)
+    # Running statistics are local state, not parameters: every model in
+    # the stack starts from the template layer's current values — exactly
+    # what M ``Network.clone()`` + ``set_flat(row)`` calls would carry.
+    m = flats.shape[0]
+    return (
+        StackedBatchNorm1d(
+            gamma,
+            beta,
+            np.tile(layer.running_mean, (m, 1)),
+            np.tile(layer.running_var, (m, 1)),
+            layer.momentum,
+            layer.eps,
+        ),
+        offset,
+    )
+
+
+def _build_residual(layer: Residual, flats: np.ndarray, offset: int):
+    # The flat layout of a Residual is its inner layers' parameters in
+    # order (``Residual.parameters`` chains them), so the inner builders
+    # consume the same blocks the per-model ``set_flat`` walk assigns.
+    inner: list[StackedLayer] = []
+    for sub in layer.inner:
+        builder = _BUILDERS.get(type(sub))
+        if builder is None:
+            raise StackingUnsupportedError(
+                f"no stacked counterpart for {type(sub).__name__} inside "
+                "Residual; use the per-model path (supports_stacking() "
+                "probes this)"
+            )
+        stacked, offset = builder(sub, flats, offset)
+        inner.append(stacked)
+    return StackedResidual(inner), offset
+
+
 _BUILDERS = {
     Dense: _build_dense,
     Conv2D: _build_conv,
     Dropout: _build_dropout,
+    BatchNorm1d: _build_batchnorm,
+    Residual: _build_residual,
     ReLU: lambda layer, flats, offset: (StackedReLU(), offset),
     Flatten: lambda layer, flats, offset: (StackedFlatten(), offset),
     MaxPool2D: lambda layer, flats, offset: (StackedMaxPool2D(layer.pool_size), offset),
@@ -462,7 +613,30 @@ _BUILDERS = {
 
 #: Per-model input ndim (without the model axis) implied by a layer type,
 #: used to tell a shared sample batch from an already-stacked input.
-_INPUT_NDIM = {Dense: 2, Conv2D: 4, MaxPool2D: 4, GlobalAvgPool: 4}
+_INPUT_NDIM = {Dense: 2, Conv2D: 4, MaxPool2D: 4, GlobalAvgPool: 4, BatchNorm1d: 2}
+
+
+def _infer_input_ndim(layers: Sequence) -> int | None:
+    """Per-model input ndim implied by the first shape-typed layer.
+
+    Recurses into ``Residual`` containers: a residual stack's input shape
+    is its first inner layer's.
+    """
+    for layer in layers:
+        if type(layer) is Residual:
+            ndim = _infer_input_ndim(layer.inner)
+            if ndim is not None:
+                return ndim
+        elif type(layer) in _INPUT_NDIM:
+            return _INPUT_NDIM[type(layer)]
+    return None
+
+
+def _layer_stackable(layer: object) -> bool:
+    """Exact-type stackability of one layer, recursing into containers."""
+    if type(layer) is Residual:
+        return all(_layer_stackable(sub) for sub in layer.inner)
+    return type(layer) in _BUILDERS
 
 
 def supports_stacking(network: Network) -> bool:
@@ -470,9 +644,63 @@ def supports_stacking(network: Network) -> bool:
 
     Exact-type matching on purpose: a subclass overriding ``forward`` would
     silently diverge from its stacked stand-in, so subclasses fall back to
-    the per-model path unless registered themselves.
+    the per-model path unless registered themselves.  ``Residual``
+    containers are stackable iff every inner layer is.
     """
-    return all(type(layer) in _BUILDERS for layer in network.layers)
+    return all(_layer_stackable(layer) for layer in network.layers)
+
+
+def _stack_peer_layer(layer, peers: Sequence) -> StackedLayer:
+    """One stacked layer from ``M`` existing per-model peer layers.
+
+    ``layer`` is the template's instance (structure source), ``peers`` the
+    same-position layer of every stacked model (weight/state sources).
+    Each stacked parameter is one ``np.stack`` over the per-model arrays —
+    cheaper than a flat-vector detour (see :meth:`StackedNetwork.from_models`).
+    """
+    kind = type(layer)
+    if kind is Residual:
+        return StackedResidual(
+            [
+                _stack_peer_layer(sub, [peer.inner[i] for peer in peers])
+                for i, sub in enumerate(layer.inner)
+            ]
+        )
+    if kind not in _BUILDERS:
+        raise StackingUnsupportedError(
+            f"no stacked counterpart for {kind.__name__}; "
+            "use the per-model path (supports_stacking() probes this)"
+        )
+    if kind in (Dense, Conv2D):
+        weight = np.stack([peer.weight.value for peer in peers])
+        bias = (
+            np.stack([peer.bias.value for peer in peers])
+            if layer.bias is not None
+            else None
+        )
+        if kind is Dense:
+            return StackedDense(weight, bias)
+        return StackedConv2D(weight, bias, layer.stride, layer.padding)
+    if kind is BatchNorm1d:
+        return StackedBatchNorm1d(
+            np.stack([peer.gamma.value for peer in peers]),
+            np.stack([peer.beta.value for peer in peers]),
+            np.stack([peer.running_mean for peer in peers]),
+            np.stack([peer.running_var for peer in peers]),
+            layer.momentum,
+            layer.eps,
+        )
+    if kind is Dropout:
+        return StackedDropout(
+            layer.rate, [copy.deepcopy(peer._rng) for peer in peers]
+        )
+    if kind is ReLU:
+        return StackedReLU()
+    if kind is Flatten:
+        return StackedFlatten()
+    if kind is MaxPool2D:
+        return StackedMaxPool2D(layer.pool_size)
+    return StackedGlobalAvgPool()
 
 
 class StackedNetwork:
@@ -531,42 +759,10 @@ class StackedNetwork:
                 template.layers
             ):
                 raise ValueError("models must share one architecture to stack")
-        layers: list[StackedLayer] = []
-        for layer_index, layer in enumerate(template.layers):
-            kind = type(layer)
-            if kind not in _BUILDERS:
-                raise StackingUnsupportedError(
-                    f"no stacked counterpart for {kind.__name__}; "
-                    "use the per-model path (supports_stacking() probes this)"
-                )
-            peers = [model.layers[layer_index] for model in models]
-            if kind in (Dense, Conv2D):
-                weight = np.stack([peer.weight.value for peer in peers])
-                bias = (
-                    np.stack([peer.bias.value for peer in peers])
-                    if layer.bias is not None
-                    else None
-                )
-                if kind is Dense:
-                    layers.append(StackedDense(weight, bias))
-                else:
-                    layers.append(
-                        StackedConv2D(weight, bias, layer.stride, layer.padding)
-                    )
-            elif kind is Dropout:
-                layers.append(
-                    StackedDropout(
-                        layer.rate, [copy.deepcopy(peer._rng) for peer in peers]
-                    )
-                )
-            elif kind is ReLU:
-                layers.append(StackedReLU())
-            elif kind is Flatten:
-                layers.append(StackedFlatten())
-            elif kind is MaxPool2D:
-                layers.append(StackedMaxPool2D(layer.pool_size))
-            else:
-                layers.append(StackedGlobalAvgPool())
+        layers = [
+            _stack_peer_layer(layer, [model.layers[i] for model in models])
+            for i, layer in enumerate(template.layers)
+        ]
         return cls._finalize(layers, template, len(models))
 
     @classmethod
@@ -578,12 +774,7 @@ class StackedNetwork:
             # skipping it drops one batched matmul (and for conv the whole
             # col2im fold) from every backward pass.
             layers[0].skip_input_grad = True
-        input_ndim = None
-        for layer in template.layers:
-            if type(layer) in _INPUT_NDIM:
-                input_ndim = _INPUT_NDIM[type(layer)]
-                break
-        return cls(layers, num_models, input_ndim)
+        return cls(layers, num_models, _infer_input_ndim(template.layers))
 
     # ------------------------------------------------------------------
     # Forward / backward
@@ -798,6 +989,7 @@ class StackedSGD:
 
 
 __all__ = [
+    "StackedBatchNorm1d",
     "StackedConv2D",
     "StackedDense",
     "StackedDropout",
@@ -808,6 +1000,7 @@ __all__ = [
     "StackedNetwork",
     "StackedParameter",
     "StackedReLU",
+    "StackedResidual",
     "StackedSGD",
     "StackingUnsupportedError",
     "clip_gradients_stacked",

@@ -33,6 +33,7 @@ def test_registry_covers_the_documented_battery():
         "dtype-discipline",
         "pickle-safety",
         "parallel-safety",
+        "thread-safety",
         "shm-hygiene",
         "unused-import",
         "mutable-default",
@@ -245,6 +246,92 @@ class TestParallelSafety:
                     CACHE[key] = 1  # repro: allow[parallel-safety] -- read-through cache, values identical per key
             """,
             "parallel-safety",
+        )
+        assert findings == []
+
+
+class TestThreadSafety:
+    def test_unlocked_class_container_mutation_fires(self):
+        findings = run_check(
+            """\
+            class Validator:
+                parallel_safe = True
+                _CACHE = {}
+                _SEEN = []
+
+                def vote(self, key, value):
+                    self._CACHE[key] = value
+                    self._SEEN.append(key)
+
+                def reset(self):
+                    Validator._CACHE = {}
+
+                def bump(self):
+                    type(self)._CACHE.update(done=True)
+            """,
+            "thread-safety",
+        )
+        assert check_ids(findings) == ["thread-safety"] * 4
+        assert "writes into class-level attribute '_CACHE'" in findings[0].message
+        assert "calls .append() on class-level attribute '_SEEN'" in findings[1].message
+        assert "rebinds class-level attribute '_CACHE'" in findings[2].message
+        assert "without a lock" in findings[3].message
+
+    def test_instance_state_and_shadowed_containers_are_clean(self):
+        findings = run_check(
+            """\
+            class Validator:
+                parallel_safe = True
+                _CACHE = {}
+
+                def __init__(self):
+                    self._CACHE = {}
+                    self._profiles = {}
+
+                def vote(self, key, value):
+                    self._CACHE[key] = value
+                    self._profiles[key] = value
+                    self._pending = value
+
+            class Unflagged:
+                _CACHE = {}
+
+                def hot(self, key):
+                    self._CACHE[key] = 1
+            """,
+            "thread-safety",
+        )
+        assert findings == []
+
+    def test_lock_guarded_mutation_is_clean(self):
+        findings = run_check(
+            """\
+            import threading
+
+            class Validator:
+                parallel_safe = True
+                _CACHE = {}
+                _lock = threading.Lock()
+
+                def vote(self, key, value):
+                    with self._lock:
+                        self._CACHE[key] = value
+            """,
+            "thread-safety",
+        )
+        assert findings == []
+
+    def test_suppressed_with_reason_is_silent(self):
+        findings = run_check(
+            """\
+            class Validator:
+                parallel_safe = True
+                _CACHE = {}
+
+                def vote(self, key):
+                    self._CACHE[key] = 1  # repro: allow[thread-safety] -- idempotent per-key writes
+            """,
+            "thread-safety",
         )
         assert findings == []
 

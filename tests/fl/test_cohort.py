@@ -145,10 +145,17 @@ class TestEligibilityAndPlanning:
         ) == [[0, 1, 2], [3, 4, 5]]
 
     def test_plan_skips_unstackable_architectures(self, rng):
+        from repro.nn.activations import Tanh
+        from repro.nn.layers import Dense
+        from repro.nn.network import Network
+
         shards = _shards(rng, [10] * 2)
         clients = [HonestClient(i, s) for i, s in enumerate(shards)]
+        unstackable = Network([Dense(9, 4, rng), Tanh()])
+        assert plan_cohorts(clients, [0, 1], unstackable, cohort_size=4) == []
+        # Residual networks gained stacking support and now plan normally.
         resnet = make_resnet_lite((1, 4, 4), 2, rng)
-        assert plan_cohorts(clients, [0, 1], resnet, cohort_size=4) == []
+        assert plan_cohorts(clients, [0, 1], resnet, cohort_size=4) == [[0, 1]]
 
 
 class TestExecutorIntegration:

@@ -24,6 +24,7 @@ from repro.fl.model_store import (
 from repro.fl.parallel import (
     ProcessPoolRoundExecutor,
     SequentialExecutor,
+    ThreadPoolRoundExecutor,
     make_engine,
     make_executor,
 )
@@ -161,6 +162,18 @@ class TestMakeExecutor:
         assert isinstance(executor, ProcessPoolRoundExecutor)
         executor.close()
 
+    def test_thread_engine_builds_a_thread_pool(self):
+        executor = make_executor(2, engine="thread")
+        assert isinstance(executor, ThreadPoolRoundExecutor)
+        executor.close()
+        assert isinstance(make_executor(0, engine="thread"), SequentialExecutor)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            make_executor(2, engine="fiber")
+        with pytest.raises(ValueError, match="engine"):
+            make_engine(2, engine="fiber")
+
     def test_negative_workers_rejected(self):
         with pytest.raises(ValueError):
             make_executor(-1)
@@ -168,6 +181,8 @@ class TestMakeExecutor:
     def test_pool_requires_two_workers(self):
         with pytest.raises(ValueError):
             ProcessPoolRoundExecutor(1)
+        with pytest.raises(ValueError):
+            ThreadPoolRoundExecutor(1)
 
 
 class TestSequentialParallelEquivalence:
@@ -345,8 +360,10 @@ def shm_leftovers(store) -> list[str]:
 
 
 class TestStoreExecutorEquivalenceMatrix:
-    """The spine of the refactor: every {executor mode} x {store} x
-    {workers} combination commits bit-identical models and round records.
+    """The spine of the refactor: every {executor mode} x {engine} x
+    {store} x {workers} combination commits bit-identical models and round
+    records — {Sequential, ProcessPool, Thread} x {InProcess,
+    SharedMemory}, sync and pipelined.
 
     ``pipelined`` runs with ``pipeline_depth=0`` here — the degenerate
     setting that must reproduce synchronous semantics exactly (the
@@ -354,17 +371,21 @@ class TestStoreExecutorEquivalenceMatrix:
     """
 
     @pytest.mark.parametrize("mode", ["sync", "pipelined"])
-    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize(
+        "workers, engine",
+        [(1, "process"), (2, "process"), (4, "process"), (2, "thread"),
+         (4, "thread")],
+    )
     @pytest.mark.parametrize(
         "store_cls", [InProcessModelStore, SharedMemoryModelStore]
     )
-    def test_bit_identical_commits(self, workers, store_cls, mode):
+    def test_bit_identical_commits(self, workers, engine, store_cls, mode):
         baseline_flat, baseline_records = run_and_snapshot(
             build_defended_sim(SequentialExecutor(), store=InProcessModelStore())
         )
         store = store_cls()
         with store, make_executor(
-            workers, store=store, mode=mode, pipeline_depth=0
+            workers, store=store, mode=mode, pipeline_depth=0, engine=engine
         ) as executor:
             flat, records = run_and_snapshot(
                 build_defended_sim(executor, store=store)
@@ -534,6 +555,123 @@ class TestWorkerTaskProfileFlow:
         )
         assert set(parallel_mod._W_MODELS) == set(range(2, 8))
         assert set(validator._profile_cache) <= set(range(2, 8))
+
+
+class TestThreadEngine:
+    """Thread-engine specifics beyond the equivalence matrix: zero
+    transport, in-process store default, parent fallback, reuse guard."""
+
+    def test_thread_runs_move_zero_bytes(self):
+        with make_executor(2, engine="thread") as executor:
+            sim = build_defended_sim(executor, store=InProcessModelStore())
+            records = sim.run(6)
+        assert all(r.transport_bytes == 0 for r in records)
+        assert executor.transport_bytes == 0
+
+    def test_make_engine_auto_store_resolves_to_inprocess_for_threads(self):
+        with make_engine(2, engine="thread") as engine:
+            assert isinstance(engine.executor, ThreadPoolRoundExecutor)
+            assert isinstance(engine.store, InProcessModelStore)
+        # An explicit store kind is still honored.
+        with make_engine(2, engine="thread", store="shared") as engine:
+            assert isinstance(engine.store, SharedMemoryModelStore)
+
+    def test_parent_fallback_clients_preserve_equivalence(self):
+        seq_flat, seq_records = run_and_snapshot(
+            build_defended_sim(SequentialExecutor())
+        )
+        with make_executor(2, engine="thread") as executor:
+            thr_flat, thr_records = run_and_snapshot(
+                build_defended_sim(executor, home_client=1)
+            )
+        np.testing.assert_array_equal(seq_flat, thr_flat)
+        assert seq_records == thr_records
+
+    def test_executor_reuse_across_simulations_rejected(self):
+        model, clients, _, config = make_world()
+        with make_executor(2, engine="thread") as executor:
+            FederatedSimulation(
+                model.clone(), clients, config,
+                np.random.default_rng(3), executor=executor,
+            )
+            with pytest.raises(RuntimeError, match="one executor per simulation"):
+                FederatedSimulation(
+                    model.clone(), clients, config,
+                    np.random.default_rng(4), executor=executor,
+                )
+
+
+class _OneVoteValidator:
+    """Minimal parallel-safe validator for in-process worker-task tests."""
+
+    parallel_safe = True
+
+    def vote(self, context, rng):
+        return 1
+
+
+class TestWarmAttachCaching:
+    """Satellite regression: pool workers attach each arena segment exactly
+    once per version — warm attachments are cached across tasks and rounds
+    and dropped only on the release path (the eviction floor)."""
+
+    def test_one_attach_per_version_across_rounds(self, monkeypatch):
+        from repro.fl import model_store as model_store_mod
+        from repro.fl import parallel as parallel_mod
+
+        model, _, _, _ = make_world()
+        store = SharedMemoryModelStore()
+        with store:
+            versions = [store.publish_new(model.get_flat()) for _ in range(7)]
+            *history_versions, candidate_version = versions
+            parallel_mod._init_worker(
+                {}, {0: _OneVoteValidator(), 1: _OneVoteValidator()},
+                model.clone(), store.worker_handle(),
+            )
+
+            attaches: list[str] = []
+            real_shm = model_store_mod.shared_memory.SharedMemory
+
+            def counting(*args, **kwargs):
+                if not kwargs.get("create", False):
+                    attaches.append(kwargs.get("name", args[0] if args else "?"))
+                return real_shm(*args, **kwargs)
+
+            monkeypatch.setattr(
+                model_store_mod.shared_memory, "SharedMemory", counting
+            )
+
+            def round_task(vids, cand, hist, round_idx):
+                return parallel_mod._validator_slice_task(
+                    vids, (cand, None), [(v, None) for v in hist], round_idx,
+                    [np.random.SeedSequence(round_idx * 100 + vid)
+                     for vid in vids],
+                    {}, min(hist),
+                )
+
+            # Round 0: one attach per distinct version, however many
+            # validators share the slice.
+            round_task([0, 1], candidate_version, history_versions, 0)
+            assert len(attaches) == len(history_versions) + 1
+
+            # Same round, second slice task (same worker): fully warm.
+            round_task([0, 1], candidate_version, history_versions, 0)
+            assert len(attaches) == len(history_versions) + 1
+
+            # Next round: the accepted candidate joined the history and a
+            # new candidate appeared — exactly one new attach.
+            new_candidate = store.publish_new(model.get_flat())
+            slid_history = history_versions[1:] + [candidate_version]
+            round_task([0, 1], new_candidate, slid_history, 1)
+            assert len(attaches) == len(history_versions) + 2
+
+            # The eviction floor (release path) drops retired attachments;
+            # re-reading a retired version would need a fresh attach.
+            assert min(history_versions) not in parallel_mod._W_STORE._segments
+            assert set(parallel_mod._W_STORE._segments) == set(
+                slid_history + [new_candidate]
+            )
+            parallel_mod._W_STORE.close()
 
 
 class TestStandaloneContextOnSharedStore:

@@ -138,6 +138,33 @@ class TestForcedRollback:
             assert not sim.defense.history.provisional_versions()
         assert shm_leftovers(store) == []
 
+    def test_reject_after_commit_with_thread_engine(self):
+        """The zero-IPC thread engine unwinds speculation identically:
+        abandoned vote futures just finish and drop their results, and the
+        replayed suffix lands on the synchronous trajectory."""
+        sync_flat, sync_records = self._sync_snapshot(reject_rounds=(3,))
+        store = InProcessModelStore()
+        with make_executor(
+            2, store=store, mode="pipelined", pipeline_depth=2, engine="thread"
+        ) as executor:
+            sim = build_forced_sim(executor, store=store, reject_rounds=(3,))
+            records = sim.run(ROUNDS)
+            np.testing.assert_array_equal(sync_flat, sim.global_model.get_flat())
+            assert snapshot(records) == sync_records
+            replayed = {r.round_idx: r.rollback_count for r in records}
+            assert replayed[4] == 1 and replayed[5] == 1
+            assert not sim.defense.history.provisional_versions()
+
+    def test_back_to_back_rollbacks_with_thread_engine(self):
+        sync_flat, sync_records = self._sync_snapshot(reject_rounds=(3, 4))
+        with make_executor(
+            2, mode="pipelined", pipeline_depth=2, engine="thread"
+        ) as executor:
+            sim = build_forced_sim(executor, reject_rounds=(3, 4))
+            records = sim.run(ROUNDS)
+            np.testing.assert_array_equal(sync_flat, sim.global_model.get_flat())
+        assert snapshot(records) == sync_records
+
     def test_back_to_back_rollbacks_exhaust_pipeline(self):
         """Consecutive rejections: round 4's replay is itself rejected,
         so round 5 is rolled back twice and round 6 once more — every

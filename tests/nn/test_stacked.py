@@ -108,14 +108,22 @@ class TestConstructionAndFlatViews:
             StackedNetwork.from_models([template, other])
 
     def test_unsupported_layers_raise_and_probe_false(self, rng):
+        from repro.nn.layers import Residual
+
         for network in (
             Network([Dense(4, 4, rng), Tanh(), Dense(4, 2, rng)]),
-            Network([Dense(4, 4, rng), BatchNorm1d(4), Dense(4, 2, rng)]),
-            make_resnet_lite((2, 6, 6), 3, rng),
+            # A Residual is only stackable if its *inner* layers are.
+            Network([Dense(4, 4, rng), Residual([Dense(4, 4, rng), Tanh()])]),
         ):
             assert not supports_stacking(network)
             with pytest.raises(StackingUnsupportedError):
                 StackedNetwork.from_models([network, network])
+
+    def test_batchnorm_and_resnet_probe_true(self, rng):
+        assert supports_stacking(
+            Network([Dense(4, 4, rng), BatchNorm1d(4), Dense(4, 2, rng)])
+        )
+        assert supports_stacking(make_resnet_lite((2, 6, 6), 3, rng))
 
     def test_dense_subclass_is_not_silently_stacked(self, rng):
         class WeirdDense(Dense):
@@ -346,6 +354,111 @@ def test_property_stacked_step_equals_per_model(
     models = _stack_of_perturbed(template, count, rng)
     xs = rng.normal(size=(count, batch, input_dim))
     ys = rng.integers(0, num_classes, size=(count, batch))
+
+    stacked = StackedNetwork.from_models(models)
+    optimizer = StackedSGD(stacked.parameters(), lr=0.1, momentum=0.9)
+    stacked.zero_grad()
+    logits = stacked.forward(xs, train=True)
+    stacked.backward(stacked_softmax_ce_grad(logits, ys))
+    optimizer.step()
+
+    for i, model in enumerate(models):
+        flat, _ = _per_model_step(model.clone(), xs[i], ys[i])
+        np.testing.assert_array_equal(stacked.get_flat()[i], flat)
+
+
+def _bn_mlp(input_dim: int, hidden: int, num_classes: int, rng) -> Network:
+    return Network([
+        Dense(input_dim, hidden, rng),
+        BatchNorm1d(hidden),
+        ReLU(),
+        Dense(hidden, num_classes, rng),
+    ])
+
+
+class TestBatchNormAndResidualEquivalence:
+    """Stacked BatchNorm1d / Residual == per-model, bit for bit."""
+
+    def test_batchnorm_train_step_and_running_stats_match(self, rng):
+        template = _bn_mlp(6, 5, 3, rng)
+        models = _stack_of_perturbed(template, 3, rng)
+        xs = rng.normal(size=(3, 8, 6))
+        ys = rng.integers(0, 3, size=(3, 8))
+
+        stacked = StackedNetwork.from_models(models)
+        optimizer = StackedSGD(stacked.parameters(), lr=0.1, momentum=0.9)
+        stacked.zero_grad()
+        logits = stacked.forward(xs, train=True)
+        stacked.backward(stacked_softmax_ce_grad(logits, ys))
+        optimizer.step()
+
+        stacked_bn = stacked.layers[1]
+        for i, model in enumerate(models):
+            clone = model.clone()
+            flat, _ = _per_model_step(clone, xs[i], ys[i])
+            np.testing.assert_array_equal(stacked.get_flat()[i], flat)
+            # The local (non-parameter) running statistics track too.
+            bn = clone.layers[1]
+            np.testing.assert_array_equal(stacked_bn.running_mean[i], bn.running_mean)
+            np.testing.assert_array_equal(stacked_bn.running_var[i], bn.running_var)
+
+    def test_batchnorm_eval_uses_per_model_running_stats(self, rng):
+        template = _bn_mlp(5, 4, 3, rng)
+        models = _stack_of_perturbed(template, 4, rng)
+        # Desynchronize the running statistics per model before stacking.
+        for i, model in enumerate(models):
+            model.forward(rng.normal(size=(6 + i, 5)), train=True)
+        x = rng.normal(size=(9, 5))
+        out = StackedNetwork.from_models(models).forward(x)
+        for i, model in enumerate(models):
+            np.testing.assert_array_equal(out[i], model.forward(x))
+
+    def test_resnet_lite_train_step_matches(self, rng):
+        template = make_resnet_lite((2, 6, 6), 3, rng, width=4, num_blocks=1)
+        models = _stack_of_perturbed(template, 3, rng)
+        xs = rng.normal(size=(3, 4, 2, 6, 6))
+        ys = rng.integers(0, 3, size=(3, 4))
+
+        stacked = StackedNetwork.from_models(models)
+        optimizer = StackedSGD(stacked.parameters(), lr=0.1, momentum=0.9)
+        stacked.zero_grad()
+        logits = stacked.forward(xs, train=True)
+        stacked.backward(stacked_softmax_ce_grad(logits, ys))
+        optimizer.step()
+
+        for i, model in enumerate(models):
+            flat, _ = _per_model_step(model.clone(), xs[i], ys[i])
+            np.testing.assert_array_equal(stacked.get_flat()[i], flat)
+
+    def test_resnet_lite_from_network_shared_input(self, rng):
+        template = make_resnet_lite((2, 6, 6), 3, rng, width=4, num_blocks=2)
+        models = _stack_of_perturbed(template, 3, rng)
+        flats = np.stack([model.get_flat() for model in models])
+        stacked = StackedNetwork.from_network(template, flats)
+        np.testing.assert_array_equal(stacked.get_flat(), flats)
+        x = rng.normal(size=(5, 2, 6, 6))
+        out = stacked.forward(x)
+        for i, model in enumerate(models):
+            np.testing.assert_array_equal(out[i], model.forward(x))
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    count=st.integers(1, 4),
+    input_dim=st.integers(2, 8),
+    hidden=st.integers(2, 8),
+    batch=st.integers(2, 9),
+)
+def test_property_stacked_batchnorm_step_equals_per_model(
+    seed, count, input_dim, hidden, batch
+):
+    """Random odd shapes through BatchNorm1d: stacked == per-model."""
+    rng = np.random.default_rng(seed)
+    template = _bn_mlp(input_dim, hidden, 3, rng)
+    models = _stack_of_perturbed(template, count, rng)
+    xs = rng.normal(size=(count, batch, input_dim))
+    ys = rng.integers(0, 3, size=(count, batch))
 
     stacked = StackedNetwork.from_models(models)
     optimizer = StackedSGD(stacked.parameters(), lr=0.1, momentum=0.9)
