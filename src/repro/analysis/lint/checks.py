@@ -15,7 +15,9 @@ global-rng    randomness outside per-``(round, entity)``
               stdlib ``random``, time-derived seeds (PR 1's contract)
 dtype-        ``np.zeros/empty/ones/full/arange`` without ``dtype=``
 discipline    in the nn/fl/data hot paths — the PR 5 leak class
-              (``_col2im``/Dropout silently widening or narrowing)
+              (``_col2im``/Dropout silently widening or narrowing);
+              policy-routed allocations (``dtype=active_dtype()``)
+              are the sanctioned form under the precision policy
 pickle-       lambdas / nested functions submitted to worker pools;
 safety        pool payloads must be module-level (PR 1/2 transport)
 parallel-     ``parallel_safe=True``/``cohort_safe=True`` classes
@@ -258,7 +260,10 @@ class DtypeDisciplineCheck(Check):
     check_id = "dtype-discipline"
     description = (
         "np.zeros/empty/ones/full/arange in nn/fl/data hot paths must pass "
-        "an explicit dtype= (the PR 5 float64-leak class)"
+        "an explicit dtype= — a bare allocation silently pins the numpy "
+        "default instead of the execution precision policy; routing through "
+        "dtype=active_dtype() (repro.nn.precision) or another explicit "
+        "dtype resolves it"
     )
     path_scope = ("repro/nn", "repro/fl", "repro/data")
 
@@ -278,8 +283,10 @@ class DtypeDisciplineCheck(Check):
             findings.append(ctx.finding(
                 self.check_id, node,
                 f"np.{tail}() without explicit dtype=: allocation dtype must "
-                "be stated where weights/activations are built, or a silent "
-                "widening/narrowing breaks bit-identity (PR 5 leak class)",
+                "be stated where weights/activations are built — route "
+                "policy-dtype arrays through dtype=active_dtype() "
+                "(repro.nn.precision); a bare allocation silently widens or "
+                "narrows and breaks bit-identity under a float32 policy",
             ))
         return findings
 

@@ -7,11 +7,13 @@ grow two kinds of instrumentation:
 
 - **dtype assertions** — :class:`~repro.nn.network.Network` forward and
   backward passes, and :class:`~repro.fl.simulation.FederatedSimulation`
-  aggregation, assert that every array they produce is ``float64``.  A
-  silent downcast (e.g. a ``float32`` constant leaking into a layer)
-  breaks the bit-identity contract long before any test notices drifting
-  accuracy; the sanitizer turns it into an immediate
-  :class:`SanitizeError` at the offending layer.
+  aggregation, assert that every array they produce carries the *policy*
+  dtype (``REPRO_DTYPE_POLICY``: ``float64`` unless a run opts into
+  ``float32``).  A silent cast away from the policy (e.g. a ``float32``
+  constant leaking into a float64 layer, or a float64 temporary leaking
+  into a float32 run) breaks the per-policy bit-identity contract long
+  before any test notices drifting accuracy; the sanitizer turns it into
+  an immediate :class:`SanitizeError` at the offending layer.
 - **state hashing** — every aggregated candidate is hashed per layer
   into a :class:`HashTrace` (``(round, layer, digest)`` entries).  Two
   engines that should commit bit-identical models must produce identical
@@ -76,10 +78,27 @@ def scope(active: bool = True):
 # ----------------------------------------------------------------------
 # Assertions
 # ----------------------------------------------------------------------
+def _policy_dtype() -> np.dtype:
+    """The active precision-policy dtype, read from the environment.
+
+    Duplicates the tiny lookup in :mod:`repro.nn.precision` rather than
+    importing it: this module's contract is that it imports nothing from
+    the rest of ``repro`` (the hot paths import it lazily, cycle-free).
+    """
+    name = os.environ.get("REPRO_DTYPE_POLICY", "").strip().lower()
+    return np.dtype(np.float32) if name == "float32" else np.dtype(np.float64)
+
+
 def assert_dtype(
-    array: np.ndarray, where: str, dtype: np.dtype | type = np.float64
+    array: np.ndarray, where: str, dtype: np.dtype | type | None = None
 ) -> None:
-    """Raise :class:`SanitizeError` unless ``array`` has exactly ``dtype``."""
+    """Raise :class:`SanitizeError` unless ``array`` has exactly ``dtype``.
+
+    When ``dtype`` is omitted, the assertion targets the active policy
+    dtype — float64 by default, float32 under the opt-in policy.
+    """
+    if dtype is None:
+        dtype = _policy_dtype()
     if not isinstance(array, np.ndarray):
         raise SanitizeError(f"{where}: expected ndarray, got {type(array).__name__}")
     if array.dtype != np.dtype(dtype):

@@ -48,6 +48,7 @@ from repro.fl.parallel import (
     ENGINE_KINDS,
     EXECUTION_MODES,
 )
+from repro.nn.precision import DTYPE_POLICIES
 from repro.experiments.scenarios import run_early_scenario, run_error_trace
 
 
@@ -81,6 +82,8 @@ def cmd_detect(args: argparse.Namespace) -> None:
         codec=args.codec,
         allow_lossy=args.allow_lossy,
         sanitize=args.sanitize,
+        dtype_policy=args.dtype,
+        virtual_clients=args.virtual_clients,
     )
     stats = run_detection_experiment(
         config, _seeds(args), seed_workers=args.seed_workers
@@ -99,6 +102,7 @@ def cmd_table1(args: argparse.Namespace) -> None:
         cohort_size=args.cohort_size,
         codec=args.codec, allow_lossy=args.allow_lossy,
         sanitize=args.sanitize,
+        dtype_policy=args.dtype, virtual_clients=args.virtual_clients,
     )
     results = sweep_lookback(
         base, (10, 20, 30), splits, seeds=_seeds(args),
@@ -118,6 +122,7 @@ def cmd_fig3(args: argparse.Namespace) -> None:
         cohort_size=args.cohort_size,
         codec=args.codec, allow_lossy=args.allow_lossy,
         sanitize=args.sanitize,
+        dtype_policy=args.dtype, virtual_clients=args.virtual_clients,
     )
     results = sweep_quorum(
         base, quorums, splits, seeds=_seeds(args), seed_workers=args.seed_workers
@@ -136,6 +141,7 @@ def cmd_table2(args: argparse.Namespace) -> None:
             execution_mode=args.exec_mode, pipeline_depth=args.pipeline_depth,
             cohort_size=args.cohort_size, codec=args.codec, allow_lossy=args.allow_lossy,
             sanitize=args.sanitize,
+            dtype_policy=args.dtype, virtual_clients=args.virtual_clients,
         )
         results[split] = run_adaptive_experiment(
             config, _seeds(args), seed_workers=args.seed_workers
@@ -153,6 +159,7 @@ def cmd_fig2(args: argparse.Namespace) -> None:
         cohort_size=args.cohort_size,
         codec=args.codec, allow_lossy=args.allow_lossy,
         sanitize=args.sanitize,
+        dtype_policy=args.dtype, virtual_clients=args.virtual_clients,
     )
     # fig2 is a single paired clean/poisoned trace, not a seed sweep: a
     # fixed seed matches fig4's convention (--seeds used to leak in as the
@@ -181,6 +188,7 @@ def cmd_fig4(args: argparse.Namespace) -> None:
         cohort_size=args.cohort_size,
         codec=args.codec, allow_lossy=args.allow_lossy,
         sanitize=args.sanitize,
+        dtype_policy=args.dtype, virtual_clients=args.virtual_clients,
     )
     undefended = run_early_scenario(config, seed=0, defense_start=None)
     defended = run_early_scenario(config, seed=0, defense_start=106)
@@ -266,6 +274,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admit a lossy codec (quantized, topk): trades "
                             "the bit-identical engine-equivalence guarantee "
                             "for ~5-10x transport reduction")
+        p.add_argument("--dtype", choices=DTYPE_POLICIES, default="float64",
+                       help="execution precision policy (repro.nn.precision): "
+                            "float64 commits bit-identically to the seed "
+                            "baseline; float32 halves memory/transport with "
+                            "its own cross-engine bit-identity contract")
+        p.add_argument("--virtual-clients", action="store_true",
+                       dest="virtual_clients",
+                       help="virtual client registry (repro.fl.registry): "
+                            "clients materialize on selection and are "
+                            "discarded after the round; round memory scales "
+                            "with the cohort, not the population (results "
+                            "are identical)")
         p.add_argument("--sanitize", action="store_true",
                        help="run under the runtime sanitizer "
                             "(repro.analysis.sanitize): dtype assertions "

@@ -19,6 +19,7 @@ from repro.fl.parallel import (
     ENGINE_KINDS,
     EXECUTION_MODES,
 )
+from repro.nn.precision import DTYPE_POLICIES
 
 #: Client-server validation-data splits evaluated in Table I / Fig. 3.
 CIFAR_SPLITS = (0.90, 0.95, 0.99)
@@ -129,6 +130,18 @@ class ExperimentConfig:
     # so it stays out of ``environment_key`` like the engine knobs.
     # Equivalent to running under ``REPRO_SANITIZE=1``.
     sanitize: bool = False
+    # Execution precision policy (repro.nn.precision): "float64" (default;
+    # committed models bit-identical to the seed baseline) or "float32"
+    # (~half the memory and transport volume, with its own cross-engine
+    # bit-identity contract).  The policy changes every committed weight,
+    # so — like the codec — it participates in ``environment_key``.
+    dtype_policy: str = "float64"
+    # Virtual client population (repro.fl.registry): clients are pure IDs,
+    # materialized on selection from the environment's recorded partition
+    # spec and discarded after the round.  Commits bit-identical models to
+    # the eager path, so it stays out of ``environment_key`` like the
+    # engine knobs.
+    virtual_clients: bool = False
 
     def __post_init__(self) -> None:
         if self.dataset not in _DATASETS:
@@ -181,6 +194,11 @@ class ExperimentConfig:
             raise ValueError(
                 f"codec must be one of {codec_names()}, got {self.codec!r}"
             )
+        if self.dtype_policy not in DTYPE_POLICIES:
+            raise ValueError(
+                f"dtype_policy must be one of {DTYPE_POLICIES}, got "
+                f"{self.dtype_policy!r}"
+            )
         if not self.allow_lossy and not make_codec(self.codec).lossless:
             raise ValueError(
                 f"codec {self.codec!r} is lossy (committed models are no "
@@ -201,6 +219,7 @@ class ExperimentConfig:
         """
         return (
             self.codec,
+            self.dtype_policy,
             self.dataset,
             self.client_share,
             self.num_clients,

@@ -152,6 +152,18 @@ def format_execution_report(records: Sequence["object"]) -> str:
         f"(codec {codec}: {np.mean(raw):.0f} B/round raw, "
         f"{ratio:.2f}x compression)",
     ]
+    # Population-scale telemetry (getattr-defensive: pre-registry record
+    # objects lack these fields).  peak_rss_kb is the OS high-water mark,
+    # so the last round's value is the run's peak.
+    materialized = [getattr(r, "materialized_clients", 0) for r in records]
+    peak_rss = getattr(records[-1], "peak_rss_kb", 0)
+    if any(materialized):
+        lines.append(
+            f"materialized clients: {max(materialized)}/round peak "
+            f"({np.mean(materialized):.1f} mean)"
+        )
+    if peak_rss:
+        lines.append(f"peak RSS: {peak_rss / 1024:.1f} MiB")
     laggy = [r for r in records if r.validation_lag or r.rollback_count]
     if laggy:
         lines.append(

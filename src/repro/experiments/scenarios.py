@@ -11,6 +11,7 @@
 
 from __future__ import annotations
 
+import functools
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -26,10 +27,29 @@ from repro.experiments.environment import Environment, build_environment
 from repro.fl.client import Client, HonestClient
 from repro.fl.config import FLConfig
 from repro.fl.parallel import make_engine
+from repro.fl.registry import ClientRegistry, LazyShardFactory
 from repro.fl.selection import ScheduledSelector
 from repro.fl.simulation import FederatedSimulation, RoundRecord
 from repro.nn.metrics import accuracy, confusion_matrix, source_focused_errors
 from repro.nn.models import make_mlp
+from repro.nn.precision import dtype_policy
+
+
+def _policy_scoped(fn):
+    """Run a scenario under its config's execution precision policy.
+
+    The scope spans the whole scenario — environment build (cached per
+    policy), attacker setup, defended run — so every array the scenario
+    allocates is policy-dtype.  Scenario entry points take the config as
+    their first argument by convention.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(config, *args, **kwargs):
+        with dtype_policy(config.dtype_policy):
+            return fn(config, *args, **kwargs)
+
+    return wrapper
 
 
 @dataclass
@@ -55,6 +75,7 @@ class StableRunResult:
         ]
 
 
+@_policy_scoped
 def run_stable_scenario(
     config: ExperimentConfig,
     seed: int,
@@ -143,6 +164,7 @@ class EarlyRoundResult:
     defense_start: int | None
 
 
+@_policy_scoped
 def run_early_scenario(
     config: ExperimentConfig,
     seed: int,
@@ -233,6 +255,7 @@ def run_early_scenario(
 # ----------------------------------------------------------------------
 # Per-class error traces (Fig. 2)
 # ----------------------------------------------------------------------
+@_policy_scoped
 def run_error_trace(
     config: ExperimentConfig,
     seed: int,
@@ -377,7 +400,11 @@ def _build_clients(
     env: Environment,
     defense: BaffleDefense | None,
     effective_global_lr: float,
-) -> list[Client]:
+) -> list[Client] | ClientRegistry:
+    """The scenario's client population: an eager list, or — under
+    ``config.virtual_clients`` — a :class:`ClientRegistry` whose honest
+    clients materialize on selection, with the attacker as a permanently
+    resident override.  Both commit bit-identical models."""
     replacement = ReplacementConfig(
         # Full-replacement boost N/lambda for the lambda this run uses.
         boost=config.num_clients / effective_global_lr,
@@ -386,29 +413,38 @@ def _build_clients(
         attack_epochs=config.attack_epochs,
         attack_lr=config.attack_lr,
     )
-    clients: list[Client] = []
-    for cid, shard in enumerate(env.shards):
-        if cid != env.attacker_id:
-            clients.append(HonestClient(cid, shard))
-            continue
-        if config.adaptive:
-            if defense is None:
-                raise ValueError("adaptive attacker needs the defense history")
-            clients.append(
-                AdaptiveReplacementClient(
-                    cid,
-                    shard,
-                    env.backdoor,
-                    replacement,
-                    set(config.attack_rounds),
-                    history_provider=defense.history.entries,
-                    max_trials=config.adaptive_max_trials,
-                )
+    attacker_shard = env.shards[env.attacker_id]
+    if config.adaptive:
+        if defense is None:
+            raise ValueError("adaptive attacker needs the defense history")
+        attacker: Client = AdaptiveReplacementClient(
+            env.attacker_id,
+            attacker_shard,
+            env.backdoor,
+            replacement,
+            set(config.attack_rounds),
+            history_provider=defense.history.entries,
+            max_trials=config.adaptive_max_trials,
+        )
+    else:
+        attacker = ModelReplacementClient(
+            env.attacker_id,
+            attacker_shard,
+            env.backdoor,
+            replacement,
+            set(config.attack_rounds),
+        )
+    if config.virtual_clients:
+        if env.client_pool is None or env.partition_spec is None:
+            raise ValueError(
+                "environment carries no lazy partition spec; rebuild it "
+                "with this repro version before using virtual_clients"
             )
-        else:
-            clients.append(
-                ModelReplacementClient(
-                    cid, shard, env.backdoor, replacement, set(config.attack_rounds)
-                )
-            )
-    return clients
+        return ClientRegistry(
+            LazyShardFactory(env.client_pool, env.partition_spec),
+            overrides={env.attacker_id: attacker},
+        )
+    return [
+        attacker if cid == env.attacker_id else HonestClient(cid, shard)
+        for cid, shard in enumerate(env.shards)
+    ]

@@ -80,7 +80,14 @@ def plan_cohorts(
     """
     if cohort_size < 2 or not supports_stacking(global_model):
         return []
-    eligible = [cid for cid in contributor_ids if is_cohortable(clients[cid])]
+    # A ClientRegistry answers cohortability from metadata (factory
+    # contract + shard length) without materializing anyone; eager
+    # lists/dicts probe the client object itself.
+    probe = getattr(clients, "is_cohortable", None)
+    if callable(probe):
+        eligible = [cid for cid in contributor_ids if probe(cid)]
+    else:
+        eligible = [cid for cid in contributor_ids if is_cohortable(clients[cid])]
     if len(eligible) < 2:
         return []
     size = cohort_size

@@ -62,6 +62,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.nn.precision import active_dtype
+
 #: Fixed per-segment header: codec name (16 bytes, NUL-padded ascii),
 #: element count, payload byte length, parent version (-1 = none).
 SEGMENT_HEADER = struct.Struct("<16sqqq")
@@ -124,7 +126,23 @@ class CompressedSegment:
 
 
 def _as_flat64(flat: np.ndarray) -> np.ndarray:
+    """Flatten-check + float64 view; the lossy codecs' internal dtype.
+
+    The quantized and topk codecs keep float64 arithmetic regardless of
+    the precision policy: they are lossy (bit-identity is void on their
+    trajectories anyway) and their payload formats hardcode float64
+    scales/values.  Consumers cast decoded vectors back to the policy
+    dtype at ``set_flat`` / aggregation time.
+    """
     flat = np.ascontiguousarray(flat, dtype=np.float64)
+    if flat.ndim != 1:
+        raise ValueError(f"codecs operate on flat vectors, got shape {flat.shape}")
+    return flat
+
+
+def _as_flat_policy(flat: np.ndarray) -> np.ndarray:
+    """Flatten-check + cast to the active precision-policy dtype."""
+    flat = np.ascontiguousarray(flat, dtype=active_dtype())
     if flat.ndim != 1:
         raise ValueError(f"codecs operate on flat vectors, got shape {flat.shape}")
     return flat
@@ -168,7 +186,7 @@ class WeightCodec:
     def decode(
         self, segment: CompressedSegment, parent: np.ndarray | None = None
     ) -> np.ndarray:
-        """Reconstruct the (read-only) float64 vector of ``segment``."""
+        """Reconstruct the (read-only) flat weight vector of ``segment``."""
         raise NotImplementedError
 
     def canonicalize(self, flat: np.ndarray) -> np.ndarray:
@@ -181,27 +199,51 @@ class WeightCodec:
 
 
 class IdentityCodec(WeightCodec):
-    """Raw float64 passthrough — the default, zero-loss, zero-gain codec."""
+    """Raw policy-dtype passthrough — the default, zero-loss codec.
+
+    Payloads carry the active policy dtype verbatim (float64 by default,
+    float32 under the opt-in policy — which also halves identity-codec
+    transport).  Decoding infers the dtype from the payload size, so a
+    worker needs no out-of-band policy information to reconstruct a
+    segment it attaches to.
+    """
 
     name = "identity"
     lossless = True
     transparent = True
 
     def encode(self, flat, parent=None, parent_version=None) -> CompressedSegment:
-        flat = _as_flat64(flat)
+        flat = _as_flat_policy(flat)
         return CompressedSegment(self.name, flat.shape[0], flat.tobytes())
 
     def decode(self, segment, parent=None) -> np.ndarray:
         # Zero-copy when the payload is a view into a (shared-memory)
         # buffer; ``frombuffer`` over immutable bytes is already read-only.
-        flat = np.frombuffer(segment.payload, dtype=np.float64)
+        flat = np.frombuffer(segment.payload, dtype=_identity_dtype(segment))
         if flat.flags.writeable:
             flat = flat.view()
             flat.flags.writeable = False
         return flat
 
     def canonicalize(self, flat: np.ndarray) -> np.ndarray:
-        return _as_flat64(flat)
+        return _as_flat_policy(flat)
+
+
+_IDENTITY_DTYPES = {4: np.dtype(np.float32), 8: np.dtype(np.float64)}
+
+
+def _identity_dtype(segment: CompressedSegment) -> np.dtype:
+    """Infer an identity payload's dtype from bytes-per-element."""
+    if segment.num_params == 0:
+        return np.dtype(np.float64)
+    itemsize, remainder = divmod(len(segment.payload), segment.num_params)
+    dtype = _IDENTITY_DTYPES.get(itemsize)
+    if remainder or dtype is None:
+        raise ValueError(
+            f"identity payload of {len(segment.payload)} bytes does not hold "
+            f"{segment.num_params} float32 or float64 elements"
+        )
+    return dtype
 
 
 class Float16Codec(WeightCodec):
@@ -229,11 +271,15 @@ class Float16Codec(WeightCodec):
 
     def decode(self, segment, parent=None) -> np.ndarray:
         half = np.frombuffer(bytes(segment.payload), dtype=np.float16)
-        return _read_only(half.astype(np.float64))
+        return _read_only(half.astype(active_dtype()))
 
     def canonicalize(self, flat: np.ndarray) -> np.ndarray:
+        # Encoding may flatten through float64 (exact for any float32
+        # input), so rounding to float16 here matches rounding there;
+        # the final cast lands the canonical vector in the policy dtype
+        # (float16 values are exactly representable in both policies).
         with np.errstate(over="ignore"):  # out-of-range -> inf, by design
-            return _as_flat64(flat).astype(np.float16).astype(np.float64)
+            return _as_flat64(flat).astype(np.float16).astype(active_dtype())
 
 
 class QuantizedCodec(WeightCodec):

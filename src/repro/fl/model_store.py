@@ -82,6 +82,7 @@ from repro.fl.compression import (
     decode_segment,
     make_codec,
 )
+from repro.nn.precision import active_dtype
 
 #: Prefix shared by every shared-memory segment this package creates; the
 #: CI leak check greps ``/dev/shm`` for it.
@@ -92,8 +93,14 @@ SHM_NAME_PREFIX = "bfl"
 STORE_KINDS = ("auto", "inprocess", "shared")
 
 
-def _as_flat64(flat: np.ndarray) -> np.ndarray:
-    flat = np.ascontiguousarray(flat, dtype=np.float64)
+def _as_flat(flat: np.ndarray) -> np.ndarray:
+    """Flatten-check + cast to the active precision-policy dtype.
+
+    The store's content digests and byte counters are taken over the
+    policy-dtype bytes, so a float32 run dedups, transports, and accounts
+    in float32 end to end (exactly half the identity-codec bytes).
+    """
+    flat = np.ascontiguousarray(flat, dtype=active_dtype())
     if flat.ndim != 1:
         raise ValueError(f"model store holds flat vectors, got shape {flat.shape}")
     return flat
@@ -144,7 +151,7 @@ class ModelStore:
         refcount is incremented and no data is copied — publishing the
         unchanged global model round after round costs zero bytes.
         """
-        flat = _as_flat64(flat)
+        flat = _as_flat(flat)
         digest = hashlib.sha1(flat.tobytes()).digest()
         live = self._digests.get(digest)
         if live:
@@ -155,7 +162,7 @@ class ModelStore:
 
     def publish_new(self, flat: np.ndarray) -> int:
         """Store ``flat`` under a guaranteed-fresh version (no dedup)."""
-        flat = _as_flat64(flat)
+        flat = _as_flat(flat)
         digest = hashlib.sha1(flat.tobytes()).digest()
         return self._publish_at(self._alloc_version(), flat, digest)
 
@@ -168,7 +175,7 @@ class ModelStore:
         """
         if version in self._refs:
             raise ValueError(f"version {version} is already live in this store")
-        flat = _as_flat64(flat)
+        flat = _as_flat(flat)
         digest = hashlib.sha1(flat.tobytes()).digest()
         self._next_version = max(self._next_version, version + 1)
         return self._publish_at(version, flat, digest)

@@ -47,9 +47,10 @@ on ``close``).
 
 Because every task's randomness comes from a keyed
 :class:`~repro.fl.rng.RngStreams` child (not a shared sequential stream),
-and weights travel losslessly in float64, every executor/store combination
-commits **bit-identical** global models and round records for the same
-seed.
+and weights travel losslessly in the active precision-policy dtype
+(float64 by default, float32 under the opt-in policy), every
+executor/store combination commits **bit-identical** global models and
+round records for the same seed and policy.
 
 Weight transport
 ----------------
@@ -119,6 +120,7 @@ from repro.fl.model_store import (
     ValidatorProfileTable,
     make_model_store,
 )
+from repro.fl.registry import ClientRegistry
 from repro.fl.rng import RngStreams
 from repro.nn.network import Network
 
@@ -407,6 +409,7 @@ _W_VALIDATORS: dict[int, Validator] = {}
 _W_TEMPLATE: Network | None = None
 _W_MODELS: dict[int, Network] = {}
 _W_STORE: ShmWorkerView | None = None
+_W_REGISTRY: ClientRegistry | None = None
 
 
 def _init_worker(
@@ -414,8 +417,9 @@ def _init_worker(
     validators: dict[int, Validator],
     template: Network | None,
     store_handle,
+    registry: ClientRegistry | None = None,
 ) -> None:
-    global _W_TEMPLATE, _W_STORE
+    global _W_TEMPLATE, _W_STORE, _W_REGISTRY
     _W_CLIENTS.clear()
     _W_CLIENTS.update(clients)
     _W_VALIDATORS.clear()
@@ -423,6 +427,22 @@ def _init_worker(
     _W_MODELS.clear()
     _W_TEMPLATE = template
     _W_STORE = store_handle.attach() if store_handle is not None else None
+    _W_REGISTRY = registry
+
+
+def _worker_client(cid: int) -> Client:
+    """Resolve a client id inside a worker.
+
+    Registry-backed pools materialize the client's shard *here*, from the
+    worker's own copy of the pool + partition spec — per-round IPC never
+    carries a shard; :func:`_client_slice_task` discards the
+    materializations when its slice completes.
+    """
+    client = _W_CLIENTS.get(cid)
+    if client is None:
+        assert _W_REGISTRY is not None, f"unknown client id {cid} in worker"
+        client = _W_REGISTRY[cid]
+    return client
 
 
 def _materialize(ref: ModelRef) -> Network:
@@ -472,19 +492,25 @@ def _client_slice_task(
     _evict_retired(live_floor)
     model = _materialize(model_ref)
     out: list[tuple[int, np.ndarray]] = []
-    for client_ids, seed_seqs in zip(cohorts, cohort_seed_seqs):
-        updates = cohort_updates(
-            model,
-            [_W_CLIENTS[cid].dataset for cid in client_ids],
-            config,
-            [np.random.default_rng(seq) for seq in seed_seqs],
-        )
-        out.extend(zip(client_ids, updates))
-    for cid, seq in zip(singles, single_seed_seqs):
-        update = _W_CLIENTS[cid].produce_update(
-            model, config, round_idx, np.random.default_rng(seq)
-        )
-        out.append((cid, update))
+    try:
+        for client_ids, seed_seqs in zip(cohorts, cohort_seed_seqs):
+            updates = cohort_updates(
+                model,
+                [_worker_client(cid).dataset for cid in client_ids],
+                config,
+                [np.random.default_rng(seq) for seq in seed_seqs],
+            )
+            out.extend(zip(client_ids, updates))
+        for cid, seq in zip(singles, single_seed_seqs):
+            update = _worker_client(cid).produce_update(
+                model, config, round_idx, np.random.default_rng(seq)
+            )
+            out.append((cid, update))
+    finally:
+        # Registry-backed workers hold shards only for the slice's
+        # lifetime — worker RSS is bounded by the slice, not the round.
+        if _W_REGISTRY is not None:
+            _W_REGISTRY.end_round()
     return out
 
 
@@ -684,6 +710,7 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         self.workers = workers
         self.cohort_size = cohort_size
         self._clients: dict[int, Client] = {}
+        self._registry: ClientRegistry | None = None
         self._validators: dict[int, Validator] = {}
         self._template: Network | None = None
         self._store: ModelStore | None = None
@@ -728,9 +755,14 @@ class ProcessPoolRoundExecutor(RoundExecutor):
                 )
         if clients is not None:
             self._bound.add("clients")
-            self._clients = {
-                c.client_id: c for c in clients if _is_parallel_safe(c)
-            }
+            if isinstance(clients, ClientRegistry):
+                # Virtual population: keep the handle; workers receive a
+                # picklable view and materialize their own shards.
+                self._registry = clients
+            else:
+                self._clients = {
+                    c.client_id: c for c in clients if _is_parallel_safe(c)
+                }
         if validator_pool is not None:
             self._bound.add("validator_pool")
             self._validators = {
@@ -781,7 +813,7 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         return codec if codec is not None else IdentityCodec()
 
     def _encode_blob(self, model: Network) -> tuple[bytes, int]:
-        """Codec-encoded pipe blob + the raw float64 byte count it covers.
+        """Codec-encoded pipe blob + the raw policy-dtype byte count it covers.
 
         Delta codecs fall back to their dense form here (a pipe blob has
         no resolvable parent version on the far side).
@@ -800,10 +832,19 @@ class ProcessPoolRoundExecutor(RoundExecutor):
             # arrays pickle losslessly); per-round weights travel as store
             # version keys or, without a shareable store, as blobs.
             handle = self._store.worker_handle() if self._use_store else None
+            worker_registry = (
+                self._registry.worker_view() if self._registry is not None else None
+            )
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_init_worker,
-                initargs=(self._clients, self._validators, self._template, handle),
+                initargs=(
+                    self._clients,
+                    self._validators,
+                    self._template,
+                    handle,
+                    worker_registry,
+                ),
             )
         return self._pool
 
@@ -859,14 +900,22 @@ class ProcessPoolRoundExecutor(RoundExecutor):
     ) -> list[np.ndarray]:
         self._reap_abandoned()
         pool = self._ensure_pool()
-        remote_ids = [cid for cid in contributor_ids if cid in self._clients]
+        if self._registry is not None:
+            remote_ids = [
+                cid
+                for cid in contributor_ids
+                if self._registry.is_parallel_safe(cid)
+            ]
+        else:
+            remote_ids = [cid for cid in contributor_ids if cid in self._clients]
         model_ref, pipe_cost, pipe_raw = self._global_model_ref(global_model)
         live_floor = self._store.min_live_version() if self._use_store else None
         # Cohort chunks: each worker stacks its slice of the parallel-safe
         # fan-out (cohort_size=None stacks everything eligible, spread
-        # evenly over the workers).
+        # evenly over the workers).  A registry plans from metadata — no
+        # parent-side materialization.
         chunks = plan_cohorts(
-            self._clients,
+            self._registry if self._registry is not None else self._clients,
             remote_ids,
             global_model,
             self.cohort_size if self.cohort_size is not None else len(remote_ids),
@@ -1084,6 +1133,7 @@ class ThreadPoolRoundExecutor(RoundExecutor):
         self.workers = workers
         self.cohort_size = cohort_size
         self._clients: dict[int, Client] = {}
+        self._registry: ClientRegistry | None = None
         self._validators: dict[int, Validator] = {}
         self._store: ModelStore | None = None
         self._bound: set[str] = set()
@@ -1114,9 +1164,15 @@ class ThreadPoolRoundExecutor(RoundExecutor):
                 )
         if clients is not None:
             self._bound.add("clients")
-            self._clients = {
-                c.client_id: c for c in clients if _is_parallel_safe(c)
-            }
+            if isinstance(clients, ClientRegistry):
+                # Zero-IPC engine: materialization happens in the calling
+                # thread (shard lists are built before submit), so the
+                # registry is used directly — no worker view needed.
+                self._registry = clients
+            else:
+                self._clients = {
+                    c.client_id: c for c in clients if _is_parallel_safe(c)
+                }
         if validator_pool is not None:
             self._bound.add("validator_pool")
             self._validators = {
@@ -1155,21 +1211,35 @@ class ThreadPoolRoundExecutor(RoundExecutor):
         streams: RngStreams,
     ) -> list[np.ndarray]:
         pool = self._ensure_pool()
-        remote_ids = [cid for cid in contributor_ids if cid in self._clients]
+        if self._registry is not None:
+            remote_ids = [
+                cid
+                for cid in contributor_ids
+                if self._registry.is_parallel_safe(cid)
+            ]
+            resolve = self._registry.__getitem__
+            plan_source = self._registry
+        else:
+            remote_ids = [cid for cid in contributor_ids if cid in self._clients]
+            resolve = self._clients.__getitem__
+            plan_source = self._clients
         chunks = plan_cohorts(
-            self._clients,
+            plan_source,
             remote_ids,
             global_model,
             self.cohort_size if self.cohort_size is not None else len(remote_ids),
         )
         cohorted = {cid for chunk in chunks for cid in chunk}
+        # Shard lists and bound methods are resolved here, in the calling
+        # thread, so a registry materializes clients race-free before any
+        # pool thread runs; the simulation discards them after the round.
         chunk_futures: list[tuple[list[int], Future]] = [
             (
                 chunk,
                 pool.submit(
                     cohort_updates,
                     global_model,
-                    [self._clients[cid].dataset for cid in chunk],
+                    [resolve(cid).dataset for cid in chunk],
                     config,
                     [streams.client_rng(round_idx, cid) for cid in chunk],
                 ),
@@ -1178,7 +1248,7 @@ class ThreadPoolRoundExecutor(RoundExecutor):
         ]
         futures: dict[int, Future] = {
             cid: pool.submit(
-                self._clients[cid].produce_update,
+                resolve(cid).produce_update,
                 global_model,
                 config,
                 round_idx,

@@ -69,7 +69,24 @@ class ScheduledSelector(Selector):
         forced = self.schedule.get(round_idx, [])
         if not forced:
             return self._uniform.select(round_idx, rng)
-        pool = [c for c in range(self._uniform.num_clients) if c not in forced]
+        # Fill the remaining slots from the non-forced ids without ever
+        # materializing the population (a million-client registry would
+        # make that O(N) list allocation the round's dominant cost).  The
+        # draw is over the *count* of non-forced ids — the same call, on
+        # the same stream, the eager list-based fill made — and each drawn
+        # rank maps to its id arithmetically: the k-th non-forced id is
+        # the rank shifted past every forced id at or below it.
         fill = self._uniform.clients_per_round - len(forced)
-        extra = rng.choice(len(pool), size=fill, replace=False) if fill else []
-        return list(forced) + [pool[i] for i in extra]
+        pool_size = self._uniform.num_clients - len(forced)
+        extra = rng.choice(pool_size, size=fill, replace=False) if fill else []
+        ordered_forced = sorted(forced)
+        chosen = []
+        for rank in extra:
+            cid = int(rank)
+            for f in ordered_forced:
+                if cid >= f:
+                    cid += 1
+                else:
+                    break
+            chosen.append(cid)
+        return list(forced) + chosen

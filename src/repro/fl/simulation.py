@@ -52,10 +52,26 @@ from repro.fl.client import Client, LocalTrainingConfig
 from repro.fl.config import FLConfig
 from repro.fl.model_store import InProcessModelStore, ModelStore
 from repro.fl.parallel import RoundExecutor, SequentialExecutor, _is_parallel_safe
+from repro.fl.registry import ClientRegistry
 from repro.fl.rng import RngStreams
 from repro.fl.secure_agg import SecureAggregator
 from repro.fl.selection import Selector, UniformSelector
 from repro.nn.network import Network
+from repro.nn.precision import active_dtype
+
+
+def _peak_rss_kb() -> int:
+    """Parent-process peak RSS in KiB (0 where unobservable)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return 0
+    import sys
+
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # ru_maxrss is bytes on macOS, KiB on Linux
+        rss //= 1024
+    return int(rss)
 
 
 @dataclass(frozen=True)
@@ -127,6 +143,16 @@ class RoundRecord:
     #: round's late rejection rolled back the speculative suffix it was
     #: part of (always 0 in synchronous mode).
     rollback_count: int = 0
+    #: Parent-process peak RSS in KiB when this round's record was built
+    #: (monotone within a run — the OS high-water mark — so the *last*
+    #: round's value is the run's peak; 0 where unobservable).
+    peak_rss_kb: int = 0
+    #: Clients resident in the parent when this round's training finished:
+    #: the whole population on the eager path, cohort-sized (overrides
+    #: included) under a virtual registry — the observable form of the
+    #: bounded-memory claim.  Worker processes materialize and discard
+    #: their own slices and are not counted here.
+    materialized_clients: int = 0
 
     def __post_init__(self) -> None:
         if self.accepted_at_round < 0:
@@ -171,6 +197,7 @@ class _SpeculativeRound:
     transport_bytes: int
     raw_transport_bytes: int = 0
     rollback_count: int = 0
+    materialized_clients: int = 0
 
 
 def _restored_generator(
@@ -255,11 +282,15 @@ class FederatedSimulation:
             raise ValueError(
                 f"config says {config.num_clients} clients, got {len(clients)}"
             )
-        ids = [c.client_id for c in clients]
-        if ids != list(range(len(clients))):
-            raise ValueError("clients must be ordered with client_id == index")
+        self.registry = clients if isinstance(clients, ClientRegistry) else None
+        if self.registry is None:
+            ids = [c.client_id for c in clients]
+            if ids != list(range(len(clients))):
+                raise ValueError("clients must be ordered with client_id == index")
+        # A registry guarantees id == index by construction and is kept
+        # as-is: materializing a population list would defeat it.
         self.global_model = global_model
-        self.clients = list(clients)
+        self.clients = self.registry if self.registry is not None else list(clients)
         self.config = config
         self.rng = rng
         self.selector = selector or UniformSelector(
@@ -365,6 +396,7 @@ class FederatedSimulation:
         candidate, candidate_flat = self._aggregate(
             contributor_ids, updates, round_idx, self.rng
         )
+        resident_clients = self._end_client_round()
 
         if not np.isfinite(candidate_flat).all():
             # A client produced a non-finite update (diverged training or a
@@ -386,7 +418,7 @@ class FederatedSimulation:
             round_idx=round_idx,
             contributor_ids=contributor_ids,
             malicious_present=any(
-                self.clients[cid].is_malicious for cid in contributor_ids
+                self._client_is_malicious(cid) for cid in contributor_ids
             ),
             accepted=decision.accepted,
             decision=decision,
@@ -396,6 +428,8 @@ class FederatedSimulation:
             transport_bytes=self.executor.transport_bytes - transport_before,
             raw_transport_bytes=self.executor.raw_transport_bytes - raw_before,
             codec=self._codec_name(),
+            peak_rss_kb=_peak_rss_kb(),
+            materialized_clients=resident_clients,
         )
         self.history.append(record)
         self.round_idx += 1
@@ -433,8 +467,7 @@ class FederatedSimulation:
             contributor_ids = self.selector.select(round_idx, self.rng)
             post_select_state = self.rng.bit_generator.state
             if any(
-                not _is_parallel_safe(self.clients[cid])
-                for cid in contributor_ids
+                not self._client_parallel_safe(cid) for cid in contributor_ids
             ):
                 # A stateful contributor (e.g. the adaptive attacker, which
                 # reads the live defense history) must observe exactly the
@@ -508,6 +541,7 @@ class FederatedSimulation:
         candidate, candidate_flat = self._aggregate(
             contributor_ids, updates, round_idx, round_rng
         )
+        resident_clients = self._end_client_round()
 
         pending: object | None = None
         decision: DefenseDecision | None = None
@@ -554,6 +588,7 @@ class FederatedSimulation:
             transport_bytes=self.executor.transport_bytes - transport_before,
             raw_transport_bytes=self.executor.raw_transport_bytes - raw_before,
             rollback_count=rollback_count,
+            materialized_clients=resident_clients,
         )
 
     def _resolve_oldest(
@@ -596,7 +631,7 @@ class FederatedSimulation:
             round_idx=spec.round_idx,
             contributor_ids=spec.contributor_ids,
             malicious_present=any(
-                self.clients[cid].is_malicious for cid in spec.contributor_ids
+                self._client_is_malicious(cid) for cid in spec.contributor_ids
             ),
             accepted=decision.accepted,
             decision=decision,
@@ -609,6 +644,8 @@ class FederatedSimulation:
             accepted_at_round=resolved_at,
             validation_lag=resolved_at - spec.round_idx,
             rollback_count=spec.rollback_count,
+            peak_rss_kb=_peak_rss_kb(),
+            materialized_clients=spec.materialized_clients,
         )
         self.history.append(record)
         return record
@@ -624,6 +661,25 @@ class FederatedSimulation:
             momentum=self.config.client_momentum,
             weight_decay=self.config.weight_decay,
         )
+
+    def _client_is_malicious(self, cid: int) -> bool:
+        """Metadata query — never materializes a registry client."""
+        if self.registry is not None:
+            return self.registry.is_malicious(cid)
+        return bool(self.clients[cid].is_malicious)
+
+    def _client_parallel_safe(self, cid: int) -> bool:
+        """Metadata query — never materializes a registry client."""
+        if self.registry is not None:
+            return self.registry.is_parallel_safe(cid)
+        return _is_parallel_safe(self.clients[cid])
+
+    def _end_client_round(self) -> int:
+        """Release the round's materialized clients; report how many were
+        resident (the whole population on the eager path)."""
+        if self.registry is not None:
+            return self.registry.end_round()
+        return len(self.clients)
 
     def _aggregate(
         self,
@@ -650,6 +706,12 @@ class FederatedSimulation:
         )
         if self._codec is not None and not self._codec.transparent:
             candidate_flat = self._codec.canonicalize(candidate_flat)
+        # The secure-aggregation simulation and the lossy codecs compute in
+        # float64 internally; under a float32 policy the committed
+        # trajectory must still be policy-dtype everywhere (no-op under
+        # float64, and under float32 every value is float64-exact so the
+        # cast loses nothing on the lossless paths).
+        candidate_flat = np.ascontiguousarray(candidate_flat, dtype=active_dtype())
         candidate = self.global_model.clone()
         candidate.set_flat(candidate_flat)
         if self._sanitize is not None:

@@ -13,7 +13,7 @@ Design notes
   tape-based autograd.  This keeps the substrate small, auditable, and easy
   to property-test against numerical gradients.
 - All parameters of a :class:`~repro.nn.network.Network` can be read and
-  written as one flat ``float64`` vector (:meth:`Network.get_flat` /
+  written as one flat policy-dtype vector (:meth:`Network.get_flat` /
   :meth:`Network.set_flat`).  Federated aggregation, model-replacement
   attacks, and norm-based baseline defenses all operate on these vectors.
 - Every stochastic operation takes an explicit ``numpy.random.Generator``.

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.layers import Layer, Parameter
+from repro.nn.precision import active_dtype
 
 
 class BatchNorm1d(Layer):
@@ -30,10 +31,11 @@ class BatchNorm1d(Layer):
         self.num_features = num_features
         self.momentum = momentum
         self.eps = eps
-        self.gamma = Parameter(np.ones(num_features, dtype=np.float64), "bn.gamma")
-        self.beta = Parameter(np.zeros(num_features, dtype=np.float64), "bn.beta")
-        self.running_mean = np.zeros(num_features, dtype=np.float64)
-        self.running_var = np.ones(num_features, dtype=np.float64)
+        dtype = active_dtype()
+        self.gamma = Parameter(np.ones(num_features, dtype=dtype), "bn.gamma")
+        self.beta = Parameter(np.zeros(num_features, dtype=dtype), "bn.beta")
+        self.running_mean = np.zeros(num_features, dtype=dtype)
+        self.running_var = np.ones(num_features, dtype=dtype)
         self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     def parameters(self) -> list[Parameter]:

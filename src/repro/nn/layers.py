@@ -18,15 +18,21 @@ from collections.abc import Callable, Sequence
 import numpy as np
 
 from repro.nn.initializers import he_normal, zeros_init
+from repro.nn.precision import active_dtype
 
 Initializer = Callable[[tuple[int, ...], np.random.Generator], np.ndarray]
 
 
 class Parameter:
-    """A trainable array together with its accumulated gradient."""
+    """A trainable array together with its accumulated gradient.
+
+    Values are stored in the active precision-policy dtype
+    (:func:`repro.nn.precision.active_dtype`): float64 by default,
+    float32 when the ``float32`` policy is in force.
+    """
 
     def __init__(self, value: np.ndarray, name: str = "param") -> None:
-        self.value = np.asarray(value, dtype=np.float64)
+        self.value = np.asarray(value, dtype=active_dtype())
         self.grad = np.zeros_like(self.value)
         self.name = name
 

@@ -4,7 +4,7 @@ Federated learning treats a model as one big weight vector: FedAvg averages
 vectors, model replacement rescales vector differences, and norm-clipping
 baselines bound vector norms.  :class:`Network` therefore exposes its
 parameters both as structured per-layer arrays and as a single flat
-``float64`` vector.
+vector in the active precision-policy dtype (float64 by default).
 """
 
 from __future__ import annotations
@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.nn.layers import Layer, Parameter
 from repro.nn.losses import softmax
+from repro.nn.precision import active_dtype
 
 
 def _sanitizer():
@@ -44,7 +45,7 @@ class Network:
     # Forward / backward
     # ------------------------------------------------------------------
     def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
-        out = np.asarray(x, dtype=np.float64)
+        out = np.asarray(x, dtype=active_dtype())
         sanitize = _sanitizer()
         for index, layer in enumerate(self.layers):
             out = layer.forward(out, train=train)
@@ -88,12 +89,12 @@ class Network:
         """Concatenate all parameter values into one flat vector (a copy)."""
         params = self.parameters()
         if not params:
-            return np.zeros(0, dtype=np.float64)
+            return np.zeros(0, dtype=active_dtype())
         return np.concatenate([p.value.ravel() for p in params])
 
     def set_flat(self, vector: np.ndarray) -> None:
         """Write a flat vector back into the structured parameters."""
-        vector = np.asarray(vector, dtype=np.float64)
+        vector = np.asarray(vector, dtype=active_dtype())
         expected = self.num_parameters
         if vector.shape != (expected,):
             raise ValueError(f"expected flat vector of length {expected}, got {vector.shape}")
@@ -106,7 +107,7 @@ class Network:
         """Concatenate all parameter gradients into one flat vector."""
         params = self.parameters()
         if not params:
-            return np.zeros(0, dtype=np.float64)
+            return np.zeros(0, dtype=active_dtype())
         return np.concatenate([p.grad.ravel() for p in params])
 
     # ------------------------------------------------------------------
@@ -135,7 +136,7 @@ class Network:
 
 
 def _batches(x: np.ndarray, batch_size: int):
-    x = np.asarray(x, dtype=np.float64)
+    x = np.asarray(x, dtype=active_dtype())
     if len(x) == 0:
         raise ValueError("cannot iterate over an empty input array")
     for start in range(0, len(x), batch_size):

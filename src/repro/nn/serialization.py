@@ -37,7 +37,7 @@ def params_from_bytes(network: Network, blob: bytes) -> None:
     """Load parameters serialized by :func:`params_to_bytes` into ``network``."""
     buffer = io.BytesIO(blob)
     flat = np.load(buffer, allow_pickle=False)
-    network.set_flat(flat.astype(np.float64))
+    network.set_flat(flat)  # set_flat casts to the active policy dtype
 
 
 def network_num_bytes(network: Network, dtype: type = np.float32) -> int:

@@ -67,6 +67,7 @@ from repro.nn.layers import (
 )
 from repro.nn.losses import log_softmax
 from repro.nn.network import Network
+from repro.nn.precision import active_dtype
 
 
 class StackingUnsupportedError(TypeError):
@@ -82,7 +83,7 @@ class StackedParameter:
     """
 
     def __init__(self, value: np.ndarray, name: str = "param") -> None:
-        self.value = np.ascontiguousarray(value, dtype=np.float64)
+        self.value = np.ascontiguousarray(value, dtype=active_dtype())
         self._grad: np.ndarray | None = None
         self.name = name
 
@@ -236,9 +237,16 @@ class StackedDropout(StackedLayer):
             return x
         keep = 1.0 - self.rate
         models = range(len(self._rngs)) if idx is None else idx
-        mask = np.empty(x.shape, dtype=np.float64)
+        # Mirror the per-model layer exactly: draw in float64 (the
+        # generator's native stream), then round the boolean mask and the
+        # keep divisor into the activation dtype *before* dividing —
+        # dividing in float64 and rounding afterwards differs in the last
+        # ulp under float32 and would break stacked-vs-per-model identity.
+        dtype = x.dtype if np.issubdtype(x.dtype, np.floating) else np.dtype(np.float64)
+        mask = np.empty(x.shape, dtype=dtype)
         for row, model_index in enumerate(models):
-            mask[row] = (self._rngs[model_index].random(x.shape[1:]) < keep) / keep
+            draw = self._rngs[model_index].random(x.shape[1:]) < keep
+            mask[row] = draw.astype(dtype) / dtype.type(keep)
         self._mask = mask
         return x * mask
 
@@ -444,8 +452,8 @@ class StackedBatchNorm1d(StackedLayer):
     ) -> None:
         self.gamma = StackedParameter(gamma, "bn.gamma")
         self.beta = StackedParameter(beta, "bn.beta")
-        self.running_mean = np.ascontiguousarray(running_mean, dtype=np.float64)
-        self.running_var = np.ascontiguousarray(running_var, dtype=np.float64)
+        self.running_mean = np.ascontiguousarray(running_mean, dtype=active_dtype())
+        self.running_var = np.ascontiguousarray(running_var, dtype=active_dtype())
         self.momentum = momentum
         self.eps = eps
         self._cache: tuple[np.ndarray, np.ndarray, np.ndarray | None] | None = None
@@ -722,7 +730,7 @@ class StackedNetwork:
     def from_network(cls, template: Network, flats: np.ndarray) -> "StackedNetwork":
         """Stack ``M`` copies of ``template``'s architecture carrying the
         given ``(M, P)`` flat weight rows (layout of ``Network.set_flat``)."""
-        flats = np.ascontiguousarray(flats, dtype=np.float64)
+        flats = np.ascontiguousarray(flats, dtype=active_dtype())
         if flats.ndim != 2 or flats.shape[1] != template.num_parameters:
             raise ValueError(
                 f"expected flats of shape (M, {template.num_parameters}), "
@@ -794,7 +802,7 @@ class StackedNetwork:
         if idx is not None:
             idx = np.asarray(idx, dtype=np.intp)
         m = self.num_models if idx is None else len(idx)
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=active_dtype())
         if self._input_ndim is not None and x.ndim == self._input_ndim:
             x = np.broadcast_to(x, (m, *x.shape))
         for layer in self.layers:
@@ -821,7 +829,7 @@ class StackedNetwork:
         """``(M, P)`` flat weight matrix (rows match ``Network.get_flat``)."""
         params = self.parameters()
         if not params:
-            return np.zeros((self.num_models, 0), dtype=np.float64)
+            return np.zeros((self.num_models, 0), dtype=active_dtype())
         return np.concatenate(
             [p.value.reshape(self.num_models, -1) for p in params], axis=1
         )
@@ -836,7 +844,7 @@ class StackedNetwork:
         per-model path, so predictions are bit-identical — the property
         the stacked validation profiles rely on.
         """
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=active_dtype())
         if len(x) == 0:
             raise ValueError("cannot iterate over an empty input array")
         chunks = []
@@ -902,7 +910,10 @@ def clip_gradients_stacked(
         sums = (p.grad**2).reshape(num_models, -1).sum(axis=1)
         for m in range(num_models):
             totals[m] += float(sums[m])
-    scales = np.ones(num_models, dtype=np.float64)
+    # Scales live in the gradient dtype: the per-model path multiplies by
+    # a Python float that numpy first casts to the array dtype, so the
+    # stacked multiply must round each scale the same way before applying.
+    scales = np.ones(num_models, dtype=params[0].grad.dtype)
     any_clipped = False
     for m in range(num_models):
         if active is not None and not active[m]:

@@ -396,6 +396,98 @@ class TestStoreExecutorEquivalenceMatrix:
             assert shm_leftovers(store) == []
 
 
+class TestFloat32EquivalenceMatrix:
+    """The float32 policy's own contract, mirroring the float64 matrix:
+    {Sequential, ProcessPool, Thread} x {InProcess, SharedMemory} x
+    {sync, pipelined} commit bit-identical *float32* models.  (float32
+    runs are a different trajectory from float64 by construction — the
+    policy is part of the contract's scope, not a violation of it.)"""
+
+    @pytest.mark.parametrize("mode", ["sync", "pipelined"])
+    @pytest.mark.parametrize(
+        "workers, engine", [(2, "process"), (2, "thread")]
+    )
+    @pytest.mark.parametrize(
+        "store_cls", [InProcessModelStore, SharedMemoryModelStore]
+    )
+    def test_bit_identical_float32_commits(self, workers, engine, store_cls, mode):
+        from repro.nn.precision import dtype_policy
+
+        with dtype_policy("float32"):
+            baseline_flat, baseline_records = run_and_snapshot(
+                build_defended_sim(
+                    SequentialExecutor(), store=InProcessModelStore()
+                )
+            )
+            assert baseline_flat.dtype == np.float32
+            store = store_cls()
+            with store, make_executor(
+                workers, store=store, mode=mode, pipeline_depth=0, engine=engine
+            ) as executor:
+                flat, records = run_and_snapshot(
+                    build_defended_sim(executor, store=store)
+                )
+        assert flat.dtype == np.float32
+        np.testing.assert_array_equal(baseline_flat, flat)
+        assert baseline_records == records
+        if isinstance(store, SharedMemoryModelStore):
+            assert shm_leftovers(store) == []
+
+    def test_float32_halves_shared_memory_transport(self):
+        """The point of the policy: the shm arena ships 4-byte scalars."""
+        from repro.nn.precision import dtype_policy
+
+        per_policy = {}
+        for policy in ("float64", "float32"):
+            with dtype_policy(policy):
+                store = SharedMemoryModelStore()
+                with store, make_executor(2, store=store) as executor:
+                    sim = build_defended_sim(executor, store=store)
+                    records = sim.run(4)
+                per_policy[policy] = sum(r.transport_bytes for r in records)
+        assert per_policy["float32"] * 2 == per_policy["float64"]
+
+
+class TestRegistryEngineEquivalence:
+    """A virtual ClientRegistry population commits bit-identically under
+    every engine — workers materialize their own shard slices."""
+
+    def _registry_world(self, seed: int = 7):
+        from repro.fl.registry import ClientRegistry, LazyShardFactory, PartitionSpec
+
+        rng = np.random.default_rng(seed)
+        centers = np.array([[2.0, 0.0], [-2.0, 1.5], [0.0, -2.5]])
+        labels = np.tile(np.arange(3), 120)
+        x = centers[labels] + rng.normal(0.0, 0.4, size=(len(labels), 2))
+        pool = Dataset(x, labels, 3)
+        spec = PartitionSpec.iid(len(pool), 6, rng)
+        registry = ClientRegistry(LazyShardFactory(pool, spec))
+        model = make_mlp(2, 3, rng, hidden=(8,))
+        config = FLConfig(num_clients=6, clients_per_round=3, local_epochs=1,
+                          batch_size=16)
+        return model, registry, config
+
+    @pytest.mark.parametrize(
+        "workers, engine",
+        [(0, "process"), (2, "process"), (2, "thread")],
+    )
+    def test_registry_commits_match_sequential(self, workers, engine):
+        sims = []
+        for executor in (
+            SequentialExecutor(),
+            make_executor(workers, engine=engine),
+        ):
+            model, registry, config = self._registry_world()
+            with executor:
+                sim = FederatedSimulation(
+                    model, registry, config, np.random.default_rng(3),
+                    executor=executor,
+                )
+                sim.run(4)
+                sims.append(sim.global_model.get_flat())
+        np.testing.assert_array_equal(sims[0], sims[1])
+
+
 class TestTransportAccounting:
     def test_sequential_moves_no_bytes(self):
         sim = build_defended_sim(SequentialExecutor(), store=InProcessModelStore())

@@ -62,3 +62,25 @@ class TestScheduledSelector:
     def test_duplicate_forced_rejected(self):
         with pytest.raises(ValueError):
             ScheduledSelector(20, 5, {0: [1, 1]})
+
+    @pytest.mark.parametrize("forced", [[7], [0], [19], [3, 11], [0, 1, 19]])
+    def test_rank_mapping_matches_materialized_pool(self, forced):
+        """The arithmetic rank->id fill must reproduce, draw for draw, what
+        the old materialized non-forced pool produced — same ids AND same
+        stream consumption (a virtual registry must not change selection)."""
+        num_clients, per_round = 20, 5
+        sel = ScheduledSelector(num_clients, per_round, {0: forced})
+        for seed in range(10):
+            chosen = sel.select(0, np.random.default_rng(seed))
+            # Reference: the pre-registry list-based implementation.
+            ref_rng = np.random.default_rng(seed)
+            pool = [c for c in range(num_clients) if c not in forced]
+            fill = per_round - len(forced)
+            extra = ref_rng.choice(len(pool), size=fill, replace=False)
+            reference = list(forced) + [pool[i] for i in extra]
+            assert chosen == reference
+            # Stream consumption identical too: the next draw after a
+            # select() matches the next draw after the reference fill.
+            follow = np.random.default_rng(seed)
+            sel.select(0, follow)
+            assert follow.random() == ref_rng.random()
