@@ -111,6 +111,7 @@ def build_sim(
     executor: RoundExecutor,
     store: ModelStore,
     reject_rounds: tuple[int, ...] = (),
+    tracer=None,
 ) -> FederatedSimulation:
     rng = np.random.default_rng(0)
     task = SyntheticCifar()
@@ -146,7 +147,7 @@ def build_sim(
     )
     return FederatedSimulation(
         model.clone(), clients, config, np.random.default_rng(1),
-        defense=defense, executor=executor, model_store=store,
+        defense=defense, executor=executor, model_store=store, tracer=tracer,
     )
 
 
@@ -291,6 +292,72 @@ def rollback_audit(args: argparse.Namespace, codec: str = "identity") -> list[st
             "replays, store clean (refcount + segment audit passed)"
         )
     return failures
+
+
+def tracing_overhead(args: argparse.Namespace) -> tuple[dict, list[str]]:
+    """Traced vs untraced paired throughput: the ≤5% overhead gate.
+
+    Runs a traced and an untraced sequential simulation of the same world
+    in small alternating blocks and takes the median per-block
+    ``untraced/traced`` wall-clock ratio — the same drift-robust paired
+    estimator as :func:`timed_run`, so a loaded host's throughput curve
+    cancels out of the comparison.  Gate: median ratio >= 0.95 (tracing
+    may cost at most 5% of round throughput), and the two runs must
+    commit bit-identical models (tracing is pure observation).
+    """
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    untraced_store, traced_store = InProcessModelStore(), InProcessModelStore()
+    untraced_exec, traced_exec = SequentialExecutor(), SequentialExecutor()
+    untraced_exec.bind(store=untraced_store)
+    traced_exec.bind(store=traced_store)
+    failures: list[str] = []
+    with untraced_store, traced_store:
+        untraced = build_sim(args, untraced_exec, untraced_store)
+        traced = build_sim(args, traced_exec, traced_store, tracer=tracer)
+        untraced.run_round()  # warmup both before any block is timed
+        traced.run_round()
+        ratios: list[float] = []
+        done = 1
+        while done < max(4, args.rounds):
+            start = time.perf_counter()
+            untraced.run(2)
+            untraced_elapsed = time.perf_counter() - start
+            start = time.perf_counter()
+            traced.run(2)
+            traced_elapsed = time.perf_counter() - start
+            ratios.append(untraced_elapsed / traced_elapsed)
+            done += 2
+        ratios.sort()
+        mid = len(ratios) // 2
+        ratio = (
+            ratios[mid] if len(ratios) % 2
+            else 0.5 * (ratios[mid - 1] + ratios[mid])
+        )
+        identical = bool(
+            np.array_equal(
+                untraced.global_model.get_flat(), traced.global_model.get_flat()
+            )
+        )
+    spans = len(tracer.finalized_spans())
+    if not identical:
+        failures.append(
+            "tracing perturbed committed weights — traced and untraced "
+            "sequential runs must be bit-identical"
+        )
+    if ratio < 0.95:
+        failures.append(
+            f"tracing overhead above the 5% gate (paired untraced/traced "
+            f"ratio {ratio:.3f}, floor 0.95)"
+        )
+    stats = {
+        "paired_untraced_over_traced": round(ratio, 4),
+        "spans_recorded": spans,
+        "bit_identical": identical,
+        "gate_floor": 0.95,
+    }
+    return stats, failures
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -493,6 +560,14 @@ def main(argv: list[str] | None = None) -> int:
         f"codec transport reduction vs identity shm: {codec_reduction:.1f}x "
         f"via {best_codec_row} (paper Sec. VI-D budgets ~10x; gate >= 5x)"
     )
+    trace_stats, trace_failures = tracing_overhead(args)
+    lines.append(
+        f"tracing overhead: paired untraced/traced throughput ratio "
+        f"{trace_stats['paired_untraced_over_traced']:.3f} (gate >= 0.95, "
+        f"i.e. tracing costs <= 5%), {trace_stats['spans_recorded']} spans "
+        f"recorded, bit-identity "
+        f"{'intact' if trace_stats['bit_identical'] else 'BROKEN'}"
+    )
     text = "\n".join(lines)
     write_result("parallel_engine", text)
     write_json(
@@ -515,11 +590,13 @@ def main(argv: list[str] | None = None) -> int:
             },
             "rows": json_rows,
             "codec_transport_reduction_vs_identity": round(codec_reduction, 3),
+            "tracing_overhead": trace_stats,
         },
     )
 
     failures = rollback_audit(args, codec="identity")
     failures += rollback_audit(args, codec="topk")
+    failures += trace_failures
     if divergence != 0.0:
         failures.append(
             "engines diverged — sequential/parallel/pipelined equivalence "

@@ -35,6 +35,13 @@ import        (F401) so the tree stays clean even where ruff is not
               installed (this container, offline dev boxes)
 mutable-      shared-default-object aliasing across calls (B006);
 default       a mutated default is cross-round hidden state
+observ-       tracing must be pure observation (PR 9): ``repro/obs``
+ability-      draws no randomness and reads no wall clock (monotonic
+safety        only — wall-clock in a span perturbs nothing but makes
+              traces non-mergeable), and no instrumentation site may
+              capture model weight arrays into span/event attributes
+              (attrs ride pool result payloads; an array there is a
+              silent transport-volume regression)
 ============  ========================================================
 """
 
@@ -878,6 +885,103 @@ class MutableDefaultCheck(Check):
             and isinstance(node.func, ast.Name)
             and node.func.id in self._FACTORY_CALLS
         )
+
+
+# ----------------------------------------------------------------------
+# observability-safety
+# ----------------------------------------------------------------------
+@_register
+class ObservabilitySafetyCheck(Check):
+    check_id = "observability-safety"
+    description = (
+        "tracing is pure observation: repro/obs must not draw randomness "
+        "or read the wall clock (the span clock is time.monotonic_ns), and "
+        "span()/event() attributes anywhere must not capture weight arrays "
+        "(get_flat/asarray/copy/... results ride worker result payloads)"
+    )
+
+    #: Wall-clock sources banned inside ``repro/obs``: span timestamps on
+    #: different hosts/processes only merge on the monotonic clock, and a
+    #: wall-clock read is exactly the kind of hidden environmental input
+    #: the determinism contract exists to keep out of the round loop.
+    _WALL_CLOCK = {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.strftime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+
+    #: Call leaf names that produce (copies of) model weight arrays.  A
+    #: span attribute is shipped back from pool workers inside the task
+    #: result payload, so an array-valued attr silently multiplies the
+    #: transport volume tracing claims merely to observe — and
+    #: ``check_attrs`` would reject it at runtime anyway.  Catch it at
+    #: parse time, at the instrumentation site.
+    _ARRAY_LEAVES = {
+        "get_flat", "get_weights", "asarray", "array", "ascontiguousarray",
+        "copy", "ravel", "flatten", "tolist",
+    }
+
+    _TRACE_METHODS = {"span", "event"}
+
+    def run(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        in_obs = "repro/obs" in ctx.path
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.qualname(node.func)
+            if in_obs and qual is not None:
+                if qual in self._WALL_CLOCK:
+                    findings.append(ctx.finding(
+                        self.check_id, node,
+                        f"wall-clock call {qual}() in repro/obs: span "
+                        "timing must use the monotonic clock "
+                        "(time.monotonic_ns) — wall-clock stamps from "
+                        "different processes do not merge",
+                    ))
+                elif qual == "random" or qual.startswith("random.") or (
+                    qual.startswith("numpy.random.")
+                ):
+                    findings.append(ctx.finding(
+                        self.check_id, node,
+                        f"RNG call {qual}() in repro/obs: tracing must draw "
+                        "no randomness — a draw here would shift every "
+                        "downstream stream and break the traced==untraced "
+                        "bit-identity contract",
+                    ))
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._TRACE_METHODS
+            ):
+                findings.extend(self._check_attrs(ctx, node))
+        return findings
+
+    def _check_attrs(self, ctx: FileContext, call: ast.Call) -> list[Finding]:
+        findings = []
+        for value in [*call.args, *[kw.value for kw in call.keywords]]:
+            for sub in ast.walk(value):
+                if not isinstance(sub, ast.Call):
+                    continue
+                leaf = None
+                if isinstance(sub.func, ast.Attribute):
+                    leaf = sub.func.attr
+                elif isinstance(sub.func, ast.Name):
+                    leaf = sub.func.id
+                if leaf in self._ARRAY_LEAVES:
+                    findings.append(ctx.finding(
+                        self.check_id, sub,
+                        f"span/event attribute captures {leaf}(): weight "
+                        "arrays must never enter span attributes — attrs "
+                        "ride the pool result payloads and must stay "
+                        "scalar (check_attrs enforces this at runtime; "
+                        "record a length or a hash instead)",
+                    ))
+        return findings
 
 
 #: Stable id list, exported for --list-checks and the test battery.

@@ -64,6 +64,7 @@ from repro.fl.parallel import PendingVotes, RoundExecutor
 from repro.fl.rng import RngStreams
 from repro.fl.simulation import DefenseDecision
 from repro.nn.network import Network
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 
 _MODES = ("clients", "server", "both")
 
@@ -232,6 +233,16 @@ class BaffleDefense:
         self.history.add_eviction_listener(self.profile_table.evict_version)
         self._executor: RoundExecutor | None = None
         self._streams: RngStreams | None = None
+        self._tracer: Tracer | NullTracer = NULL_TRACER
+
+    def bind_tracer(self, tracer: "Tracer | NullTracer") -> None:
+        """Attach the run's tracer (pure instrumentation, rebindable).
+
+        Called by :class:`~repro.fl.simulation.FederatedSimulation` when it
+        runs traced, so review resolution (vote collection, the server's
+        own vote) shows up as spans on the shared timeline.
+        """
+        self._tracer = tracer
 
     def bind_runtime(
         self,
@@ -285,14 +296,21 @@ class BaffleDefense:
         if self.config.mode in ("clients", "both"):
             assert self.validator_pool is not None
             active = self._sample_active(rng)
-            if self._streams is not None:
-                assert self._executor is not None  # set with _streams in bind_runtime
-                client_votes = self._executor.run_validators(
-                    self.validator_pool, active, context, round_idx, self._streams
-                )
-            else:  # standalone defense: classic sequential stream
-                for cid in active:
-                    client_votes[cid] = self.validator_pool.get(cid).vote(context, rng)
+            with self._tracer.span(
+                "validate.collect", round_idx=round_idx,
+                validators=len(active),
+            ):
+                if self._streams is not None:
+                    assert self._executor is not None  # set with _streams in bind_runtime
+                    client_votes = self._executor.run_validators(
+                        self.validator_pool, active, context, round_idx,
+                        self._streams,
+                    )
+                else:  # standalone defense: classic sequential stream
+                    for cid in active:
+                        client_votes[cid] = self.validator_pool.get(cid).vote(
+                            context, rng
+                        )
 
         server_vote: int | None = None
         if self.config.mode in ("server", "both"):
@@ -302,7 +320,10 @@ class BaffleDefense:
                 if self._streams is not None
                 else rng
             )
-            server_vote = self.server_validator.vote(context, server_rng)
+            with self._tracer.span(
+                "validate.server_vote", round_idx=round_idx
+            ):
+                server_vote = self.server_validator.vote(context, server_rng)
         return self._decide(client_votes, server_vote)
 
     def _sample_active(self, rng: np.random.Generator) -> list[int]:
@@ -452,14 +473,23 @@ class BaffleDefense:
                 f"{pending.epoch} != {self.history.epoch}); cancel and "
                 "replay instead of resolving"
             )
-        client_votes = pending.votes.collect() if pending.votes is not None else {}
+        with self._tracer.span(
+            "validate.collect", round_idx=pending.round_idx,
+            validators=len(pending.active_ids),
+        ):
+            client_votes = (
+                pending.votes.collect() if pending.votes is not None else {}
+            )
         server_vote: int | None = None
         if self.config.mode in ("server", "both"):
             assert self.server_validator is not None
             assert self._streams is not None
-            server_vote = self.server_validator.vote(
-                pending.context, self._streams.server_rng(pending.round_idx)
-            )
+            with self._tracer.span(
+                "validate.server_vote", round_idx=pending.round_idx
+            ):
+                server_vote = self.server_validator.vote(
+                    pending.context, self._streams.server_rng(pending.round_idx)
+                )
         decision = self._decide(client_votes, server_vote)
         if pending.override_accept is not None:
             decision = replace(decision, accepted=pending.override_accept)

@@ -9,17 +9,22 @@ Usage::
     python -m repro table2
     python -m repro fig2
     python -m repro lint    src benchmarks examples
+    python -m repro trace   traces/run.jsonl [other.jsonl]
 
 Each experiment subcommand prints the corresponding paper artefact as
 text (the same renderers the benchmark suite uses) and accepts
 ``--sanitize`` to run under the runtime sanitizer
-(:mod:`repro.analysis.sanitize`).  ``lint`` runs the static determinism
-battery (:mod:`repro.analysis.lint`) and exits nonzero on findings.
+(:mod:`repro.analysis.sanitize`) and ``--trace <dir>`` (or
+``REPRO_TRACE=<dir>``) to record round-lifecycle spans and run metrics
+(:mod:`repro.obs`).  ``lint`` runs the static determinism battery
+(:mod:`repro.analysis.lint`) and exits nonzero on findings; ``trace``
+summarizes one recorded trace or diffs two.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
@@ -82,6 +87,7 @@ def cmd_detect(args: argparse.Namespace) -> None:
         codec=args.codec,
         allow_lossy=args.allow_lossy,
         sanitize=args.sanitize,
+        trace=args.trace,
         dtype_policy=args.dtype,
         virtual_clients=args.virtual_clients,
     )
@@ -102,6 +108,7 @@ def cmd_table1(args: argparse.Namespace) -> None:
         cohort_size=args.cohort_size,
         codec=args.codec, allow_lossy=args.allow_lossy,
         sanitize=args.sanitize,
+        trace=args.trace,
         dtype_policy=args.dtype, virtual_clients=args.virtual_clients,
     )
     results = sweep_lookback(
@@ -122,6 +129,7 @@ def cmd_fig3(args: argparse.Namespace) -> None:
         cohort_size=args.cohort_size,
         codec=args.codec, allow_lossy=args.allow_lossy,
         sanitize=args.sanitize,
+        trace=args.trace,
         dtype_policy=args.dtype, virtual_clients=args.virtual_clients,
     )
     results = sweep_quorum(
@@ -141,6 +149,7 @@ def cmd_table2(args: argparse.Namespace) -> None:
             execution_mode=args.exec_mode, pipeline_depth=args.pipeline_depth,
             cohort_size=args.cohort_size, codec=args.codec, allow_lossy=args.allow_lossy,
             sanitize=args.sanitize,
+            trace=args.trace,
             dtype_policy=args.dtype, virtual_clients=args.virtual_clients,
         )
         results[split] = run_adaptive_experiment(
@@ -159,6 +168,7 @@ def cmd_fig2(args: argparse.Namespace) -> None:
         cohort_size=args.cohort_size,
         codec=args.codec, allow_lossy=args.allow_lossy,
         sanitize=args.sanitize,
+        trace=args.trace,
         dtype_policy=args.dtype, virtual_clients=args.virtual_clients,
     )
     # fig2 is a single paired clean/poisoned trace, not a seed sweep: a
@@ -188,6 +198,7 @@ def cmd_fig4(args: argparse.Namespace) -> None:
         cohort_size=args.cohort_size,
         codec=args.codec, allow_lossy=args.allow_lossy,
         sanitize=args.sanitize,
+        trace=args.trace,
         dtype_policy=args.dtype, virtual_clients=args.virtual_clients,
     )
     undefended = run_early_scenario(config, seed=0, defense_start=None)
@@ -217,6 +228,17 @@ def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.lint.cli import main as lint_main
 
     return lint_main(args.lint_args)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Summarize one recorded trace or diff two (repro.obs.cli).
+
+    Lazy import for the same reason as ``lint``: inspecting a trace file
+    should not load the experiment harness's numeric stack.
+    """
+    from repro.obs.cli import main as trace_main
+
+    return trace_main(args.files)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -292,6 +314,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "on forward/backward/aggregation plus "
                             "per-round/per-layer state hashing; equivalent "
                             "to REPRO_SANITIZE=1")
+        p.add_argument("--trace", metavar="DIR",
+                       default=os.environ.get("REPRO_TRACE") or None,
+                       help="record round-lifecycle spans + run metrics "
+                            "(repro.obs) and write a JSONL event log and a "
+                            "Perfetto-loadable Chrome trace per run into "
+                            "DIR; pure instrumentation, results are "
+                            "identical (equivalent to REPRO_TRACE=DIR)")
         for flag, kwargs in extra_args.items():
             p.add_argument(flag, **kwargs)
         p.set_defaults(fn=fn)
@@ -321,6 +350,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("lint_args", nargs=argparse.REMAINDER)
     lint.set_defaults(fn=cmd_lint)
+
+    trace = sub.add_parser(
+        "trace",
+        help="summarize one recorded trace JSONL, or diff two "
+             "(structural first-divergence + per-phase timing deltas)",
+    )
+    trace.add_argument("files", nargs="+", metavar="TRACE")
+    trace.set_defaults(fn=cmd_trace)
     return parser
 
 

@@ -130,6 +130,13 @@ class ExperimentConfig:
     # so it stays out of ``environment_key`` like the engine knobs.
     # Equivalent to running under ``REPRO_SANITIZE=1``.
     sanitize: bool = False
+    # Round-lifecycle tracing (repro.obs): when set to an output directory,
+    # each scenario run records phase spans + run metrics and writes a
+    # JSONL event log and a Perfetto-loadable Chrome trace there.  Pure
+    # instrumentation — traced runs commit bit-identical models — so it
+    # stays out of ``environment_key`` like ``sanitize``.  Equivalent to
+    # running with ``REPRO_TRACE=<dir>`` (CLI: ``--trace``).
+    trace: str | None = None
     # Execution precision policy (repro.nn.precision): "float64" (default;
     # committed models bit-identical to the seed baseline) or "float32"
     # (~half the memory and transport volume, with its own cross-engine

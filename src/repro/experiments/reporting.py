@@ -138,8 +138,13 @@ def format_execution_report(records: Sequence["object"]) -> str:
     rejected = [r for r in records if not r.accepted]
     transport = [r.transport_bytes for r in records]
     raw = [getattr(r, "raw_transport_bytes", r.transport_bytes) for r in records]
-    codec = getattr(records[0], "codec", "identity")
-    ratio = (sum(raw) / sum(transport)) if sum(transport) else 1.0
+    # Rounds of one run may have run under different codecs (e.g. a sweep
+    # reusing one record list): report the union, not round 0's codec.
+    codecs = sorted({getattr(r, "codec", "identity") for r in records})
+    codec = codecs[0] if len(codecs) == 1 else "mixed: " + "+".join(codecs)
+    # In-process runs move zero bytes; a silent "1.00x" there would read
+    # as a measured ratio, so say "n/a" explicitly.
+    ratio = f"{sum(raw) / sum(transport):.2f}x" if sum(transport) else "n/a"
     lines = [
         "Execution report",
         f"rounds: {len(records)} "
@@ -150,7 +155,7 @@ def format_execution_report(records: Sequence["object"]) -> str:
         f"(rounds replayed at least once: {sum(1 for c in rollbacks if c)})",
         f"transport: {np.mean(transport):.0f} B/round mean "
         f"(codec {codec}: {np.mean(raw):.0f} B/round raw, "
-        f"{ratio:.2f}x compression)",
+        f"{ratio} compression)",
     ]
     # Population-scale telemetry (getattr-defensive: pre-registry record
     # objects lack these fields).  peak_rss_kb is the OS high-water mark,
@@ -164,6 +169,17 @@ def format_execution_report(records: Sequence["object"]) -> str:
         )
     if peak_rss:
         lines.append(f"peak RSS: {peak_rss / 1024:.1f} MiB")
+    # Per-phase wall-clock, present only on traced runs (repro.obs).
+    phase_totals: dict[str, float] = {}
+    for r in records:
+        for name, secs in (getattr(r, "phase_times", None) or {}).items():
+            phase_totals[name] = phase_totals.get(name, 0.0) + secs
+    if phase_totals:
+        parts = ", ".join(
+            f"{name} {total / len(records) * 1e3:.1f}ms"
+            for name, total in sorted(phase_totals.items())
+        )
+        lines.append(f"phase wall-clock (mean/round): {parts}")
     laggy = [r for r in records if r.validation_lag or r.rollback_count]
     if laggy:
         lines.append(

@@ -24,6 +24,7 @@ from repro.core.validation import MisclassificationValidator
 from repro.data.dataset import Dataset
 from repro.experiments.configs import ExperimentConfig
 from repro.experiments.environment import Environment, build_environment
+from repro.experiments.persistence import save_run
 from repro.fl.client import Client, HonestClient
 from repro.fl.config import FLConfig
 from repro.fl.parallel import make_engine
@@ -33,6 +34,8 @@ from repro.fl.simulation import FederatedSimulation, RoundRecord
 from repro.nn.metrics import accuracy, confusion_matrix, source_focused_errors
 from repro.nn.models import make_mlp
 from repro.nn.precision import dtype_policy
+from repro.obs import make_tracer
+from repro.obs.export import export_run
 
 
 def _policy_scoped(fn):
@@ -115,6 +118,7 @@ def run_stable_scenario(
                 (m.predict(bd_eval.x) == target).mean()
             ),
         }
+    tracer = make_tracer(config.trace)
     with _engine(config) as engine:
         sim = FederatedSimulation(
             env.stable_model.clone(),
@@ -127,8 +131,17 @@ def run_stable_scenario(
             metric_hooks=hooks,
             executor=engine.executor,
             model_store=engine.store,
+            tracer=tracer,
         )
         records = sim.run(config.total_rounds)
+    paths = export_run(tracer, config.trace, f"stable-s{seed}")
+    if paths is not None:
+        save_run(
+            records,
+            paths["base"].with_suffix(".run.json"),
+            metrics=tracer.metrics.snapshot(),
+            metadata={"scenario": "stable", "seed": seed},
+        )
 
     attacker = clients[env.attacker_id]
     self_checks = (
@@ -227,6 +240,7 @@ def run_early_scenario(
     test = env.test_data
     bd_eval = env.backdoor.backdoor_test_instances(200, np.random.default_rng(seed))
     target = env.backdoor.target_label
+    tracer = make_tracer(config.trace)
     with _engine(config) as engine:
         sim = FederatedSimulation(
             model,
@@ -241,8 +255,17 @@ def run_early_scenario(
             },
             executor=engine.executor,
             model_store=engine.store,
+            tracer=tracer,
         )
         records = sim.run(total_rounds)
+    paths = export_run(tracer, config.trace, f"early-s{seed}")
+    if paths is not None:
+        save_run(
+            records,
+            paths["base"].with_suffix(".run.json"),
+            metrics=tracer.metrics.snapshot(),
+            metadata={"scenario": "early", "seed": seed},
+        )
     return EarlyRoundResult(
         records=records,
         main_accuracy=[r.metrics["main_acc"] for r in records],
@@ -292,6 +315,7 @@ def run_error_trace(
             config.clients_per_round,
             {r: [env.attacker_id] for r in attack_rounds},
         )
+        tracer = make_tracer(config.trace)
         with _engine(config) as engine:
             sim = FederatedSimulation(
                 env.stable_model.clone(),
@@ -301,6 +325,7 @@ def run_error_trace(
                 selector=selector,
                 executor=engine.executor,
                 model_store=engine.store,
+                tracer=tracer,
             )
             rows = []
             for _ in range(rounds):
@@ -308,6 +333,7 @@ def run_error_trace(
                 preds = sim.global_model.predict(env.test_data.x)
                 conf = confusion_matrix(env.test_data.y, preds, env.num_classes)
                 rows.append(source_focused_errors(conf, normalize="class"))
+        export_run(tracer, config.trace, f"trace-{label}-s{seed}")
         traces[label] = np.stack(rows)
     source_class = getattr(env.backdoor, "source_label", None)
     if source_class is None:

@@ -494,6 +494,10 @@ class ShmWorkerView:
     def __init__(self, name_prefix: str) -> None:
         self.name_prefix = name_prefix
         self._segments: dict[int, shared_memory.SharedMemory] = {}
+        # Telemetry: attach traffic vs. cache reuse, drained by the
+        # worker's trace payload when tracing is enabled.
+        self.attach_count = 0
+        self.cache_hits = 0
 
     def get(self, version: int, num_params: int, cache: bool = True) -> np.ndarray:
         """Read-only flat vector for ``version`` (attaches on first use).
@@ -510,7 +514,10 @@ class ShmWorkerView:
         unlink while the eviction floor stalls on a run of rejections.
         """
         segment = self._segments.get(version)
+        if segment is not None:
+            self.cache_hits += 1
         if segment is None and not cache:
+            self.attach_count += 1
             one_shot = shared_memory.SharedMemory(
                 name=f"{self.name_prefix}-{version}"
             )
@@ -528,6 +535,7 @@ class ShmWorkerView:
             # registration collapses and is cleared by the owner's
             # ``unlink``, so no unregister dance is needed here — and
             # unregistering would wrongly drop the owner's entry.
+            self.attach_count += 1
             segment = shared_memory.SharedMemory(
                 name=f"{self.name_prefix}-{version}"
             )

@@ -99,7 +99,9 @@ executor choice.
 
 from __future__ import annotations
 
+import os
 import threading
+import time
 from collections.abc import Mapping, Sequence
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING
@@ -123,6 +125,7 @@ from repro.fl.model_store import (
 from repro.fl.registry import ClientRegistry
 from repro.fl.rng import RngStreams
 from repro.nn.network import Network
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard: this module is
     # imported by repro.fl.simulation, which repro.core.baffle imports, so
@@ -244,8 +247,14 @@ class RoundExecutor:
         template: Network | None = None,
         store: ModelStore | None = None,
         profile_table: ValidatorProfileTable | None = None,
+        tracer: "Tracer | NullTracer | None" = None,
     ) -> None:
-        """Register the populations and stores this executor fans out over."""
+        """Register the populations and stores this executor fans out over.
+
+        ``tracer`` is pure instrumentation and rebindable (unlike the
+        populations): the simulation hands its tracer down here so the
+        executor can time fan-out work and merge worker span batches.
+        """
 
     @property
     def transport_bytes(self) -> int:
@@ -338,6 +347,7 @@ class SequentialExecutor(RoundExecutor):
             raise ValueError(f"cohort_size must be >= 0, got {cohort_size}")
         self.cohort_size = cohort_size
         self._store: ModelStore | None = None
+        self._tracer: Tracer | NullTracer = NULL_TRACER
 
     def bind(
         self,
@@ -346,9 +356,12 @@ class SequentialExecutor(RoundExecutor):
         template: Network | None = None,
         store: ModelStore | None = None,
         profile_table: ValidatorProfileTable | None = None,
+        tracer: "Tracer | NullTracer | None" = None,
     ) -> None:
         if store is not None:
             self._store = store
+        if tracer is not None:
+            self._tracer = tracer
 
     @property
     def store(self) -> ModelStore | None:
@@ -371,21 +384,28 @@ class SequentialExecutor(RoundExecutor):
         )
         results: dict[int, np.ndarray] = {}
         for chunk in chunks:
-            updates = cohort_updates(
-                global_model,
-                [clients[cid].dataset for cid in chunk],
-                config,
-                [streams.client_rng(round_idx, cid) for cid in chunk],
-            )
+            with self._tracer.span(
+                "train.cohort", cat="worker", round_idx=round_idx,
+                clients=len(chunk),
+            ):
+                updates = cohort_updates(
+                    global_model,
+                    [clients[cid].dataset for cid in chunk],
+                    config,
+                    [streams.client_rng(round_idx, cid) for cid in chunk],
+                )
             results.update(zip(chunk, updates))
-        return [
-            results[cid]
-            if cid in results
-            else clients[cid].produce_update(
-                global_model, config, round_idx, streams.client_rng(round_idx, cid)
-            )
-            for cid in contributor_ids
-        ]
+        for cid in contributor_ids:
+            if cid in results:
+                continue
+            with self._tracer.span(
+                "train.client", cat="worker", round_idx=round_idx, client=cid
+            ):
+                results[cid] = clients[cid].produce_update(
+                    global_model, config, round_idx,
+                    streams.client_rng(round_idx, cid),
+                )
+        return [results[cid] for cid in contributor_ids]
 
     def run_validators(
         self,
@@ -395,10 +415,16 @@ class SequentialExecutor(RoundExecutor):
         round_idx: int,
         streams: RngStreams,
     ) -> dict[int, int]:
-        return {
-            vid: pool.get(vid).vote(context, streams.validator_rng(round_idx, vid))
-            for vid in validator_ids
-        }
+        votes: dict[int, int] = {}
+        for vid in validator_ids:
+            with self._tracer.span(
+                "validate.vote", cat="worker", round_idx=round_idx,
+                validator=vid,
+            ):
+                votes[vid] = pool.get(vid).vote(
+                    context, streams.validator_rng(round_idx, vid)
+                )
+        return votes
 
 
 # ----------------------------------------------------------------------
@@ -410,6 +436,14 @@ _W_TEMPLATE: Network | None = None
 _W_MODELS: dict[int, Network] = {}
 _W_STORE: ShmWorkerView | None = None
 _W_REGISTRY: ClientRegistry | None = None
+_W_TRACING = False
+#: Locally recorded span rows, drained into each task's return payload:
+#: ``(name, cat, start_ns, dur_ns, tid, round_idx, attrs)`` on the
+#: worker's own monotonic clock.
+_W_SPANS: list[tuple] = []
+#: ``(attach_count, cache_hits)`` of the worker store view already
+#: reported to the server (deltas ship with each drain).
+_W_STORE_STATS = [0, 0]
 
 
 def _init_worker(
@@ -418,8 +452,9 @@ def _init_worker(
     template: Network | None,
     store_handle,
     registry: ClientRegistry | None = None,
+    trace_enabled: bool = False,
 ) -> None:
-    global _W_TEMPLATE, _W_STORE, _W_REGISTRY
+    global _W_TEMPLATE, _W_STORE, _W_REGISTRY, _W_TRACING
     _W_CLIENTS.clear()
     _W_CLIENTS.update(clients)
     _W_VALIDATORS.clear()
@@ -428,6 +463,72 @@ def _init_worker(
     _W_TEMPLATE = template
     _W_STORE = store_handle.attach() if store_handle is not None else None
     _W_REGISTRY = registry
+    _W_TRACING = bool(trace_enabled)
+    _W_SPANS.clear()
+    _W_STORE_STATS[0] = _W_STORE_STATS[1] = 0
+
+
+class _WorkerSpan:
+    """Worker-local span context: appends a row to :data:`_W_SPANS`."""
+
+    __slots__ = ("name", "cat", "round_idx", "attrs", "_start_ns")
+
+    def __init__(self, name, cat, round_idx, attrs):
+        self.name = name
+        self.cat = cat
+        self.round_idx = round_idx
+        self.attrs = attrs
+        self._start_ns = 0
+
+    def __enter__(self) -> "_WorkerSpan":
+        self._start_ns = time.monotonic_ns()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        _W_SPANS.append(
+            (
+                self.name,
+                self.cat,
+                self._start_ns,
+                time.monotonic_ns() - self._start_ns,
+                threading.get_ident(),
+                self.round_idx,
+                self.attrs,
+            )
+        )
+        return False
+
+
+def _wspan(name: str, round_idx: int | None = None, **attrs):
+    """A worker-side span when tracing is on, else the shared no-op."""
+    if not _W_TRACING:
+        return NULL_TRACER.span(name)
+    return _WorkerSpan(name, "worker", round_idx, attrs)
+
+
+def _drain_worker_trace():
+    """Pack this worker's recorded spans for the task result payload.
+
+    Returns ``None`` when tracing is off (the common case, so untraced
+    task results are byte-identical to the pre-tracing wire format plus
+    one ``None``).  Otherwise ``(pid, sent_ns, rows, store_stats)``:
+    ``sent_ns`` is this worker's monotonic clock at packing time (the
+    server's offset estimator), ``store_stats`` the ``(attaches,
+    cache_hits)`` delta of the arena view since the previous drain.
+    """
+    if not _W_TRACING:
+        return None
+    rows = list(_W_SPANS)
+    _W_SPANS.clear()
+    store_stats = None
+    if _W_STORE is not None:
+        store_stats = (
+            _W_STORE.attach_count - _W_STORE_STATS[0],
+            _W_STORE.cache_hits - _W_STORE_STATS[1],
+        )
+        _W_STORE_STATS[0] = _W_STORE.attach_count
+        _W_STORE_STATS[1] = _W_STORE.cache_hits
+    return (os.getpid(), time.monotonic_ns(), rows, store_stats)
 
 
 def _worker_client(cid: int) -> Client:
@@ -481,37 +582,42 @@ def _client_slice_task(
     cohort_seed_seqs: Sequence[Sequence[np.random.SeedSequence]],
     single_seed_seqs: Sequence[np.random.SeedSequence],
     live_floor: int | None,
-) -> list[tuple[int, np.ndarray]]:
+) -> tuple[list[tuple[int, np.ndarray]], tuple | None]:
     """Train one worker's whole slice of a round's client fan-out.
 
     One task per worker per round: the slice carries this worker's cohort
     chunks (stacked training) *and* its per-model clients, so the global
     model is materialized once for everything and dispatch overhead is
-    O(workers), not O(clients).
+    O(workers), not O(clients).  Returns ``(results, trace_payload)``;
+    the payload is ``None`` unless the pool was initialized with tracing
+    on (:func:`_drain_worker_trace`).
     """
     _evict_retired(live_floor)
-    model = _materialize(model_ref)
+    with _wspan("materialize", round_idx):
+        model = _materialize(model_ref)
     out: list[tuple[int, np.ndarray]] = []
     try:
         for client_ids, seed_seqs in zip(cohorts, cohort_seed_seqs):
-            updates = cohort_updates(
-                model,
-                [_worker_client(cid).dataset for cid in client_ids],
-                config,
-                [np.random.default_rng(seq) for seq in seed_seqs],
-            )
+            with _wspan("train.cohort", round_idx, clients=len(client_ids)):
+                updates = cohort_updates(
+                    model,
+                    [_worker_client(cid).dataset for cid in client_ids],
+                    config,
+                    [np.random.default_rng(seq) for seq in seed_seqs],
+                )
             out.extend(zip(client_ids, updates))
         for cid, seq in zip(singles, single_seed_seqs):
-            update = _worker_client(cid).produce_update(
-                model, config, round_idx, np.random.default_rng(seq)
-            )
+            with _wspan("train.client", round_idx, client=cid):
+                update = _worker_client(cid).produce_update(
+                    model, config, round_idx, np.random.default_rng(seq)
+                )
             out.append((cid, update))
     finally:
         # Registry-backed workers hold shards only for the slice's
         # lifetime — worker RSS is bounded by the slice, not the round.
         if _W_REGISTRY is not None:
             _W_REGISTRY.end_round()
-    return out
+    return out, _drain_worker_trace()
 
 
 def _resolve_history(history_refs: Sequence[ModelRef]) -> list[int]:
@@ -620,24 +726,27 @@ def _validator_slice_task(
     seed_seqs: Sequence[np.random.SeedSequence],
     profile_hints: Mapping[int, Mapping[int, object]],
     live_floor: int | None,
-) -> list[tuple[int, int, dict[int, object], object | None]]:
+) -> tuple[list[tuple[int, int, dict[int, object], object | None]], tuple | None]:
     """Vote one worker's whole slice of a round's validators in one task.
 
     The candidate and history are materialized once per slice (validators
     only read them), so per-round decode/attach work is O(new versions)
-    and dispatch overhead is O(workers), not O(validators).
+    and dispatch overhead is O(workers), not O(validators).  Returns
+    ``(results, trace_payload)`` like :func:`_client_slice_task`.
     """
     _evict_retired(live_floor)
-    history_versions = _resolve_history(history_refs)
-    candidate = _materialize_candidate(candidate_ref)
+    with _wspan("materialize", round_idx):
+        history_versions = _resolve_history(history_refs)
+        candidate = _materialize_candidate(candidate_ref)
     results = []
     for vid, seq in zip(validator_ids, seed_seqs):
-        vote, new_profiles, candidate_profile = _validate_one(
-            vid, candidate, history_versions, round_idx, seq,
-            profile_hints.get(vid, {}),
-        )
+        with _wspan("validate.vote", round_idx, validator=vid):
+            vote, new_profiles, candidate_profile = _validate_one(
+                vid, candidate, history_versions, round_idx, seq,
+                profile_hints.get(vid, {}),
+            )
         results.append((vid, vote, new_profiles, candidate_profile))
-    return results
+    return results, _drain_worker_trace()
 
 
 def _plan_slices(
@@ -667,6 +776,16 @@ def _plan_slices(
         slices[index][1].append(cid)
         loads[index] += 1
     return [s for s in slices if s[0] or s[1]]
+
+
+def _traced_call(tracer, name, round_idx, attrs, fn, *args):
+    """Run ``fn(*args)`` inside a span — the thread engine's task wrapper.
+
+    With the null tracer this is one extra frame and a shared no-op
+    context manager, so untraced thread rounds stay effectively free.
+    """
+    with tracer.span(name, cat="worker", round_idx=round_idx, **attrs):
+        return fn(*args)
 
 
 def _chunk_evenly(items: Sequence, parts: int) -> list[list]:
@@ -720,6 +839,7 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         self._held_global: int | None = None
         self._pipe_bytes = 0
         self._pipe_raw_bytes = 0
+        self._tracer: Tracer | NullTracer = NULL_TRACER
         #: Deferred-release list: abandoned vote handles whose tasks are
         #: still in flight; their store references drop at the next reap.
         self._abandoned: list[PendingVotes] = []
@@ -734,7 +854,26 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         template: Network | None = None,
         store: ModelStore | None = None,
         profile_table: ValidatorProfileTable | None = None,
+        tracer: "Tracer | NullTracer | None" = None,
     ) -> None:
+        if tracer is not None:
+            if self._pool is not None and tracer.enabled and not (
+                self._tracer.enabled
+            ):
+                # Worker tracing is decided at pool start (initargs);
+                # enabling it later would silently lose worker spans.
+                raise RuntimeError(
+                    "cannot enable tracing after the pool started"
+                )
+            self._tracer = tracer
+        if (
+            clients is None
+            and validator_pool is None
+            and template is None
+            and store is None
+            and profile_table is None
+        ):
+            return
         if self._pool is not None:
             raise RuntimeError("cannot bind populations after the pool started")
         # Each population binds exactly once: workers see one consistent
@@ -844,6 +983,7 @@ class ProcessPoolRoundExecutor(RoundExecutor):
                     self._template,
                     handle,
                     worker_registry,
+                    self._tracer.enabled,
                 ),
             )
         return self._pool
@@ -958,7 +1098,9 @@ class ProcessPoolRoundExecutor(RoundExecutor):
             if cid not in remote
         }
         for future in futures:
-            results.update(future.result())
+            rows, trace_payload = future.result()
+            self._tracer.merge_worker(trace_payload)
+            results.update(rows)
         return [results[cid] for cid in contributor_ids]
 
     def submit_validators(
@@ -1055,7 +1197,9 @@ class ProcessPoolRoundExecutor(RoundExecutor):
                 if vid not in remote
             }
             for future in futures:
-                for vid, vote, new_profiles, candidate_profile in future.result():
+                rows, trace_payload = future.result()
+                self._tracer.merge_worker(trace_payload)
+                for vid, vote, new_profiles, candidate_profile in rows:
                     collected[vid] = vote
                     if table is None:
                         continue
@@ -1139,6 +1283,7 @@ class ThreadPoolRoundExecutor(RoundExecutor):
         self._bound: set[str] = set()
         self._pool: ThreadPoolExecutor | None = None
         self._vote_locks: dict[int, threading.Lock] = {}
+        self._tracer: Tracer | NullTracer = NULL_TRACER
 
     def bind(
         self,
@@ -1147,7 +1292,12 @@ class ThreadPoolRoundExecutor(RoundExecutor):
         template: Network | None = None,
         store: ModelStore | None = None,
         profile_table: ValidatorProfileTable | None = None,
+        tracer: "Tracer | NullTracer | None" = None,
     ) -> None:
+        if tracer is not None:
+            # Threads share the server's clock and tracer: spans record
+            # directly, no batching or offset normalization needed.
+            self._tracer = tracer
         # Same one-shot semantics as the process pool: sharing an executor
         # across simulations fails loudly.  Template and profile table are
         # accepted for interface parity but unused — threads read the live
@@ -1237,6 +1387,11 @@ class ThreadPoolRoundExecutor(RoundExecutor):
             (
                 chunk,
                 pool.submit(
+                    _traced_call,
+                    self._tracer,
+                    "train.cohort",
+                    round_idx,
+                    {"clients": len(chunk)},
                     cohort_updates,
                     global_model,
                     [resolve(cid).dataset for cid in chunk],
@@ -1248,6 +1403,11 @@ class ThreadPoolRoundExecutor(RoundExecutor):
         ]
         futures: dict[int, Future] = {
             cid: pool.submit(
+                _traced_call,
+                self._tracer,
+                "train.client",
+                round_idx,
+                {"client": cid},
                 resolve(cid).produce_update,
                 global_model,
                 config,
@@ -1279,14 +1439,20 @@ class ThreadPoolRoundExecutor(RoundExecutor):
         streams: RngStreams,
     ) -> PendingVotes:
         executor_pool = self._ensure_pool()
+        tracer = self._tracer
 
-        def vote_under_lock(validator, lock, rng):
+        def vote_under_lock(vid, validator, lock, rng):
             with lock:
-                return validator.vote(context, rng)
+                with tracer.span(
+                    "validate.vote", cat="worker", round_idx=round_idx,
+                    validator=vid,
+                ):
+                    return validator.vote(context, rng)
 
         futures: dict[int, Future] = {
             vid: executor_pool.submit(
                 vote_under_lock,  # repro: allow[pickle-safety] -- thread pool shares the address space, nothing pickles
+                vid,
                 self._validators[vid],
                 self._vote_locks[vid],
                 streams.validator_rng(round_idx, vid),

@@ -58,6 +58,7 @@ from repro.fl.secure_agg import SecureAggregator
 from repro.fl.selection import Selector, UniformSelector
 from repro.nn.network import Network
 from repro.nn.precision import active_dtype
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 
 
 def _peak_rss_kb() -> int:
@@ -153,6 +154,12 @@ class RoundRecord:
     #: bounded-memory claim.  Worker processes materialize and discard
     #: their own slices and are not counted here.
     materialized_clients: int = 0
+    #: Wall-clock seconds per round phase (``select``/``train``/
+    #: ``aggregate``/``validate``/...), populated only when the simulation
+    #: runs with a tracer.  Excluded from equality: timings are
+    #: observational and must never break the bit-identity comparisons
+    #: the equivalence tests make on records.
+    phase_times: dict[str, float] = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:
         if self.accepted_at_round < 0:
@@ -198,6 +205,10 @@ class _SpeculativeRound:
     raw_transport_bytes: int = 0
     rollback_count: int = 0
     materialized_clients: int = 0
+    #: Partial phase timings gathered at speculation time (tracing only);
+    #: the resolve step adds the validate phase and moves the dict onto
+    #: the round's record.
+    phase_times: dict[str, float] = field(default_factory=dict)
 
 
 def _restored_generator(
@@ -262,6 +273,12 @@ class FederatedSimulation:
         :class:`~repro.fl.model_store.SharedMemoryModelStore` so a process
         pool ships version keys instead of weight blobs.  The caller owns
         the store's lifecycle (close it after the executor).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer` recording phase spans
+        and run metrics (see :mod:`repro.obs`).  Defaults to the zero-cost
+        :data:`~repro.obs.trace.NULL_TRACER`; tracing is pure
+        instrumentation — it draws no randomness and a traced run commits
+        bit-identical models to an untraced one.
     """
 
     def __init__(
@@ -277,6 +294,7 @@ class FederatedSimulation:
         metric_hooks: Mapping[str, Callable[[Network], float]] | None = None,
         executor: RoundExecutor | None = None,
         model_store: ModelStore | None = None,
+        tracer: "Tracer | NullTracer | None" = None,
     ) -> None:
         if len(clients) != config.num_clients:
             raise ValueError(
@@ -333,18 +351,24 @@ class FederatedSimulation:
             self.global_model.set_flat(
                 self._codec.canonicalize(self.global_model.get_flat())
             )
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         bind_kwargs = {
             "clients": self.clients,
             "template": global_model.clone(),
         }
         if executor_store is None:
             bind_kwargs["store"] = self.model_store
+        if self.tracer.enabled:
+            bind_kwargs["tracer"] = self.tracer
         self.executor.bind(**bind_kwargs)
         bind_runtime = getattr(defense, "bind_runtime", None)
         if callable(bind_runtime):
             bind_runtime(
                 executor=self.executor, streams=self.streams, store=self.model_store
             )
+        bind_tracer = getattr(defense, "bind_tracer", None)
+        if self.tracer.enabled and callable(bind_tracer):
+            bind_tracer(self.tracer)
         #: Pipelined mode is selected by the executor: a
         #: PipelinedRoundExecutor carries the speculation depth.
         self._pipeline_depth: int | None = getattr(
@@ -382,22 +406,31 @@ class FederatedSimulation:
             # drain immediately (equivalent to a depth-0 burst).
             return self._run_pipelined(1)[0]
         round_idx = self.round_idx
+        tracer = self.tracer
         transport_before = self.executor.transport_bytes
         raw_before = self.executor.raw_transport_bytes
-        contributor_ids = self.selector.select(round_idx, self.rng)
-        updates = self.executor.run_clients(
-            self.clients,
-            contributor_ids,
-            self.global_model,
-            self._local_config(),
-            round_idx,
-            self.streams,
-        )
-        candidate, candidate_flat = self._aggregate(
-            contributor_ids, updates, round_idx, self.rng
-        )
+        with tracer.span("select", round_idx=round_idx) as span_select:
+            contributor_ids = self.selector.select(round_idx, self.rng)
+        with tracer.span("train", round_idx=round_idx) as span_train:
+            updates = self.executor.run_clients(
+                self.clients,
+                contributor_ids,
+                self.global_model,
+                self._local_config(),
+                round_idx,
+                self.streams,
+            )
+        with tracer.span("aggregate", round_idx=round_idx) as span_aggregate:
+            candidate, candidate_flat = self._aggregate(
+                contributor_ids, updates, round_idx, self.rng
+            )
         resident_clients = self._end_client_round()
+        if tracer.enabled:
+            tracer.event(
+                "materialize", round_idx=round_idx, clients=resident_clients
+            )
 
+        span_validate = None
         if not np.isfinite(candidate_flat).all():
             # A client produced a non-finite update (diverged training or a
             # crash-faulty participant).  Under secure aggregation the
@@ -408,11 +441,14 @@ class FederatedSimulation:
         elif self.defense is None:
             decision = DefenseDecision(accepted=True)
         else:
-            decision = self.defense.review(candidate, round_idx, self.rng)
-        if decision.accepted:
-            self.global_model = candidate
-        if self.defense is not None:
-            self.defense.record_outcome(candidate, decision.accepted)
+            with tracer.span("validate", round_idx=round_idx) as span_validate:
+                decision = self.defense.review(candidate, round_idx, self.rng)
+        outcome = "commit" if decision.accepted else "reject"
+        with tracer.span(outcome, cat="round", round_idx=round_idx):
+            if decision.accepted:
+                self.global_model = candidate
+            if self.defense is not None:
+                self.defense.record_outcome(candidate, decision.accepted)
 
         record = RoundRecord(
             round_idx=round_idx,
@@ -431,12 +467,46 @@ class FederatedSimulation:
             peak_rss_kb=_peak_rss_kb(),
             materialized_clients=resident_clients,
         )
+        if tracer.enabled:
+            record.phase_times.update(
+                select=span_select.duration_s,
+                train=span_train.duration_s,
+                aggregate=span_aggregate.duration_s,
+            )
+            if span_validate is not None:
+                record.phase_times["validate"] = span_validate.duration_s
+            self._observe_round(record)
         self.history.append(record)
         self.round_idx += 1
         return record
 
     def _codec_name(self) -> str:
         return self._codec.name if self._codec is not None else "identity"
+
+    def _observe_round(self, record: RoundRecord) -> None:
+        """Fold one finished round into the tracer's metrics registry."""
+        metrics = self.tracer.metrics
+        metrics.counter("rounds_total").inc()
+        metrics.counter(
+            "rounds_accepted" if record.accepted else "rounds_rejected"
+        ).inc()
+        if record.rollback_count:
+            metrics.counter("rollback_replays").inc(record.rollback_count)
+        metrics.histogram("acceptance_lag_rounds").observe(
+            record.validation_lag
+        )
+        metrics.counter("transport_bytes").inc(record.transport_bytes)
+        metrics.counter("raw_transport_bytes").inc(record.raw_transport_bytes)
+        metrics.gauge("compression_ratio").set(record.compression_ratio)
+        metrics.gauge("peak_rss_kb").set(record.peak_rss_kb)
+        metrics.gauge("materialized_clients").set(record.materialized_clients)
+        rounds = metrics.counter("rounds_total").value
+        elapsed = self.tracer.elapsed_s()
+        if elapsed > 0:
+            metrics.gauge("rounds_per_s").set(rounds / elapsed)
+        metrics.gauge("rollback_rate").set(
+            metrics.counter("rollback_replays").value / rounds
+        )
 
     def run(self, num_rounds: int) -> list[RoundRecord]:
         """Run ``num_rounds`` rounds and return their records."""
@@ -464,7 +534,8 @@ class FederatedSimulation:
         end = self.round_idx + num_rounds
         while self.round_idx < end:
             round_idx = self.round_idx
-            contributor_ids = self.selector.select(round_idx, self.rng)
+            with self.tracer.span("select", round_idx=round_idx) as span_select:
+                contributor_ids = self.selector.select(round_idx, self.rng)
             post_select_state = self.rng.bit_generator.state
             if any(
                 not self._client_parallel_safe(cid) for cid in contributor_ids
@@ -481,6 +552,8 @@ class FederatedSimulation:
             spec = self._speculate(
                 round_idx, contributor_ids, post_select_state, self.rng, 0
             )
+            if self.tracer.enabled:
+                spec.phase_times["select"] = span_select.duration_s
             self._issued_high = round_idx
             self.round_idx += 1
             open_rounds.append(spec)
@@ -528,20 +601,27 @@ class FederatedSimulation:
     ) -> _SpeculativeRound:
         """Run one round up to (and including) its optimistic commit."""
         base_model = self.global_model
+        tracer = self.tracer
         transport_before = self.executor.transport_bytes
         raw_before = self.executor.raw_transport_bytes
-        updates = self.executor.run_clients(
-            self.clients,
-            contributor_ids,
-            base_model,
-            self._local_config(),
-            round_idx,
-            self.streams,
-        )
-        candidate, candidate_flat = self._aggregate(
-            contributor_ids, updates, round_idx, round_rng
-        )
+        with tracer.span("train", round_idx=round_idx) as span_train:
+            updates = self.executor.run_clients(
+                self.clients,
+                contributor_ids,
+                base_model,
+                self._local_config(),
+                round_idx,
+                self.streams,
+            )
+        with tracer.span("aggregate", round_idx=round_idx) as span_aggregate:
+            candidate, candidate_flat = self._aggregate(
+                contributor_ids, updates, round_idx, round_rng
+            )
         resident_clients = self._end_client_round()
+        if tracer.enabled:
+            tracer.event(
+                "materialize", round_idx=round_idx, clients=resident_clients
+            )
 
         pending: object | None = None
         decision: DefenseDecision | None = None
@@ -559,7 +639,10 @@ class FederatedSimulation:
             decision = DefenseDecision(accepted=True)
             self.global_model = candidate
         elif self._async_defense:
-            result = self.defense.review_async(candidate, round_idx, round_rng)
+            with tracer.span("validate.submit", round_idx=round_idx):
+                result = self.defense.review_async(
+                    candidate, round_idx, round_rng
+                )
             if isinstance(result, DefenseDecision):
                 # Pre-start_round auto-accept: decided without validation.
                 decision = result
@@ -573,10 +656,17 @@ class FederatedSimulation:
         else:
             # Defense without the async protocol: resolve at the round
             # boundary, synchronous semantics inside the pipelined loop.
-            decision = self.defense.review(candidate, round_idx, round_rng)
+            with tracer.span("validate", round_idx=round_idx):
+                decision = self.defense.review(candidate, round_idx, round_rng)
             self.defense.record_outcome(candidate, decision.accepted)
             if decision.accepted:
                 self.global_model = candidate
+        phase_times = (
+            {"train": span_train.duration_s,
+             "aggregate": span_aggregate.duration_s}
+            if tracer.enabled
+            else {}
+        )
         return _SpeculativeRound(
             round_idx=round_idx,
             contributor_ids=contributor_ids,
@@ -589,6 +679,7 @@ class FederatedSimulation:
             raw_transport_bytes=self.executor.raw_transport_bytes - raw_before,
             rollback_count=rollback_count,
             materialized_clients=resident_clients,
+            phase_times=phase_times,
         )
 
     def _resolve_oldest(
@@ -596,13 +687,25 @@ class FederatedSimulation:
     ) -> RoundRecord:
         """Resolve the oldest open quorum; roll back and replay on reject."""
         spec = open_rounds.popleft()
+        tracer = self.tracer
         if spec.decision is not None:
             decision = spec.decision
             model_after = spec.candidate if decision.accepted else spec.base_model
+            outcome = "commit" if decision.accepted else "reject"
+            with tracer.span(outcome, cat="round", round_idx=spec.round_idx):
+                pass
         else:
-            decision = self.defense.resolve_review(spec.pending)
+            with tracer.span(
+                "validate", round_idx=spec.round_idx
+            ) as span_validate:
+                decision = self.defense.resolve_review(spec.pending)
+            if tracer.enabled:
+                spec.phase_times["validate"] = span_validate.duration_s
             if decision.accepted:
-                self.defense.finalize_review(spec.pending)
+                with tracer.span(
+                    "commit", cat="round", round_idx=spec.round_idx
+                ):
+                    self.defense.finalize_review(spec.pending)
                 model_after = spec.candidate
             else:
                 # Late rejection: withdraw this round's optimistic commit
@@ -611,16 +714,23 @@ class FederatedSimulation:
                 # rounds against the corrected state.  Replays re-enter the
                 # pipeline as fresh speculative rounds (their quorums are
                 # open again), so back-to-back rejections unwind correctly.
-                self.defense.rollback_review(spec.pending)
-                self.global_model = spec.base_model
-                model_after = spec.base_model
-                invalidated = list(open_rounds)
-                open_rounds.clear()
+                with tracer.span(
+                    "rollback", round_idx=spec.round_idx,
+                    invalidated=len(open_rounds),
+                ):
+                    self.defense.rollback_review(spec.pending)
+                    self.global_model = spec.base_model
+                    model_after = spec.base_model
+                    invalidated = list(open_rounds)
+                    open_rounds.clear()
+                    for later in invalidated:
+                        if later.pending is not None:
+                            self.defense.cancel_review(later.pending)
+                if tracer.enabled:
+                    tracer.event("reject", cat="round", round_idx=spec.round_idx)
                 for later in invalidated:
-                    if later.pending is not None:
-                        self.defense.cancel_review(later.pending)
-                for later in invalidated:
-                    open_rounds.append(self._replay(later))
+                    with tracer.span("replay", round_idx=later.round_idx):
+                        open_rounds.append(self._replay(later))
         # A round whose decision was known at speculation time resolved at
         # its own aggregation, whenever its record is emitted; only rounds
         # that actually awaited a quorum report acceptance lag.
@@ -647,6 +757,9 @@ class FederatedSimulation:
             peak_rss_kb=_peak_rss_kb(),
             materialized_clients=spec.materialized_clients,
         )
+        if tracer.enabled:
+            record.phase_times.update(spec.phase_times)
+            self._observe_round(record)
         self.history.append(record)
         return record
 

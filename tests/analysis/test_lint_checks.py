@@ -37,6 +37,7 @@ def test_registry_covers_the_documented_battery():
         "shm-hygiene",
         "unused-import",
         "mutable-default",
+        "observability-safety",
     }
     assert [c.check_id for c in all_checks()] == list(ALL_CHECK_IDS)
 
@@ -502,6 +503,90 @@ class TestMutableDefault:
                 return a, b
             """,
             "mutable-default",
+        )
+        assert findings == []
+
+
+class TestObservabilitySafety:
+    OBS_PATH = "src/repro/obs/example.py"
+
+    def test_wall_clock_and_rng_fire_inside_obs(self):
+        findings = run_check(
+            """\
+            import random
+            import time
+            import numpy as np
+
+            stamp = time.time()
+            draw = np.random.rand()
+            jitter = random.random()
+            """,
+            "observability-safety",
+            path=self.OBS_PATH,
+        )
+        assert check_ids(findings) == ["observability-safety"] * 3
+        assert "monotonic" in findings[0].message
+        assert "no randomness" in findings[1].message
+
+    def test_monotonic_clock_in_obs_is_clean(self):
+        findings = run_check(
+            """\
+            import time
+
+            def now_ns():
+                return time.monotonic_ns()
+            """,
+            "observability-safety",
+            path=self.OBS_PATH,
+        )
+        assert findings == []
+
+    def test_wall_clock_outside_obs_is_not_this_checks_business(self):
+        findings = run_check(
+            """\
+            import time
+
+            stamp = time.time()
+            """,
+            "observability-safety",
+        )
+        assert findings == []
+
+    def test_array_capture_into_span_attrs_fires_anywhere(self):
+        findings = run_check(
+            """\
+            def instrument(tracer, model, round_idx):
+                with tracer.span("train", round_idx=round_idx, weights=model.get_flat()):
+                    pass
+                tracer.event("snapshot", flat=model.weights.copy())
+            """,
+            "observability-safety",
+        )
+        assert check_ids(findings) == ["observability-safety"] * 2
+        assert "get_flat" in findings[0].message
+        assert "stay" in findings[0].message and "scalar" in findings[0].message
+
+    def test_scalar_attrs_are_clean(self):
+        findings = run_check(
+            """\
+            def instrument(tracer, chunk, cid, round_idx):
+                with tracer.span("train.cohort", round_idx=round_idx, clients=len(chunk)):
+                    pass
+                tracer.event("materialize", clients=int(cid))
+            """,
+            "observability-safety",
+        )
+        assert findings == []
+
+    def test_suppressed_with_reason_is_silent(self):
+        findings = run_check(
+            """\
+            import time
+
+            stamp = time.time()  # repro: allow[observability-safety] -- doc example
+            """,
+            "observability-safety",
+            path=self.OBS_PATH,
         )
         assert findings == []
 

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from repro.experiments.metrics import AggregateStats
 from repro.experiments.reporting import (
+    format_execution_report,
     format_quorum_series,
     format_series,
     format_table1,
@@ -77,3 +80,66 @@ class TestGenericSeries:
         lines = text.splitlines()
         assert len(lines) == 4
         assert "main" in lines[1]
+
+
+@dataclass
+class FakeRecord:
+    """Duck-typed round record carrying only what the report reads."""
+
+    round_idx: int = 0
+    accepted: bool = True
+    validation_lag: int = 0
+    rollback_count: int = 0
+    transport_bytes: int = 0
+    raw_transport_bytes: int = 0
+    codec: str = "identity"
+    accepted_at_round: int = 0
+    phase_times: dict = field(default_factory=dict)
+
+
+class TestExecutionReport:
+    def test_zero_transport_reports_na_not_a_fake_ratio(self):
+        # In-process runs move zero bytes: "1.00x compression" there would
+        # read as a measurement that never happened.
+        text = format_execution_report([FakeRecord(), FakeRecord(round_idx=1)])
+        assert "n/a compression" in text
+        assert "1.00x" not in text
+
+    def test_single_codec_reports_measured_ratio(self):
+        records = [
+            FakeRecord(transport_bytes=500, raw_transport_bytes=1000,
+                       codec="f32"),
+            FakeRecord(round_idx=1, transport_bytes=500,
+                       raw_transport_bytes=1000, codec="f32"),
+        ]
+        text = format_execution_report(records)
+        assert "codec f32" in text
+        assert "2.00x compression" in text
+
+    def test_mixed_codecs_flagged_not_round_zeros(self):
+        # The old report read round 0's codec and pooled every round's
+        # bytes into one ratio — a sweep's mixed record list came out
+        # labelled with whatever codec happened to run first.
+        records = [
+            FakeRecord(transport_bytes=1000, raw_transport_bytes=1000,
+                       codec="identity"),
+            FakeRecord(round_idx=1, transport_bytes=500,
+                       raw_transport_bytes=1000, codec="f32"),
+        ]
+        text = format_execution_report(records)
+        assert "mixed: f32+identity" in text
+
+    def test_phase_times_render_when_present(self):
+        records = [
+            FakeRecord(phase_times={"train": 0.010, "validate": 0.002}),
+            FakeRecord(round_idx=1,
+                       phase_times={"train": 0.012, "validate": 0.004}),
+        ]
+        text = format_execution_report(records)
+        assert "phase wall-clock (mean/round)" in text
+        assert "train 11.0ms" in text
+        assert "validate 3.0ms" in text
+
+    def test_untraced_records_render_no_phase_line(self):
+        text = format_execution_report([FakeRecord()])
+        assert "phase wall-clock" not in text
