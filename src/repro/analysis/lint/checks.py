@@ -42,6 +42,12 @@ safety        only — wall-clock in a span perturbs nothing but makes
               capture model weight arrays into span/event attributes
               (attrs ride pool result payloads; an array there is a
               silent transport-volume regression)
+swallowed-    pass-only bare/``except Exception`` handlers and
+exception     unobserved ``future.exception()`` statements in
+              ``repro/fl`` and ``repro/core`` — the resilience layer
+              (PR 10) counts every absorbed failure; an exception
+              eaten silently resurfaces as an unexplainable
+              divergence in the equivalence matrix
 ============  ========================================================
 """
 
@@ -982,6 +988,83 @@ class ObservabilitySafetyCheck(Check):
                         "record a length or a hash instead)",
                     ))
         return findings
+
+
+# ----------------------------------------------------------------------
+# swallowed-exception
+# ----------------------------------------------------------------------
+@_register
+class SwallowedExceptionCheck(Check):
+    check_id = "swallowed-exception"
+    description = (
+        "the execution layer (repro/fl, repro/core) must not silently "
+        "discard failures: no pass-only bare/Exception handlers, and no "
+        "unobserved future.exception() — a worker crash that vanishes "
+        "here reappears as a silent divergence the equivalence matrix "
+        "cannot explain"
+    )
+    path_scope = ("repro/fl", "repro/core")
+
+    #: Handler types broad enough to eat a worker crash.  A narrow
+    #: handler (KeyError, FuturesTimeout, ...) states what it absorbs;
+    #: these absorb everything.
+    _BROAD = {"Exception", "BaseException"}
+
+    def run(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler):
+                if self._broad(node) and self._body_discards(node.body):
+                    caught = (
+                        "bare except" if node.type is None
+                        else f"except {ast.unparse(node.type)}"
+                    )
+                    findings.append(ctx.finding(
+                        self.check_id, node,
+                        f"{caught} with a pass-only body swallows every "
+                        "failure, including worker crashes the resilience "
+                        "layer must observe; narrow the handler, or "
+                        "count/trace the error before discarding it",
+                    ))
+            elif isinstance(node, ast.Expr):
+                call = node.value
+                if (
+                    isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Attribute)
+                    and call.func.attr == "exception"
+                    and not call.args
+                ):
+                    # ``fut.exception()`` as a bare statement retrieves
+                    # the error only to drop it.  (``log.exception(msg)``
+                    # takes arguments and is not matched.)
+                    findings.append(ctx.finding(
+                        self.check_id, call,
+                        "future.exception() result is discarded: the "
+                        "retrieved error must be counted, traced, or "
+                        "re-raised — dropping it hides worker failures",
+                    ))
+        return findings
+
+    def _broad(self, handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True
+        return (
+            isinstance(handler.type, ast.Name)
+            and handler.type.id in self._BROAD
+        )
+
+    @staticmethod
+    def _body_discards(body: list[ast.stmt]) -> bool:
+        """True when the handler body observes nothing: only pass/``...``."""
+        return all(
+            isinstance(stmt, ast.Pass)
+            or (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis
+            )
+            for stmt in body
+        )
 
 
 #: Stable id list, exported for --list-checks and the test battery.

@@ -59,6 +59,7 @@ from repro.core.validation import (
     Validator,
 )
 from repro.data.dataset import Dataset
+from repro.fl.faults import QUORUM_POLICIES, QuorumStallError
 from repro.fl.model_store import ModelStore, ValidatorProfileTable
 from repro.fl.parallel import PendingVotes, RoundExecutor
 from repro.fl.rng import RngStreams
@@ -95,6 +96,17 @@ class BaffleConfig:
         Footnote 1 of the paper: the server "accepts the model by default
         unless q many clients suggest rejection", so silent validators
         simply contribute no vote.
+    quorum_policy:
+        What to do when a *requested* vote goes missing (a dropped-vote
+        fault, a validator that died after sampling): ``"strict"`` stalls
+        the round (raises :class:`~repro.fl.faults.QuorumStallError`),
+        ``"degrade"`` decides over the reduced quorum once at least
+        ``quorum_min`` votes arrived.  Server-side dropout drawn by
+        ``dropout_rate`` is *not* a missing vote — those validators were
+        never asked (paper footnote 1).
+    quorum_min:
+        Minimum arrived client votes the ``degrade`` policy accepts as a
+        decidable quorum.
     """
 
     lookback: int = 20
@@ -103,6 +115,8 @@ class BaffleConfig:
     mode: str = "both"
     start_round: int = 0
     dropout_rate: float = 0.0
+    quorum_policy: str = "strict"
+    quorum_min: int = 1
 
     def __post_init__(self) -> None:
         if self.lookback < 4:
@@ -112,6 +126,20 @@ class BaffleConfig:
         if not 0.0 <= self.dropout_rate < 1.0:
             raise ValueError(
                 f"dropout_rate must be in [0, 1), got {self.dropout_rate}"
+            )
+        if self.quorum_policy not in QUORUM_POLICIES:
+            raise ValueError(
+                f"quorum_policy must be one of {QUORUM_POLICIES}, "
+                f"got {self.quorum_policy!r}"
+            )
+        if self.quorum_min < 1:
+            raise ValueError(
+                f"quorum_min must be >= 1, got {self.quorum_min}"
+            )
+        if self.mode != "server" and self.quorum_min > self.num_validators:
+            raise ValueError(
+                f"quorum_min must be <= num_validators "
+                f"({self.num_validators}), got {self.quorum_min}"
             )
         if self.mode != "server":
             if self.num_validators < 1:
@@ -293,6 +321,7 @@ class BaffleDefense:
         )
 
         client_votes: dict[int, int] = {}
+        active: list[int] = []
         if self.config.mode in ("clients", "both"):
             assert self.validator_pool is not None
             active = self._sample_active(rng)
@@ -324,7 +353,10 @@ class BaffleDefense:
                 "validate.server_vote", round_idx=round_idx
             ):
                 server_vote = self.server_validator.vote(context, server_rng)
-        return self._decide(client_votes, server_vote)
+        return self._decide(
+            client_votes, server_vote, expected=len(active),
+            round_idx=round_idx,
+        )
 
     def _sample_active(self, rng: np.random.Generator) -> list[int]:
         """Draw this round's validating clients (sampling + dropout).
@@ -344,9 +376,39 @@ class BaffleDefense:
         return active
 
     def _decide(
-        self, client_votes: dict[int, int], server_vote: int | None
+        self,
+        client_votes: dict[int, int],
+        server_vote: int | None,
+        expected: int | None = None,
+        round_idx: int | None = None,
     ) -> DefenseDecision:
-        """Apply the quorum rule to a full set of collected votes."""
+        """Apply the quorum rule to the collected votes.
+
+        ``expected`` is how many client votes were *requested* this round
+        (the post-dropout active sample).  Fewer arriving — a dropped-vote
+        fault, a validator that died after sampling — triggers the
+        configured quorum policy: ``strict`` stalls the round with
+        :class:`~repro.fl.faults.QuorumStallError`; ``degrade`` shrinks
+        the quorum and decides over the votes that did arrive, provided
+        at least ``quorum_min`` of them did.
+        """
+        degraded = False
+        if expected is not None and len(client_votes) < expected:
+            arrived = len(client_votes)
+            if self.config.quorum_policy == "strict":
+                raise QuorumStallError(
+                    f"round {round_idx}: {expected - arrived} of {expected} "
+                    "validator votes missing and quorum_policy='strict'; "
+                    "use quorum_policy='degrade' to decide over the "
+                    "reduced quorum"
+                )
+            if arrived < self.config.quorum_min:
+                raise QuorumStallError(
+                    f"round {round_idx}: only {arrived} of {expected} votes "
+                    f"arrived, below quorum_min={self.config.quorum_min}"
+                )
+            degraded = True
+            self._note_degradation(round_idx, expected, arrived)
         reject_votes = sum(client_votes.values()) + (server_vote or 0)
         if self.config.mode == "server":
             accepted = server_vote == 0
@@ -358,7 +420,23 @@ class BaffleDefense:
             num_validators=len(client_votes) + (0 if server_vote is None else 1),
             client_votes=client_votes,
             server_vote=server_vote,
+            quorum_degraded=degraded,
         )
+
+    def _note_degradation(
+        self, round_idx: int | None, expected: int, arrived: int
+    ) -> None:
+        """Record one reduced-quorum decision (ledger + traced mirror)."""
+        if self._executor is not None:
+            self._executor.resilience.inc("quorum_degradations")
+        if self._tracer.enabled:
+            self._tracer.metrics.counter(
+                "resilience.quorum_degradations"
+            ).inc()
+            self._tracer.event(
+                "resilience.quorum_degradations", cat="resilience",
+                round_idx=round_idx, expected=expected, arrived=arrived,
+            )
 
     def record_outcome(self, candidate: Network, accepted: bool) -> None:
         """Accepted models extend the trusted history; rejected ones do not.
@@ -490,7 +568,10 @@ class BaffleDefense:
                 server_vote = self.server_validator.vote(
                     pending.context, self._streams.server_rng(pending.round_idx)
                 )
-        decision = self._decide(client_votes, server_vote)
+        decision = self._decide(
+            client_votes, server_vote, expected=len(pending.active_ids),
+            round_idx=pending.round_idx,
+        )
         if pending.override_accept is not None:
             decision = replace(decision, accepted=pending.override_accept)
         return decision

@@ -47,6 +47,7 @@ from repro.experiments.runner import (
     sweep_quorum,
 )
 from repro.fl.compression import codec_names
+from repro.fl.faults import QUORUM_POLICIES
 from repro.fl.model_store import STORE_KINDS
 from repro.fl.parallel import (
     DEFAULT_PIPELINE_DEPTH,
@@ -90,6 +91,8 @@ def cmd_detect(args: argparse.Namespace) -> None:
         trace=args.trace,
         dtype_policy=args.dtype,
         virtual_clients=args.virtual_clients,
+        faults=args.faults, task_deadline_s=args.task_deadline,
+        quorum_policy=args.quorum_policy, quorum_min=args.quorum_min,
     )
     stats = run_detection_experiment(
         config, _seeds(args), seed_workers=args.seed_workers
@@ -110,6 +113,8 @@ def cmd_table1(args: argparse.Namespace) -> None:
         sanitize=args.sanitize,
         trace=args.trace,
         dtype_policy=args.dtype, virtual_clients=args.virtual_clients,
+        faults=args.faults, task_deadline_s=args.task_deadline,
+        quorum_policy=args.quorum_policy, quorum_min=args.quorum_min,
     )
     results = sweep_lookback(
         base, (10, 20, 30), splits, seeds=_seeds(args),
@@ -131,6 +136,8 @@ def cmd_fig3(args: argparse.Namespace) -> None:
         sanitize=args.sanitize,
         trace=args.trace,
         dtype_policy=args.dtype, virtual_clients=args.virtual_clients,
+        faults=args.faults, task_deadline_s=args.task_deadline,
+        quorum_policy=args.quorum_policy, quorum_min=args.quorum_min,
     )
     results = sweep_quorum(
         base, quorums, splits, seeds=_seeds(args), seed_workers=args.seed_workers
@@ -151,6 +158,8 @@ def cmd_table2(args: argparse.Namespace) -> None:
             sanitize=args.sanitize,
             trace=args.trace,
             dtype_policy=args.dtype, virtual_clients=args.virtual_clients,
+            faults=args.faults, task_deadline_s=args.task_deadline,
+            quorum_policy=args.quorum_policy, quorum_min=args.quorum_min,
         )
         results[split] = run_adaptive_experiment(
             config, _seeds(args), seed_workers=args.seed_workers
@@ -170,6 +179,8 @@ def cmd_fig2(args: argparse.Namespace) -> None:
         sanitize=args.sanitize,
         trace=args.trace,
         dtype_policy=args.dtype, virtual_clients=args.virtual_clients,
+        faults=args.faults, task_deadline_s=args.task_deadline,
+        quorum_policy=args.quorum_policy, quorum_min=args.quorum_min,
     )
     # fig2 is a single paired clean/poisoned trace, not a seed sweep: a
     # fixed seed matches fig4's convention (--seeds used to leak in as the
@@ -200,6 +211,8 @@ def cmd_fig4(args: argparse.Namespace) -> None:
         sanitize=args.sanitize,
         trace=args.trace,
         dtype_policy=args.dtype, virtual_clients=args.virtual_clients,
+        faults=args.faults, task_deadline_s=args.task_deadline,
+        quorum_policy=args.quorum_policy, quorum_min=args.quorum_min,
     )
     undefended = run_early_scenario(config, seed=0, defense_start=None)
     defended = run_early_scenario(config, seed=0, defense_start=106)
@@ -321,6 +334,30 @@ def build_parser() -> argparse.ArgumentParser:
                             "Perfetto-loadable Chrome trace per run into "
                             "DIR; pure instrumentation, results are "
                             "identical (equivalent to REPRO_TRACE=DIR)")
+        p.add_argument("--faults", metavar="SPEC",
+                       default=os.environ.get("REPRO_FAULTS") or None,
+                       help="deterministic fault plan (repro.fl.faults): "
+                            "','/';'-separated kind@round.phase[.index]"
+                            "[=param] entries, e.g. 'crash@3.train;"
+                            "delay@4.validate.1=0.3;drop@5.vote.7'; "
+                            "recovery replays to bit-identical results "
+                            "(equivalent to REPRO_FAULTS=SPEC)")
+        p.add_argument("--task-deadline", type=float, default=None,
+                       dest="task_deadline",
+                       help="per-task straggler deadline in seconds: a "
+                            "dispatched task exceeding it is reassigned "
+                            "and recomputed from its keyed RNG streams "
+                            "(default: no deadline)")
+        p.add_argument("--quorum-policy", choices=QUORUM_POLICIES,
+                       default="strict", dest="quorum_policy",
+                       help="what a round does when validator votes go "
+                            "missing: strict stalls it, degrade proceeds "
+                            "over the shrunken quorum once --quorum-min "
+                            "votes arrived")
+        p.add_argument("--quorum-min", type=int, default=1,
+                       dest="quorum_min",
+                       help="minimum arrived votes a degraded quorum "
+                            "needs before deciding (>= 1)")
         for flag, kwargs in extra_args.items():
             p.add_argument(flag, **kwargs)
         p.set_defaults(fn=fn)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.fl.compression import codec_names, make_codec
+from repro.fl.faults import QUORUM_POLICIES, FaultPlan
 from repro.fl.model_store import STORE_KINDS
 from repro.fl.parallel import (
     DEFAULT_PIPELINE_DEPTH,
@@ -149,6 +150,27 @@ class ExperimentConfig:
     # the eager path, so it stays out of ``environment_key`` like the
     # engine knobs.
     virtual_clients: bool = False
+    # Fault injection (repro.fl.faults): a deterministic fault-spec string
+    # ("crash@3.train;delay@4.validate.1=0.3;drop@5.vote.7") consumed by
+    # the executors' resilience layer.  Recovery is retry-by-replay over
+    # per-(round, entity) RNG streams, so an injected crash or straggler
+    # commits bit-identical models to the fault-free run — a pure
+    # robustness-testing knob, deliberately excluded from
+    # ``environment_key``.  Equivalent to ``REPRO_FAULTS`` (CLI:
+    # ``--faults``).
+    faults: str | None = None
+    # Per-task deadline (seconds) for the resilience layer's straggler
+    # detection: a dispatched task exceeding it is reassigned (recomputed
+    # from its keyed RNG streams).  None disables deadlines.
+    task_deadline_s: float | None = None
+    # Quorum policy for rounds whose validator votes go missing (dropped
+    # by a fault, or lost to an exhausted recovery path): "strict" stalls
+    # the round (QuorumStallError), "degrade" proceeds over the shrunken
+    # quorum once ``quorum_min`` votes arrived.  Unlike the knobs above
+    # this changes which models get committed when votes are lost, so it
+    # participates in ``environment_key``.
+    quorum_policy: str = "strict"
+    quorum_min: int = 1
 
     def __post_init__(self) -> None:
         if self.dataset not in _DATASETS:
@@ -212,6 +234,21 @@ class ExperimentConfig:
                 "longer bit-identical across engines); set allow_lossy=True "
                 "(CLI: --allow-lossy) to admit it for scale runs"
             )
+        # Fault-spec grammar errors abort before any environment work.
+        FaultPlan.parse(self.faults)
+        if self.task_deadline_s is not None and self.task_deadline_s <= 0:
+            raise ValueError(
+                f"task_deadline_s must be > 0, got {self.task_deadline_s}"
+            )
+        if self.quorum_policy not in QUORUM_POLICIES:
+            raise ValueError(
+                f"quorum_policy must be one of {QUORUM_POLICIES}, got "
+                f"{self.quorum_policy!r}"
+            )
+        if self.quorum_min < 1:
+            raise ValueError(
+                f"quorum_min must be >= 1, got {self.quorum_min}"
+            )
 
     def environment_key(self, seed: int) -> tuple:
         """Cache key for the (expensive) pretrained environment.
@@ -222,11 +259,17 @@ class ExperimentConfig:
         the pretraining.  The codec *is* part of the key: a non-identity
         codec canonicalizes committed models (or, for lossy transport,
         perturbs what workers train on), so environments pretrained under
-        different codecs are not interchangeable.
+        different codecs are not interchangeable.  So is the quorum
+        policy: when votes go missing, ``strict`` and ``degrade`` runs
+        commit different models, and hiding that in a shared cache entry
+        would silently mix trajectories.  The fault plan itself stays out
+        — recovery replays to bit-identical models by contract.
         """
         return (
             self.codec,
             self.dtype_policy,
+            self.quorum_policy,
+            self.quorum_min,
             self.dataset,
             self.client_share,
             self.num_clients,

@@ -122,7 +122,10 @@ def format_series(
     return "\n".join(lines)
 
 
-def format_execution_report(records: Sequence["object"]) -> str:
+def format_execution_report(
+    records: Sequence["object"],
+    resilience: Mapping[str, int] | None = None,
+) -> str:
     """Render the round loop's execution telemetry (pipelined or sync).
 
     Summarizes the :class:`~repro.fl.simulation.RoundRecord` fields the
@@ -130,6 +133,12 @@ def format_execution_report(records: Sequence["object"]) -> str:
     that ran between a candidate's aggregation and its quorum resolution),
     replay counts from rollbacks, and transport volume.  A synchronous run
     reports all-zero lag and rollbacks.
+
+    ``resilience`` is the executor's recovery ledger
+    (:meth:`repro.fl.faults.ResilienceStats.as_dict`); when any counter is
+    nonzero — or the records themselves carry retries/shrunken quorums —
+    the report grows a "resilience" section so recovered faults never
+    vanish from a run summary.
     """
     if not records:
         return "execution report: no rounds"
@@ -192,6 +201,21 @@ def format_execution_report(records: Sequence["object"]) -> str:
                 f"{r.accepted_at_round:>10} {r.validation_lag:>4} "
                 f"{r.rollback_count:>8}"
             )
+    # Resilience (repro.fl.faults): what the recovery machinery did.
+    # Shown whenever anything fired — a crash that was absorbed by a
+    # retry still belongs in the run summary.
+    record_retries = sum(getattr(r, "retries", 0) for r in records)
+    stats = {k: v for k, v in (resilience or {}).items() if v}
+    if record_retries or stats:
+        lines.append("resilience:")
+        if record_retries:
+            retried = sum(1 for r in records if getattr(r, "retries", 0))
+            lines.append(
+                f"  recovery incidents: {record_retries} "
+                f"(rounds touched: {retried})"
+            )
+        for name, value in stats.items():
+            lines.append(f"  {name.replace('_', ' ')}: {value}")
     return "\n".join(lines)
 
 

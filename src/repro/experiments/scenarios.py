@@ -372,6 +372,8 @@ def _engine(config: ExperimentConfig):
             require_lossless=not config.allow_lossy,
             cohort_size=config.cohort_size,
             engine=config.engine,
+            faults=config.faults,
+            task_deadline_s=config.task_deadline_s,
         ) as engine:
             yield engine
 
@@ -417,6 +419,8 @@ def _build_defense(config: ExperimentConfig, env: Environment) -> BaffleDefense:
         mode=config.mode,
         start_round=config.defense_start,
         dropout_rate=config.validator_dropout,
+        quorum_policy=config.quorum_policy,
+        quorum_min=config.quorum_min,
     )
     return BaffleDefense(baffle_config, validator_pool, server_validator)
 

@@ -43,12 +43,21 @@ from repro.fl.compression import (
     register_codec,
 )
 from repro.fl.config import FLConfig
+from repro.fl.faults import (
+    QUORUM_POLICIES,
+    FaultPlan,
+    FaultSpec,
+    InjectedWorkerCrash,
+    QuorumStallError,
+    ResilienceStats,
+)
 from repro.fl.model_store import (
     InProcessModelStore,
     ModelStore,
     SharedMemoryModelStore,
     ValidatorProfileTable,
     make_model_store,
+    reap_orphan_segments,
 )
 from repro.fl.parallel import (
     DEFAULT_PIPELINE_DEPTH,
@@ -93,16 +102,22 @@ __all__ = [
     "QuantizedCodec",
     "TopKDeltaCodec",
     "WeightCodec",
+    "FaultPlan",
+    "FaultSpec",
     "FedAvgAggregator",
     "FederatedSimulation",
     "HonestClient",
     "InProcessModelStore",
+    "InjectedWorkerCrash",
     "LocalTrainingConfig",
     "MaskedUpdate",
     "ModelStore",
     "PendingVotes",
+    "QUORUM_POLICIES",
+    "QuorumStallError",
     "PipelinedRoundExecutor",
     "ProcessPoolRoundExecutor",
+    "ResilienceStats",
     "RngStreams",
     "RoundEngine",
     "RoundExecutor",
@@ -127,4 +142,5 @@ __all__ = [
     "make_executor",
     "make_model_store",
     "make_pairwise_masks",
+    "reap_orphan_segments",
 ]

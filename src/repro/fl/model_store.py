@@ -365,7 +365,7 @@ class ModelStore:
     def __del__(self) -> None:  # pragma: no cover - interpreter-exit safety net
         try:
             self.close()
-        except Exception:
+        except Exception:  # repro: allow[swallowed-exception] -- interpreter teardown: close() may race module unloading and must stay silent
             pass
 
     # ------------------------------------------------------------------
@@ -574,6 +574,62 @@ class ShmWorkerView:
             pass
 
 
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - alive but not ours
+        return True
+    return True
+
+
+def reap_orphan_segments(keep_prefixes: Iterable[str] = ()) -> list[str]:
+    """Unlink ``/dev/shm`` segments whose owning process is dead.
+
+    Every segment this package creates encodes its owner's pid in the
+    store's name prefix (``bfl-<pid hex>-<token>-<version>``), and only
+    the owning process ever creates or unlinks — workers attach-only.  A
+    *worker* crash therefore cannot leak, but a killed owner (a previous
+    run's parent, a crashed driver) strands its whole arena.  This reaper
+    is the recovery path the executors run after a pool death and on
+    close: any ``bfl-`` segment whose embedded owner pid no longer exists
+    is unlinked, so crashes cannot pin ``/dev/shm`` refcounts forever.
+
+    ``keep_prefixes`` protects the calling run's own live arenas (their
+    owner is alive anyway; the guard makes the call safe even mid-crash).
+    Returns the reaped segment names.
+    """
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # pragma: no cover - non-Linux hosts
+        return []
+    marker = f"{SHM_NAME_PREFIX}-"
+    reaped: list[str] = []
+    keep = tuple(prefix for prefix in keep_prefixes if prefix)
+    try:
+        names = sorted(os.listdir(shm_dir))
+    except OSError:  # pragma: no cover - /dev/shm unreadable
+        return []
+    for name in names:
+        if not name.startswith(marker):
+            continue
+        if any(name.startswith(prefix) for prefix in keep):
+            continue
+        try:
+            owner_pid = int(name.split("-")[1], 16)
+        except (IndexError, ValueError):
+            continue  # not our naming scheme; leave it alone
+        if owner_pid == os.getpid() or _pid_alive(owner_pid):
+            continue
+        try:
+            os.unlink(os.path.join(shm_dir, name))
+        except OSError:  # pragma: no cover - raced another reaper
+            continue
+        reaped.append(name)
+    return reaped
+
+
 def make_model_store(
     workers: int,
     kind: str = "auto",
@@ -700,6 +756,7 @@ __all__ = [
     "ShmWorkerView",
     "ValidatorProfileTable",
     "make_model_store",
+    "reap_orphan_segments",
     "SHM_NAME_PREFIX",
     "STORE_KINDS",
 ]

@@ -103,7 +103,14 @@ import os
 import threading
 import time
 from collections.abc import Mapping, Sequence
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures import wait as _wait_futures
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -116,11 +123,19 @@ from repro.fl.compression import (
     WeightCodec,
     decode_segment,
 )
+from repro.fl.faults import (
+    DEFAULT_POOL_REBUILDS,
+    DEFAULT_TASK_RETRIES,
+    FaultPlan,
+    InjectedWorkerCrash,
+    ResilienceStats,
+)
 from repro.fl.model_store import (
     ModelStore,
     ShmWorkerView,
     ValidatorProfileTable,
     make_model_store,
+    reap_orphan_segments,
 )
 from repro.fl.registry import ClientRegistry
 from repro.fl.rng import RngStreams
@@ -168,12 +183,17 @@ class PendingVotes:
     segment.
     """
 
-    def __init__(self, gather, futures=(), cleanup=None, on_abandon=None) -> None:
+    def __init__(
+        self, gather, futures=(), cleanup=None, on_abandon=None, on_error=None
+    ) -> None:
         self._gather = gather
         self._futures = list(futures)
         self._cleanup = cleanup
         self._on_abandon = on_abandon
+        self._on_error = on_error
         self._votes: dict[int, int] | None = None
+        self._errors_drained = False
+        self._deferred = False
         self.abandoned = False
 
     def done(self) -> bool:
@@ -197,10 +217,8 @@ class PendingVotes:
             self.abandoned = True
             return
         self.abandoned = True
-        if self.done():
+        if self.done() or self._on_abandon is not None:
             self._release()
-        elif self._on_abandon is not None:
-            self._on_abandon(self)
         # else: no deferral channel — wait so references cannot outlive us.
         else:  # pragma: no cover - defensive; executors always pass one
             self.wait()
@@ -214,11 +232,40 @@ class PendingVotes:
 
     def wait(self) -> None:
         """Block until every task finished, then release references."""
-        for future in self._futures:
-            future.exception()  # waits; an abandoned task's error is moot
+        if self._futures:
+            _wait_futures(self._futures)
         self._release()
 
+    def _drain_errors(self) -> None:
+        """Surface a written-off handle's task errors exactly once.
+
+        A collected handle's errors already propagated through
+        ``gather()``; only abandoned/deferred handles historically
+        discarded theirs.  Those now flow through ``on_error`` so the
+        executor can count (``abandoned_task_errors``) and trace them.
+        """
+        if self._errors_drained or not (self.abandoned or self._deferred):
+            return
+        self._errors_drained = True
+        if self._on_error is None:
+            return
+        for future in self._futures:
+            if not future.done() or future.cancelled():
+                continue
+            error = future.exception()
+            if error is not None:
+                self._on_error(error)
+
     def _release(self) -> None:
+        if not self.done():
+            # A task is still running (reassigned straggler): its store
+            # references must outlive it.  Hand the handle to the
+            # executor's deferred-release list instead of releasing now.
+            if self._on_abandon is not None and not self._deferred:
+                self._deferred = True
+                self._on_abandon(self)
+            return
+        self._drain_errors()
         cleanup, self._cleanup = self._cleanup, None
         if cleanup is not None:
             cleanup()
@@ -238,7 +285,99 @@ class RoundExecutor:
     fan-out (process pools ship it to workers exactly once); ``run_clients``
     and ``run_validators`` execute one round's tasks and return results in
     deterministic order, regardless of completion order.
+
+    Every executor also carries a resilience layer (``bind_faults``):
+    an optional :class:`~repro.fl.faults.FaultPlan` to replay failures
+    from, a per-task straggler deadline, retry/rebuild budgets, and the
+    :class:`~repro.fl.faults.ResilienceStats` ledger recording what the
+    recovery machinery did.
     """
+
+    def __init__(self) -> None:
+        #: Injected-failure schedule (empty = fault-free).
+        self.fault_plan: FaultPlan = FaultPlan.empty()
+        #: Per-task deadline in seconds (``None`` = wait forever); a task
+        #: exceeding it is written off as a straggler and recomputed.
+        self.task_deadline_s: float | None = None
+        self.max_task_retries: int = DEFAULT_TASK_RETRIES
+        self.max_pool_rebuilds: int = DEFAULT_POOL_REBUILDS
+        #: Recovery-incident ledger; shared down the demotion ladder so
+        #: one run keeps one ledger.
+        self.resilience = ResilienceStats()
+        # Vote drops already accounted for, as (round, validator) pairs —
+        # a pipelined replay re-submits the round and must not re-count.
+        self._counted_drops: set[tuple[int, int]] = set()
+
+    def bind_faults(
+        self,
+        plan: "FaultPlan | str | None" = None,
+        task_deadline_s: float | None = None,
+        max_task_retries: int | None = None,
+        max_pool_rebuilds: int | None = None,
+    ) -> None:
+        """Attach a fault plan and/or tune the recovery budgets."""
+        if plan is not None:
+            self.fault_plan = FaultPlan.parse(plan)
+        if task_deadline_s is not None:
+            if task_deadline_s <= 0:
+                raise ValueError(
+                    f"task_deadline_s must be > 0, got {task_deadline_s}"
+                )
+            self.task_deadline_s = float(task_deadline_s)
+        if max_task_retries is not None:
+            self.max_task_retries = int(max_task_retries)
+        if max_pool_rebuilds is not None:
+            self.max_pool_rebuilds = int(max_pool_rebuilds)
+
+    def _note(
+        self, name: str, round_idx: int | None = None, n: int = 1, **attrs
+    ) -> None:
+        """Record ``n`` recovery incidents (ledger + traced mirror)."""
+        self.resilience.inc(name, n)
+        tracer = getattr(self, "_tracer", NULL_TRACER)
+        if tracer.enabled:
+            tracer.metrics.counter(f"resilience.{name}").inc(n)
+            tracer.event(
+                f"resilience.{name}", cat="resilience",
+                round_idx=round_idx, **attrs,
+            )
+
+    def _fault_directive(
+        self, round_idx: int, phase: str, index: int, hard: bool = False
+    ) -> tuple[str, float] | None:
+        """Consume this dispatch slot's planned fault, if any.
+
+        Returns the directive :func:`_apply_fault` executes at task
+        start.  ``hard=True`` (process-pool dispatch) maps a crash to a
+        worker ``os._exit`` so the parent sees a genuine
+        ``BrokenProcessPool``; otherwise the task raises
+        :class:`InjectedWorkerCrash` in-process.
+        """
+        if not self.fault_plan:
+            return None
+        if self.fault_plan.take("crash", round_idx, phase, index) is not None:
+            return ("exit" if hard else "raise", 0.0)
+        delay = self.fault_plan.take("delay", round_idx, phase, index)
+        if delay is not None:
+            return ("delay", delay.param)
+        return None
+
+    def _dropped_votes(
+        self, round_idx: int, validator_ids: Sequence[int]
+    ) -> frozenset[int]:
+        """Requested validators whose votes this round loses."""
+        if not self.fault_plan:
+            return frozenset()
+        dropped = self.fault_plan.dropped(round_idx) & set(validator_ids)
+        for vid in sorted(dropped):
+            if (round_idx, vid) not in self._counted_drops:
+                self._counted_drops.add((round_idx, vid))
+                self._note("dropped_votes", round_idx=round_idx, validator=vid)
+        return dropped
+
+    def _count_abandoned_error(self, error: BaseException) -> None:
+        """A written-off task died after abandonment: count + log it."""
+        self._note("abandoned_task_errors", error=repr(error)[:200])
 
     def bind(
         self,
@@ -343,11 +482,31 @@ class SequentialExecutor(RoundExecutor):
     """
 
     def __init__(self, cohort_size: int | None = None) -> None:
+        super().__init__()
         if cohort_size is not None and cohort_size < 0:
             raise ValueError(f"cohort_size must be >= 0, got {cohort_size}")
         self.cohort_size = cohort_size
         self._store: ModelStore | None = None
         self._tracer: Tracer | NullTracer = NULL_TRACER
+
+    def _inject_inline(self, round_idx: int, phase: str) -> None:
+        """Apply this phase's planned faults in the calling thread.
+
+        The injection point is *before* any task work and before any rng
+        stream is touched, so a planned crash here consumes the entry and
+        counts the retry directly — re-running the not-yet-started phase
+        body is literally what catching :class:`InjectedWorkerCrash` and
+        retrying would do, with zero recomputed state either way.
+        """
+        if not self.fault_plan:
+            return
+        if self.fault_plan.take("crash", round_idx, phase, 0) is not None:
+            self._note("retries", round_idx=round_idx, phase=phase)
+        delay = self.fault_plan.take("delay", round_idx, phase, 0)
+        if delay is not None:
+            # No deadline machinery in-process: the straggler just runs
+            # late, exactly like a slow validator on the caller's thread.
+            time.sleep(delay.param)
 
     def bind(
         self,
@@ -376,6 +535,7 @@ class SequentialExecutor(RoundExecutor):
         round_idx: int,
         streams: RngStreams,
     ) -> list[np.ndarray]:
+        self._inject_inline(round_idx, "train")
         chunks = plan_cohorts(
             clients,
             contributor_ids,
@@ -415,8 +575,12 @@ class SequentialExecutor(RoundExecutor):
         round_idx: int,
         streams: RngStreams,
     ) -> dict[int, int]:
+        self._inject_inline(round_idx, "validate")
+        dropped = self._dropped_votes(round_idx, validator_ids)
         votes: dict[int, int] = {}
         for vid in validator_ids:
+            if vid in dropped:
+                continue
             with self._tracer.span(
                 "validate.vote", cat="worker", round_idx=round_idx,
                 validator=vid,
@@ -466,6 +630,64 @@ def _init_worker(
     _W_TRACING = bool(trace_enabled)
     _W_SPANS.clear()
     _W_STORE_STATS[0] = _W_STORE_STATS[1] = 0
+
+
+#: ``id()`` of the executor whose world the *parent-process* copy of the
+#: worker globals currently mirrors (see :func:`_bind_local_worker`).
+#: Pool workers never consult this; their initializer overwrites the
+#: globals regardless of what a fork inherited.
+_W_LOCAL_OWNER: int | None = None
+
+
+def _bind_local_worker(executor: "ProcessPoolRoundExecutor") -> None:
+    """Point this process's worker globals at ``executor``'s world.
+
+    Local replay of a worker slice (straggler reassignment, pool-death
+    fallback) then runs the *same module-level task functions* a pool
+    worker runs, initialized from the same inputs — so a recomputed
+    slice is bit-identical to the one the lost worker would have
+    returned.
+    """
+    global _W_LOCAL_OWNER
+    if _W_LOCAL_OWNER == id(executor):
+        return
+    handle = executor._store.worker_handle() if executor._use_store else None
+    registry = (
+        executor._registry.worker_view()
+        if executor._registry is not None
+        else None
+    )
+    _init_worker(
+        executor._clients,
+        executor._validators,
+        executor._template,
+        handle,
+        registry,
+        executor._tracer.enabled,
+    )
+    _W_LOCAL_OWNER = id(executor)
+
+
+def _apply_fault(directive: tuple[str, float] | None) -> None:
+    """Execute one injected-fault directive at task start.
+
+    ``("delay", s)`` sleeps — a straggler; ``("raise", _)`` dies with
+    :class:`InjectedWorkerCrash` (the thread/sequential recovery path);
+    ``("exit", _)`` hard-kills the worker process so the pool's parent
+    observes a genuine ``BrokenProcessPool``, exactly like a segfault or
+    an OOM kill.  Directives fire *before* any task work and before any
+    rng stream argument is touched, which is what makes retry-by-replay
+    with the same keyed streams bit-identical.
+    """
+    if directive is None:
+        return
+    kind, param = directive
+    if kind == "delay":
+        time.sleep(param)
+    elif kind == "raise":
+        raise InjectedWorkerCrash("planned task crash (fault plan)")
+    elif kind == "exit":  # pragma: no cover - dies before coverage flushes
+        os._exit(13)
 
 
 class _WorkerSpan:
@@ -582,6 +804,7 @@ def _client_slice_task(
     cohort_seed_seqs: Sequence[Sequence[np.random.SeedSequence]],
     single_seed_seqs: Sequence[np.random.SeedSequence],
     live_floor: int | None,
+    fault: tuple[str, float] | None = None,
 ) -> tuple[list[tuple[int, np.ndarray]], tuple | None]:
     """Train one worker's whole slice of a round's client fan-out.
 
@@ -590,8 +813,10 @@ def _client_slice_task(
     model is materialized once for everything and dispatch overhead is
     O(workers), not O(clients).  Returns ``(results, trace_payload)``;
     the payload is ``None`` unless the pool was initialized with tracing
-    on (:func:`_drain_worker_trace`).
+    on (:func:`_drain_worker_trace`).  ``fault`` is the slot's injected
+    directive, applied before any work (:func:`_apply_fault`).
     """
+    _apply_fault(fault)
     _evict_retired(live_floor)
     with _wspan("materialize", round_idx):
         model = _materialize(model_ref)
@@ -726,6 +951,7 @@ def _validator_slice_task(
     seed_seqs: Sequence[np.random.SeedSequence],
     profile_hints: Mapping[int, Mapping[int, object]],
     live_floor: int | None,
+    fault: tuple[str, float] | None = None,
 ) -> tuple[list[tuple[int, int, dict[int, object], object | None]], tuple | None]:
     """Vote one worker's whole slice of a round's validators in one task.
 
@@ -734,6 +960,7 @@ def _validator_slice_task(
     and dispatch overhead is O(workers), not O(validators).  Returns
     ``(results, trace_payload)`` like :func:`_client_slice_task`.
     """
+    _apply_fault(fault)
     _evict_retired(live_floor)
     with _wspan("materialize", round_idx):
         history_versions = _resolve_history(history_refs)
@@ -788,6 +1015,27 @@ def _traced_call(tracer, name, round_idx, attrs, fn, *args):
         return fn(*args)
 
 
+def _resilient_call(executor, fault, tracer, name, round_idx, attrs, fn, *args):
+    """Thread-engine task body: fault injection, then retry-by-replay.
+
+    The injected directive applies only to the first attempt (one-shot,
+    like the plan entry that produced it) and fires *before* ``fn`` runs
+    or any of its rng arguments is touched, so a retry recomputes from
+    pristine keyed streams — bit-identical to the fault-free task.
+    """
+    attempt = 0
+    while True:
+        try:
+            _apply_fault(fault)
+            return _traced_call(tracer, name, round_idx, attrs, fn, *args)
+        except InjectedWorkerCrash:
+            fault = None
+            attempt += 1
+            executor._note("retries", round_idx=round_idx, task=name)
+            if attempt > executor.max_task_retries:  # pragma: no cover
+                raise
+
+
 def _chunk_evenly(items: Sequence, parts: int) -> list[list]:
     """Split ``items`` into at most ``parts`` contiguous, balanced runs."""
     items = list(items)
@@ -819,6 +1067,7 @@ class ProcessPoolRoundExecutor(RoundExecutor):
     """
 
     def __init__(self, workers: int, cohort_size: int | None = None) -> None:
+        super().__init__()
         if workers < 2:
             raise ValueError(
                 f"ProcessPoolRoundExecutor needs >= 2 workers, got {workers}; "
@@ -828,6 +1077,12 @@ class ProcessPoolRoundExecutor(RoundExecutor):
             raise ValueError(f"cohort_size must be >= 0, got {cohort_size}")
         self.workers = workers
         self.cohort_size = cohort_size
+        #: Monotonic pool generation; bumped on every rebuild so several
+        #: futures of one breakage trigger exactly one teardown.
+        self._pool_epoch = 0
+        #: Set once the rebuild budget is exhausted: the thread engine
+        #: this executor degraded to, which owns every later round.
+        self._demoted: "ThreadPoolRoundExecutor | None" = None
         self._clients: dict[int, Client] = {}
         self._registry: ClientRegistry | None = None
         self._validators: dict[int, Validator] = {}
@@ -995,16 +1250,145 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         for pending in self._abandoned:  # all tasks done after shutdown
             pending.wait()
         self._abandoned.clear()
+        if self._demoted is not None:
+            self._demoted.close()
         if self._held_global is not None:
             if self._store is not None and self._held_global in self._store:
                 self._store.release(self._held_global)
             self._held_global = None
+        self._reap_shm_orphans()
 
     def _defer_release(self, pending: PendingVotes) -> None:
         self._abandoned.append(pending)
 
     def _reap_abandoned(self) -> None:
         self._abandoned = [p for p in self._abandoned if not p.reap()]
+
+    # ------------------------------------------------------------------
+    # Crash recovery / degradation ladder
+    # ------------------------------------------------------------------
+    def _reap_shm_orphans(self, round_idx: int | None = None) -> None:
+        """Unlink ``/dev/shm`` segments stranded by dead processes.
+
+        Crash hygiene for the shared arena: a worker (or a whole previous
+        run) that died while pinning versions must not leak tmpfs pages
+        forever.  This run's own arenas are protected by prefix.
+        """
+        prefix = getattr(self._store, "name_prefix", None)
+        reaped = reap_orphan_segments((prefix,) if prefix else ())
+        if reaped:
+            self._note("orphans_reaped", round_idx=round_idx, n=len(reaped))
+
+    def _recover_pool(self, epoch: int, round_idx: int | None = None) -> bool:
+        """Tear down a dead pool; ``True`` while the budget allows a new one.
+
+        Epoch-tagged for idempotence: every future of one breakage raises
+        ``BrokenExecutor``, but only the first observer (submitted against
+        the still-current epoch) tears down, reaps and counts — late
+        observers just resubmit against the already-rebuilt pool.
+        """
+        if epoch == self._pool_epoch:
+            pool, self._pool = self._pool, None
+            self._pool_epoch += 1
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+            self._note("pool_rebuilds", round_idx=round_idx)
+            # The dead workers' futures all count as done now, so any
+            # deferred references they pinned can drop, and segments
+            # stranded by processes that no longer exist get unlinked.
+            self._reap_abandoned()
+            self._reap_shm_orphans(round_idx)
+        return self.resilience.pool_rebuilds <= self.max_pool_rebuilds
+
+    def _demote_to_thread(
+        self, round_idx: int | None = None
+    ) -> "ThreadPoolRoundExecutor":
+        """Give up on worker processes: hand every later round to threads.
+
+        The parent holds the exact populations it shipped to the pool, so
+        the thread engine is populated directly from them; the fault plan,
+        deadlines and the resilience ledger carry over — one run, one
+        ledger, no matter how far down the ladder it slid.
+        """
+        if self._demoted is None:
+            demoted = ThreadPoolRoundExecutor(
+                self.workers, cohort_size=self.cohort_size
+            )
+            demoted._clients = dict(self._clients)
+            demoted._registry = self._registry
+            demoted._validators = dict(self._validators)
+            demoted._vote_locks = {
+                vid: threading.Lock() for vid in demoted._validators
+            }
+            demoted._store = self._store
+            demoted._tracer = self._tracer
+            demoted.fault_plan = self.fault_plan
+            demoted.task_deadline_s = self.task_deadline_s
+            demoted.max_task_retries = self.max_task_retries
+            demoted.resilience = self.resilience
+            demoted._counted_drops = self._counted_drops
+            self._demoted = demoted
+            self._note("engine_demotions", round_idx=round_idx, to="thread")
+        return self._demoted
+
+    def _result_with_deadline(self, future: Future):
+        """``future.result()`` under the straggler deadline (if any)."""
+        if self.task_deadline_s is None:
+            return future.result()
+        return future.result(timeout=self.task_deadline_s)
+
+    def _run_slice_local(self, task_fn, plan: tuple):
+        """Recompute one worker slice in the parent process.
+
+        Runs the *same* module-level task function on the same arguments
+        against locally bound worker globals (:func:`_bind_local_worker`),
+        so the result is bit-identical to what the lost worker would have
+        returned.
+        """
+        return _traced_call(
+            self._tracer, "recover.local_replay", None, {},
+            self._run_slice_local_inner, task_fn, plan,
+        )
+
+    def _run_slice_local_inner(self, task_fn, plan: tuple):
+        _bind_local_worker(self)
+        return task_fn(*plan)
+
+    def _abandon_client_straggler(self, future: Future, model_ref: ModelRef) -> None:
+        """Write off a straggling client slice without dropping its refs.
+
+        The straggler worker may still be attached to the shipped global
+        model version; a deferred handle pins it until the task actually
+        finishes (and surfaces the task's eventual error through the
+        ``abandoned_task_errors`` counter).
+        """
+        version = model_ref[0]
+        held: int | None = None
+        if (
+            version is not None
+            and self._store is not None
+            and not self._store.closed
+            and version in self._store
+        ):
+            self._store.acquire(version)
+            held = version
+
+        def cleanup() -> None:
+            if (
+                held is not None
+                and self._store is not None
+                and not self._store.closed
+                and held in self._store
+            ):
+                self._store.release(held)
+
+        PendingVotes(
+            gather=lambda: {},
+            futures=(future,),
+            cleanup=cleanup,
+            on_abandon=self._defer_release,
+            on_error=self._count_abandoned_error,
+        ).abandon()
 
     # ------------------------------------------------------------------
     # Round fan-out
@@ -1038,8 +1422,13 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         round_idx: int,
         streams: RngStreams,
     ) -> list[np.ndarray]:
+        if self._demoted is not None:
+            return self._demoted.run_clients(
+                clients, contributor_ids, global_model, config, round_idx,
+                streams,
+            )
         self._reap_abandoned()
-        pool = self._ensure_pool()
+        self._ensure_pool()  # fails loudly when no template is bound
         if self._registry is not None:
             remote_ids = [
                 cid
@@ -1064,10 +1453,11 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         cohorted = {cid for chunk in chunks for cid in chunk}
         singles = [cid for cid in remote_ids if cid not in cohorted]
         # Batched dispatch: exactly one task per worker, carrying that
-        # worker's cohort chunks and per-model clients together.
-        futures: list[Future] = [
-            pool.submit(
-                _client_slice_task,
+        # worker's cohort chunks and per-model clients together.  The
+        # fully built argument tuples are kept so crash recovery can
+        # resubmit (or locally replay) a slice bit-identically.
+        slice_plans: list[tuple] = [
+            (
                 slice_cohorts,
                 slice_singles,
                 model_ref,
@@ -1084,8 +1474,8 @@ class ProcessPoolRoundExecutor(RoundExecutor):
                 chunks, singles, self.workers
             )
         ]
-        self._pipe_bytes += pipe_cost * len(futures)
-        self._pipe_raw_bytes += pipe_raw * len(futures)
+        self._pipe_bytes += pipe_cost * len(slice_plans)
+        self._pipe_raw_bytes += pipe_raw * len(slice_plans)
         remote = cohorted.union(singles)
         # Entities that must run in the parent (stateful / unpicklable)
         # overlap with the workers' wall-clock, then everything is gathered
@@ -1097,11 +1487,76 @@ class ProcessPoolRoundExecutor(RoundExecutor):
             for cid in contributor_ids
             if cid not in remote
         }
-        for future in futures:
-            rows, trace_payload = future.result()
+        for rows, trace_payload in self._run_client_slices(
+            slice_plans, round_idx
+        ):
             self._tracer.merge_worker(trace_payload)
             results.update(rows)
         return [results[cid] for cid in contributor_ids]
+
+    def _run_client_slices(
+        self, slice_plans: list[tuple], round_idx: int
+    ) -> list[tuple]:
+        """Execute the round's training slices, surviving crashes/stragglers.
+
+        A straggling slice (deadline exceeded) is written off and replayed
+        locally; a dead pool is rebuilt and the whole phase resubmitted —
+        the plans are pure argument tuples over keyed rng streams, so any
+        re-execution is bit-identical and nothing is merged until the
+        phase as a whole succeeded (no duplicated worker spans).
+        """
+        if not slice_plans:
+            return []
+        attempts = 0
+        while True:
+            epoch = self._pool_epoch
+            try:
+                pool = self._ensure_pool()
+                futures: list[Future] = [
+                    pool.submit(
+                        _client_slice_task,
+                        *plan,
+                        self._fault_directive(round_idx, "train", i, hard=True),
+                    )
+                    for i, plan in enumerate(slice_plans)
+                ]
+                collected: list[tuple] = []
+                for index, future in enumerate(futures):
+                    try:
+                        collected.append(self._result_with_deadline(future))
+                    except FuturesTimeout:
+                        self._note(
+                            "straggler_reassignments", round_idx=round_idx,
+                            phase="train", slot=index,
+                        )
+                        self._abandon_client_straggler(
+                            future, slice_plans[index][2]
+                        )
+                        collected.append(
+                            self._run_slice_local(
+                                _client_slice_task, slice_plans[index]
+                            )
+                        )
+                return collected
+            except BrokenExecutor:
+                attempts += 1
+                self._note(
+                    "retries", round_idx=round_idx, n=len(slice_plans),
+                    phase="train",
+                )
+                if (
+                    self._recover_pool(epoch, round_idx)
+                    and attempts <= self.max_task_retries
+                ):
+                    continue
+                # Budget exhausted: finish this round in the parent, then
+                # demote permanently so later rounds skip the dead pool.
+                collected = [
+                    self._run_slice_local(_client_slice_task, plan)
+                    for plan in slice_plans
+                ]
+                self._demote_to_thread(round_idx)
+                return collected
 
     def submit_validators(
         self,
@@ -1111,8 +1566,11 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         round_idx: int,
         streams: RngStreams,
     ) -> PendingVotes:
+        if self._demoted is not None:
+            return self._demoted.submit_validators(
+                pool, validator_ids, context, round_idx, streams
+            )
         self._reap_abandoned()
-        executor_pool = self._ensure_pool()
         history_versions = [version for version, _ in context.history]
         held_versions: list[int] = []
         if self._use_store:
@@ -1164,12 +1622,18 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         live_floor = self._store.min_live_version() if self._use_store else None
 
         table = self._profile_table
-        remote_vids = [vid for vid in validator_ids if vid in self._validators]
+        dropped = self._dropped_votes(round_idx, validator_ids)
+        remote_vids = [
+            vid
+            for vid in validator_ids
+            if vid in self._validators and vid not in dropped
+        ]
         # Batched dispatch: one contiguous slice of validators per worker,
         # sharing a single candidate/history materialization per task.
-        futures: list[Future] = [
-            executor_pool.submit(
-                _validator_slice_task,
+        # The argument tuples are kept so crash recovery can resubmit (or
+        # locally replay) any slice bit-identically.
+        slice_plans: list[tuple] = [
+            (
                 vids,
                 candidate_ref,
                 history_refs,
@@ -1182,8 +1646,28 @@ class ProcessPoolRoundExecutor(RoundExecutor):
             )
             for vids in _chunk_evenly(remote_vids, self.workers)
         ]
-        self._pipe_bytes += per_task_pipe * len(futures)
-        self._pipe_raw_bytes += per_task_raw * len(futures)
+        # One mutable [future, submit_epoch] slot per slice; a slot whose
+        # submission found the pool already broken holds ``None`` and is
+        # recovered at gather time.
+        futures: list[Future] = []
+        slots: list[list] = []
+        try:
+            executor_pool = self._ensure_pool()
+            for index, plan in enumerate(slice_plans):
+                future = executor_pool.submit(
+                    _validator_slice_task,
+                    *plan,
+                    self._fault_directive(
+                        round_idx, "validate", index, hard=True
+                    ),
+                )
+                futures.append(future)
+                slots.append([future, self._pool_epoch])
+        except BrokenExecutor:
+            while len(slots) < len(slice_plans):
+                slots.append([None, self._pool_epoch])
+        self._pipe_bytes += per_task_pipe * len(slice_plans)
+        self._pipe_raw_bytes += per_task_raw * len(slice_plans)
         remote = set(remote_vids)
 
         def gather() -> dict[int, int]:
@@ -1194,10 +1678,12 @@ class ProcessPoolRoundExecutor(RoundExecutor):
                     context, streams.validator_rng(round_idx, vid)
                 )
                 for vid in validator_ids
-                if vid not in remote
+                if vid not in remote and vid not in dropped
             }
-            for future in futures:
-                rows, trace_payload = future.result()
+            for index, plan in enumerate(slice_plans):
+                rows, trace_payload = self._collect_validator_slice(
+                    slots[index], plan, round_idx, index
+                )
                 self._tracer.merge_worker(trace_payload)
                 for vid, vote, new_profiles, candidate_profile in rows:
                     collected[vid] = vote
@@ -1211,7 +1697,9 @@ class ProcessPoolRoundExecutor(RoundExecutor):
                         table.stage(
                             vid, context.candidate_version, candidate_profile
                         )
-            return {vid: collected[vid] for vid in validator_ids}
+            return {
+                vid: collected[vid] for vid in validator_ids if vid in collected
+            }
 
         def cleanup() -> None:
             if self._store is None or self._store.closed:
@@ -1224,7 +1712,50 @@ class ProcessPoolRoundExecutor(RoundExecutor):
             futures=futures,
             cleanup=cleanup,
             on_abandon=self._defer_release,
+            on_error=self._count_abandoned_error,
         )
+
+    def _collect_validator_slice(
+        self, slot: list, plan: tuple, round_idx: int, index: int
+    ) -> tuple:
+        """One validation slice's rows, surviving stragglers and pool death.
+
+        A straggler (deadline exceeded) is written off and replayed
+        locally — its future stays in the vote handle, whose release
+        auto-defers until the abandoned task actually finished, so the
+        store references it may still read stay alive.  A dead pool is
+        rebuilt and the slice resubmitted while the budget lasts, then
+        the executor demotes and replays locally.
+        """
+        attempts = 0
+        while True:
+            future, epoch = slot
+            if future is None:
+                return self._run_slice_local(_validator_slice_task, plan)
+            try:
+                return self._result_with_deadline(future)
+            except FuturesTimeout:
+                self._note(
+                    "straggler_reassignments", round_idx=round_idx,
+                    phase="validate", slot=index,
+                )
+                return self._run_slice_local(_validator_slice_task, plan)
+            except BrokenExecutor:
+                attempts += 1
+                self._note("retries", round_idx=round_idx, phase="validate")
+                if (
+                    not self._recover_pool(epoch, round_idx)
+                    or attempts > self.max_task_retries
+                ):
+                    self._demote_to_thread(round_idx)
+                    return self._run_slice_local(_validator_slice_task, plan)
+                try:
+                    slot[0] = self._ensure_pool().submit(
+                        _validator_slice_task, *plan
+                    )
+                    slot[1] = self._pool_epoch
+                except BrokenExecutor:  # pragma: no cover - raced breakage
+                    slot[0] = None
 
     def run_validators(
         self,
@@ -1267,6 +1798,7 @@ class ThreadPoolRoundExecutor(RoundExecutor):
     """
 
     def __init__(self, workers: int, cohort_size: int | None = None) -> None:
+        super().__init__()
         if workers < 2:
             raise ValueError(
                 f"ThreadPoolRoundExecutor needs >= 2 workers, got {workers}; "
@@ -1284,6 +1816,9 @@ class ThreadPoolRoundExecutor(RoundExecutor):
         self._pool: ThreadPoolExecutor | None = None
         self._vote_locks: dict[int, threading.Lock] = {}
         self._tracer: Tracer | NullTracer = NULL_TRACER
+        #: Bottom rung of the degradation ladder: once the thread pool
+        #: cannot accept work any more, tasks run on the calling thread.
+        self._inline = False
 
     def bind(
         self,
@@ -1351,6 +1886,47 @@ class ThreadPoolRoundExecutor(RoundExecutor):
             self._pool.shutdown(wait=True)
             self._pool = None
 
+    def _submit(self, fn, *args) -> Future:
+        """Submit to the thread pool, degrading to the calling thread.
+
+        A pool that cannot accept work any more (shut down / interpreter
+        teardown mid-run) is the thread engine's flavor of pool death:
+        instead of failing the round, the engine demotes itself to
+        sequential-in-place execution — same task wrappers, same keyed
+        streams, so the results do not change.
+        """
+        if not self._inline:
+            try:
+                return self._ensure_pool().submit(fn, *args)
+            except RuntimeError:
+                self._inline = True
+                self._note("engine_demotions", to="sequential")
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as error:
+            future.set_exception(error)
+        return future
+
+    def _thread_result(self, future: Future, recompute, round_idx, phase, slot):
+        """A task's result under the straggler deadline.
+
+        ``recompute`` rebuilds the task from *fresh* keyed streams in the
+        calling thread (the straggler may still be consuming the rng
+        objects it was handed, so the originals must not be reused) —
+        keyed streams make the recomputation bit-identical.
+        """
+        if self.task_deadline_s is None:
+            return future.result()
+        try:
+            return future.result(timeout=self.task_deadline_s)
+        except FuturesTimeout:
+            self._note(
+                "straggler_reassignments", round_idx=round_idx, phase=phase,
+                slot=slot,
+            )
+            return recompute()
+
     def run_clients(
         self,
         clients: Sequence[Client],
@@ -1360,7 +1936,6 @@ class ThreadPoolRoundExecutor(RoundExecutor):
         round_idx: int,
         streams: RngStreams,
     ) -> list[np.ndarray]:
-        pool = self._ensure_pool()
         if self._registry is not None:
             remote_ids = [
                 cid
@@ -1383,11 +1958,17 @@ class ThreadPoolRoundExecutor(RoundExecutor):
         # Shard lists and bound methods are resolved here, in the calling
         # thread, so a registry materializes clients race-free before any
         # pool thread runs; the simulation discards them after the round.
-        chunk_futures: list[tuple[list[int], Future]] = [
-            (
+        # Submission ordinals are the fault plan's dispatch slots.
+        slot = 0
+        chunk_futures: list[tuple[list[int], int, Future]] = []
+        for chunk in chunks:
+            chunk_futures.append((
                 chunk,
-                pool.submit(
-                    _traced_call,
+                slot,
+                self._submit(
+                    _resilient_call,
+                    self,
+                    self._fault_directive(round_idx, "train", slot),
                     self._tracer,
                     "train.cohort",
                     round_idx,
@@ -1398,25 +1979,30 @@ class ThreadPoolRoundExecutor(RoundExecutor):
                     config,
                     [streams.client_rng(round_idx, cid) for cid in chunk],
                 ),
+            ))
+            slot += 1
+        futures: dict[int, tuple[int, Future]] = {}
+        for cid in remote_ids:
+            if cid in cohorted:
+                continue
+            futures[cid] = (
+                slot,
+                self._submit(
+                    _resilient_call,
+                    self,
+                    self._fault_directive(round_idx, "train", slot),
+                    self._tracer,
+                    "train.client",
+                    round_idx,
+                    {"client": cid},
+                    resolve(cid).produce_update,
+                    global_model,
+                    config,
+                    round_idx,
+                    streams.client_rng(round_idx, cid),
+                ),
             )
-            for chunk in chunks
-        ]
-        futures: dict[int, Future] = {
-            cid: pool.submit(
-                _traced_call,
-                self._tracer,
-                "train.client",
-                round_idx,
-                {"client": cid},
-                resolve(cid).produce_update,
-                global_model,
-                config,
-                round_idx,
-                streams.client_rng(round_idx, cid),
-            )
-            for cid in remote_ids
-            if cid not in cohorted
-        }
+            slot += 1
         results: dict[int, np.ndarray] = {
             cid: clients[cid].produce_update(
                 global_model, config, round_idx, streams.client_rng(round_idx, cid)
@@ -1424,10 +2010,27 @@ class ThreadPoolRoundExecutor(RoundExecutor):
             for cid in contributor_ids
             if cid not in futures and cid not in cohorted
         }
-        for chunk, future in chunk_futures:
-            results.update(zip(chunk, future.result()))
-        for cid, future in futures.items():
-            results[cid] = future.result()
+        for chunk, chunk_slot, future in chunk_futures:
+            updates = self._thread_result(
+                future,
+                lambda chunk=chunk: cohort_updates(
+                    global_model,
+                    [resolve(cid).dataset for cid in chunk],
+                    config,
+                    [streams.client_rng(round_idx, cid) for cid in chunk],
+                ),
+                round_idx, "train", chunk_slot,
+            )
+            results.update(zip(chunk, updates))
+        for cid, (cid_slot, future) in futures.items():
+            results[cid] = self._thread_result(
+                future,
+                lambda cid=cid: resolve(cid).produce_update(
+                    global_model, config, round_idx,
+                    streams.client_rng(round_idx, cid),
+                ),
+                round_idx, "train", cid_slot,
+            )
         return [results[cid] for cid in contributor_ids]
 
     def submit_validators(
@@ -1438,10 +2041,12 @@ class ThreadPoolRoundExecutor(RoundExecutor):
         round_idx: int,
         streams: RngStreams,
     ) -> PendingVotes:
-        executor_pool = self._ensure_pool()
         tracer = self._tracer
 
         def vote_under_lock(vid, validator, lock, rng):
+            # The per-validator lock also serializes a straggler's late
+            # vote against its deadline-driven local recomputation — the
+            # two compute identical values, never concurrently.
             with lock:
                 with tracer.span(
                     "validate.vote", cat="worker", round_idx=round_idx,
@@ -1449,17 +2054,30 @@ class ThreadPoolRoundExecutor(RoundExecutor):
                 ):
                     return validator.vote(context, rng)
 
-        futures: dict[int, Future] = {
-            vid: executor_pool.submit(
-                vote_under_lock,  # repro: allow[pickle-safety] -- thread pool shares the address space, nothing pickles
-                vid,
-                self._validators[vid],
-                self._vote_locks[vid],
-                streams.validator_rng(round_idx, vid),
+        dropped = self._dropped_votes(round_idx, validator_ids)
+        futures: dict[int, tuple[int, Future]] = {}
+        slot = 0
+        for vid in validator_ids:
+            if vid not in self._validators or vid in dropped:
+                continue
+            futures[vid] = (
+                slot,
+                self._submit(
+                    _resilient_call,  # repro: allow[pickle-safety] -- thread pool shares the address space, nothing pickles
+                    self,
+                    self._fault_directive(round_idx, "validate", slot),
+                    NULL_TRACER,  # vote_under_lock opens the span itself
+                    "validate.task",
+                    round_idx,
+                    {},
+                    vote_under_lock,
+                    vid,
+                    self._validators[vid],
+                    self._vote_locks[vid],
+                    streams.validator_rng(round_idx, vid),
+                ),
             )
-            for vid in validator_ids
-            if vid in self._validators
-        }
+            slot += 1
 
         def gather() -> dict[int, int]:
             local: dict[int, int] = {
@@ -1467,20 +2085,37 @@ class ThreadPoolRoundExecutor(RoundExecutor):
                     context, streams.validator_rng(round_idx, vid)
                 )
                 for vid in validator_ids
-                if vid not in futures
+                if vid not in futures and vid not in dropped
             }
-            return {
-                vid: local[vid] if vid not in futures else futures[vid].result()
-                for vid in validator_ids
-            }
+            collected: dict[int, int] = {}
+            for vid in validator_ids:
+                if vid in dropped:
+                    continue
+                if vid not in futures:
+                    collected[vid] = local[vid]
+                    continue
+                vid_slot, future = futures[vid]
+                collected[vid] = self._thread_result(
+                    future,
+                    lambda vid=vid: vote_under_lock(
+                        vid,
+                        self._validators[vid],
+                        self._vote_locks[vid],
+                        streams.validator_rng(round_idx, vid),
+                    ),
+                    round_idx, "validate", vid_slot,
+                )
+            return collected
 
         # No store references travel (the context holds the models alive),
         # so an abandoned handle needs no deferred release — stragglers
-        # just finish and their results are dropped.
+        # just finish and their results are dropped.  Their errors are
+        # still drained and counted, though.
         return PendingVotes(
             gather=gather,
-            futures=futures.values(),
+            futures=[future for _, future in futures.values()],
             on_abandon=lambda pending: None,
+            on_error=self._count_abandoned_error,
         )
 
     def run_validators(
@@ -1523,6 +2158,21 @@ class PipelinedRoundExecutor(RoundExecutor):
     def bind(self, **populations) -> None:
         self.inner.bind(**populations)
 
+    def bind_faults(self, **kwargs) -> None:
+        self.inner.bind_faults(**kwargs)
+
+    @property
+    def resilience(self) -> ResilienceStats:
+        return self.inner.resilience
+
+    @property
+    def fault_plan(self) -> FaultPlan:
+        return self.inner.fault_plan
+
+    @property
+    def task_deadline_s(self) -> float | None:
+        return self.inner.task_deadline_s
+
     @property
     def transport_bytes(self) -> int:
         return self.inner.transport_bytes
@@ -1555,6 +2205,8 @@ def make_executor(
     pipeline_depth: int = DEFAULT_PIPELINE_DEPTH,
     cohort_size: int | None = None,
     engine: str = "auto",
+    faults: "FaultPlan | str | None" = None,
+    task_deadline_s: float | None = None,
 ) -> RoundExecutor:
     """Executor for a worker count: 0/1 -> sequential, N>=2 -> worker pool.
 
@@ -1592,6 +2244,8 @@ def make_executor(
         executor = ProcessPoolRoundExecutor(workers, cohort_size=cohort_size)
     if store is not None:
         executor.bind(store=store)
+    if faults is not None or task_deadline_s is not None:
+        executor.bind_faults(plan=faults, task_deadline_s=task_deadline_s)
     if mode == "pipelined":
         executor = PipelinedRoundExecutor(executor, pipeline_depth)
     return executor
@@ -1636,6 +2290,8 @@ def make_engine(
     require_lossless: bool = True,
     cohort_size: int | None = None,
     engine: str = "auto",
+    faults: "FaultPlan | str | None" = None,
+    task_deadline_s: float | None = None,
 ) -> RoundEngine:
     """The one factory for a round-execution engine.
 
@@ -1658,6 +2314,10 @@ def make_engine(
     ``cohort_size`` controls stacked cohort client training
     (bit-identical, pure throughput — see :mod:`repro.fl.cohort`);
     ``None`` keeps the per-executor default.
+
+    ``faults`` (a spec string or :class:`~repro.fl.faults.FaultPlan`) and
+    ``task_deadline_s`` arm the executor's resilience layer — see
+    :mod:`repro.fl.faults` and :meth:`RoundExecutor.bind_faults`.
     """
     if engine not in ENGINE_KINDS:
         raise ValueError(
@@ -1675,5 +2335,7 @@ def make_engine(
         pipeline_depth=pipeline_depth,
         cohort_size=cohort_size,
         engine=engine,
+        faults=faults,
+        task_deadline_s=task_deadline_s,
     )
     return RoundEngine(executor, model_store)

@@ -89,6 +89,10 @@ class DefenseDecision:
     num_validators: int = 0
     client_votes: Mapping[int, int] = field(default_factory=dict)
     server_vote: int | None = None
+    #: Whether this decision was made over a reduced quorum (requested
+    #: votes went missing and the defense's ``quorum_policy="degrade"``
+    #: proceeded once ``quorum_min`` arrived).
+    quorum_degraded: bool = False
 
 
 @runtime_checkable
@@ -160,6 +164,18 @@ class RoundRecord:
     #: observational and must never break the bit-identity comparisons
     #: the equivalence tests make on records.
     phase_times: dict[str, float] = field(default_factory=dict, compare=False)
+    #: Recovery incidents (task retries, pool rebuilds, straggler
+    #: reassignments, ...) the executor's resilience ledger accumulated
+    #: while this round ran — the per-round delta of
+    #: ``executor.resilience.total()``.  Excluded from equality: recovery
+    #: effort is observational, the recovered results are bit-identical.
+    retries: int = field(default=0, compare=False)
+    #: Client votes actually collected for this round's decision (equal to
+    #: the requested sample unless votes went missing and the ``degrade``
+    #: quorum policy shrank the quorum).  Excluded from equality so
+    #: fault-injected runs still compare clean against fault-free ones on
+    #: the committed trajectory.
+    quorum_size: int = field(default=0, compare=False)
 
     def __post_init__(self) -> None:
         if self.accepted_at_round < 0:
@@ -369,6 +385,15 @@ class FederatedSimulation:
         bind_tracer = getattr(defense, "bind_tracer", None)
         if self.tracer.enabled and callable(bind_tracer):
             bind_tracer(self.tracer)
+        #: Resilience-ledger total already attributed to emitted records
+        #: (per-round ``retries`` deltas).
+        self._resilience_seen = 0
+        if self.tracer.enabled:
+            stats = getattr(self.executor, "resilience", None)
+            if stats is not None:
+                # Snapshots then carry a live "resilience" section even if
+                # no individual increment was mirrored as a counter yet.
+                self.tracer.metrics.bind_resilience(stats.as_dict)
         #: Pipelined mode is selected by the executor: a
         #: PipelinedRoundExecutor carries the speculation depth.
         self._pipeline_depth: int | None = getattr(
@@ -466,6 +491,8 @@ class FederatedSimulation:
             codec=self._codec_name(),
             peak_rss_kb=_peak_rss_kb(),
             materialized_clients=resident_clients,
+            retries=self._resilience_delta(),
+            quorum_size=len(decision.client_votes),
         )
         if tracer.enabled:
             record.phase_times.update(
@@ -482,6 +509,21 @@ class FederatedSimulation:
 
     def _codec_name(self) -> str:
         return self._codec.name if self._codec is not None else "identity"
+
+    def _resilience_delta(self) -> int:
+        """Recovery incidents since the last emitted record.
+
+        Pipelined rounds overlap, so the attribution is at-emission (the
+        incidents land on the record being resolved when they surfaced) —
+        the per-run sum is exact either way.
+        """
+        stats = getattr(self.executor, "resilience", None)
+        if stats is None:
+            return 0
+        total = stats.total()
+        delta = total - self._resilience_seen
+        self._resilience_seen = total
+        return max(delta, 0)
 
     def _observe_round(self, record: RoundRecord) -> None:
         """Fold one finished round into the tracer's metrics registry."""
@@ -756,6 +798,8 @@ class FederatedSimulation:
             rollback_count=spec.rollback_count,
             peak_rss_kb=_peak_rss_kb(),
             materialized_clients=spec.materialized_clients,
+            retries=self._resilience_delta(),
+            quorum_size=len(decision.client_votes),
         )
         if tracer.enabled:
             record.phase_times.update(spec.phase_times)

@@ -88,6 +88,17 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._resilience_provider = None
+
+    def bind_resilience(self, provider) -> None:
+        """Attach a callable returning the executor's resilience ledger.
+
+        ``snapshot()`` then carries a ``"resilience"`` section sampled at
+        snapshot time — the executor owns the counters (they must survive
+        engine demotion, which swaps executors under the simulation), the
+        registry only reads them.
+        """
+        self._resilience_provider = provider
 
     def counter(self, name: str) -> Counter:
         with self._lock:
@@ -112,8 +123,10 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict:
         """One JSON-serializable view of every metric's current state."""
+        provider = self._resilience_provider
+        resilience = dict(provider()) if provider is not None else None
         with self._lock:
-            return {
+            view = {
                 "counters": {
                     name: metric.value
                     for name, metric in sorted(self._counters.items())
@@ -133,3 +146,6 @@ class MetricsRegistry:
                     for name, metric in sorted(self._histograms.items())
                 },
             }
+        if resilience is not None:
+            view["resilience"] = resilience
+        return view

@@ -38,6 +38,7 @@ def test_registry_covers_the_documented_battery():
         "unused-import",
         "mutable-default",
         "observability-safety",
+        "swallowed-exception",
     }
     assert [c.check_id for c in all_checks()] == list(ALL_CHECK_IDS)
 
@@ -587,6 +588,84 @@ class TestObservabilitySafety:
             """,
             "observability-safety",
             path=self.OBS_PATH,
+        )
+        assert findings == []
+
+
+class TestSwallowedException:
+    def test_pass_only_broad_handlers_fire(self):
+        findings = run_check(
+            """\
+            def collect(futures):
+                try:
+                    futures[0].result()
+                except Exception:
+                    pass
+                try:
+                    futures[1].result()
+                except:
+                    ...
+            """,
+            "swallowed-exception",
+        )
+        assert check_ids(findings) == ["swallowed-exception"] * 2
+        assert "pass-only" in findings[0].message
+        assert "bare except" in findings[1].message
+
+    def test_unobserved_future_exception_fires(self):
+        findings = run_check(
+            """\
+            def drain(future):
+                future.exception()
+            """,
+            "swallowed-exception",
+        )
+        assert check_ids(findings) == ["swallowed-exception"]
+        assert "discarded" in findings[0].message
+
+    def test_observed_errors_and_narrow_handlers_are_clean(self):
+        findings = run_check(
+            """\
+            def collect(futures, stats, log):
+                try:
+                    futures[0].result()
+                except KeyError:
+                    pass
+                except Exception as error:
+                    stats.inc("abandoned_task_errors")
+                error = futures[1].exception()
+                if error is not None:
+                    stats.inc("abandoned_task_errors")
+                log.exception("context goes to the handler, not the void")
+            """,
+            "swallowed-exception",
+        )
+        assert findings == []
+
+    def test_outside_the_execution_layer_is_not_scoped(self):
+        findings = run_check(
+            """\
+            def tidy(path):
+                try:
+                    path.unlink()
+                except Exception:
+                    pass
+            """,
+            "swallowed-exception",
+            path="src/repro/experiments/example.py",
+        )
+        assert findings == []
+
+    def test_suppressed_with_reason_is_silent(self):
+        findings = run_check(
+            """\
+            def teardown(handle):
+                try:
+                    handle.close()
+                except Exception:  # repro: allow[swallowed-exception] -- interpreter teardown
+                    pass
+            """,
+            "swallowed-exception",
         )
         assert findings == []
 
